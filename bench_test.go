@@ -1,0 +1,224 @@
+// Package illixr_test holds the top-level benchmark harness: one
+// testing.B benchmark per paper table and figure (driving the same code
+// paths as cmd/illixr-bench) plus per-component microbenchmarks for the
+// standalone workloads of §IV-B. Run with:
+//
+//	go test -bench=. -benchmem
+package illixr_test
+
+import (
+	"io"
+	"testing"
+
+	"illixr/internal/audio"
+	"illixr/internal/bench"
+	"illixr/internal/core"
+	"illixr/internal/eyetrack"
+	"illixr/internal/hologram"
+	"illixr/internal/imgproc"
+	"illixr/internal/mathx"
+	"illixr/internal/perfmodel"
+	"illixr/internal/reconstruct"
+	"illixr/internal/render"
+	"illixr/internal/reprojection"
+	"illixr/internal/sensors"
+	"illixr/internal/vio"
+)
+
+// ---- static tables (Tables I-III, Fig 8) -------------------------------
+
+func BenchmarkTable1Requirements(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table1(io.Discard)
+	}
+}
+
+func BenchmarkTable2Components(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table2(io.Discard)
+	}
+}
+
+func BenchmarkTable3Parameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table3(io.Discard)
+	}
+}
+
+func BenchmarkFig8Microarch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig8(io.Discard)
+	}
+}
+
+// ---- integrated-system experiments (Figs 3-7, Tables IV-V) -------------
+
+// integratedRun is the common kernel behind Figs 3-7 and Table IV: one
+// cell of the evaluation matrix at a short virtual duration.
+func integratedRun(b *testing.B, app render.AppName, plat perfmodel.Platform, quality bool) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultRunConfig(app, plat)
+		cfg.Duration = 2
+		if quality {
+			cfg.QualityFrames = 2
+			cfg.QualityW, cfg.QualityH = 160, 90
+		}
+		res := core.Run(cfg)
+		if res.FrameRateHz[core.CompIMU] == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+func BenchmarkFig3FrameRates_DesktopSponza(b *testing.B) {
+	integratedRun(b, render.AppSponza, perfmodel.Desktop, false)
+}
+
+func BenchmarkFig3FrameRates_JetsonLPSponza(b *testing.B) {
+	integratedRun(b, render.AppSponza, perfmodel.JetsonLP, false)
+}
+
+func BenchmarkFig4ExecutionTimes_DesktopPlatformer(b *testing.B) {
+	integratedRun(b, render.AppPlatformer, perfmodel.Desktop, false)
+}
+
+func BenchmarkFig5CPUShares_JetsonHPMaterials(b *testing.B) {
+	integratedRun(b, render.AppMaterials, perfmodel.JetsonHP, false)
+}
+
+func BenchmarkFig6Power_JetsonLPARDemo(b *testing.B) {
+	integratedRun(b, render.AppARDemo, perfmodel.JetsonLP, false)
+}
+
+func BenchmarkFig7MTP_JetsonHPPlatformer(b *testing.B) {
+	integratedRun(b, render.AppPlatformer, perfmodel.JetsonHP, false)
+}
+
+func BenchmarkTable4MTP_DesktopARDemo(b *testing.B) {
+	integratedRun(b, render.AppARDemo, perfmodel.Desktop, false)
+}
+
+func BenchmarkTable5ImageQuality_DesktopSponza(b *testing.B) {
+	integratedRun(b, render.AppSponza, perfmodel.Desktop, true)
+}
+
+// ---- standalone component workloads (Tables VI-VII) --------------------
+
+func BenchmarkTable6VIO_Frame(b *testing.B) {
+	cfg := sensors.DefaultDatasetConfig()
+	cfg.Duration = 4
+	ds := sensors.GenerateDataset(cfg)
+	p := vio.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := vio.NewRunner(ds, p, vio.NewGeometricFrontend(ds.Cam, p.MaxFeatures))
+		r.Run(ds)
+	}
+}
+
+func BenchmarkTable6Recon_Frame(b *testing.B) {
+	cam := sensors.CameraModel{Width: 80, Height: 60, Fx: 40, Fy: 40, Cx: 40, Cy: 30}
+	world := sensors.NewRoomWorld(40, 3)
+	traj := sensors.DefaultTrajectory()
+	r := reconstruct.New(reconstruct.DefaultParams(), cam, traj.Pose(0))
+	depth, rgb := world.RenderDepth(cam, traj.Pose(0))
+	pose := traj.Pose(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ProcessFrame(depth, rgb, &pose)
+	}
+}
+
+func BenchmarkTable7Reprojection_720p(b *testing.B) {
+	src := imgproc.NewRGB(1280, 720)
+	for i := range src.Pix {
+		src.Pix[i] = float32(i%255) / 255
+	}
+	warp := reprojection.New(reprojection.DefaultParams())
+	renderPose := mathx.PoseIdentity()
+	fresh := mathx.Pose{Rot: mathx.QuatFromAxisAngle(mathx.Vec3{Y: 1}, 0.02)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warp.Reproject(src, renderPose, fresh)
+	}
+}
+
+func BenchmarkTable7Hologram_GSW(b *testing.B) {
+	p := hologram.DefaultParams()
+	p.Width, p.Height = 128, 128
+	p.Iterations = 3
+	spots := hologram.SpotsFromDepthPlanes(2, 4, 6e-4, 0.02)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hologram.Generate(p, spots)
+	}
+}
+
+func BenchmarkTable7AudioEncoding_Block(b *testing.B) {
+	srcs := []audio.Source{
+		audio.SpeechLikeSource("a", 48000, 1, audio.DirectionFromAzEl(0.5, 0), 1),
+		audio.SineSource("b", 440, 48000, 1, audio.DirectionFromAzEl(-0.5, 0.2)),
+	}
+	enc := audio.NewEncoder(2, 1024, srcs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.EncodeBlock()
+	}
+}
+
+func BenchmarkTable7AudioPlayback_Block(b *testing.B) {
+	srcs := []audio.Source{audio.SineSource("a", 440, 48000, 1, audio.DirectionFromAzEl(0.5, 0))}
+	enc := audio.NewEncoder(2, 1024, srcs)
+	play := audio.NewPlayback(2, 1024, 48000)
+	pose := mathx.PoseIdentity()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		play.Process(enc.EncodeBlock(), pose)
+	}
+}
+
+func BenchmarkEyeTracking_Inference(b *testing.B) {
+	tr := eyetrack.NewTracker()
+	img := eyetrack.SynthEyeImage(160, 120, 0.1, 0, 0.02, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Track(img.Img)
+	}
+}
+
+func BenchmarkApplication_SponzaFrame(b *testing.B) {
+	scene := render.BuildScene(render.AppSponza, 42)
+	r := render.NewRenderer(256, 144)
+	pose := mathx.Pose{
+		Pos: mathx.Vec3{X: 2, Z: 1.6},
+		Rot: mathx.QuatFromAxisAngle(mathx.Vec3{Z: 1}, 1.57),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RenderFrame(scene, pose, float64(i)*0.01)
+	}
+}
+
+// AblationVIO (§V-E) cost kernel: the fast-vs-accurate VIO configs.
+func BenchmarkAblationVIO_FastParams(b *testing.B) {
+	cfg := sensors.DefaultDatasetConfig()
+	cfg.Duration = 4
+	ds := sensors.GenerateDataset(cfg)
+	p := vio.FastParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := vio.NewRunner(ds, p, vio.NewGeometricFrontend(ds.Cam, p.MaxFeatures))
+		r.Run(ds)
+	}
+}

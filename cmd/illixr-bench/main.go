@@ -1,0 +1,98 @@
+// Command illixr-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	illixr-bench -exp all            # everything (≈ a few minutes)
+//	illixr-bench -exp fig3           # one experiment
+//	illixr-bench -exp table5 -duration 10 -quality-frames 8
+//
+// Experiments: table1 table2 table3 table4 table5 table6 table7
+// fig3 fig4 fig5 fig6 fig7 fig8 ablation-vio all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"illixr/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1..table7, fig3..fig8, ablation-vio, all)")
+	duration := flag.Float64("duration", 30, "virtual seconds per integrated run (the paper uses ~30)")
+	qualityFrames := flag.Int("quality-frames", 8, "sampled frames for the Table V image-quality pipeline")
+	flag.Parse()
+
+	w := os.Stdout
+	wants := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		wants[strings.TrimSpace(e)] = true
+	}
+	all := wants["all"]
+
+	needMatrix := all || wants["fig3"] || wants["fig4"] || wants["fig5"] ||
+		wants["fig6"] || wants["fig7"] || wants["table4"]
+	var m *bench.Matrix
+	if needMatrix {
+		fmt.Fprintf(w, "Running the 4-app x 3-platform evaluation matrix (%.0f s virtual each)...\n\n", *duration)
+		m = bench.RunMatrix(*duration)
+	}
+
+	if all || wants["table1"] {
+		bench.Table1(w)
+		fmt.Fprintln(w)
+	}
+	if all || wants["table2"] {
+		bench.Table2(w)
+		fmt.Fprintln(w)
+	}
+	if all || wants["table3"] {
+		bench.Table3(w)
+		fmt.Fprintln(w)
+	}
+	if all || wants["fig3"] {
+		bench.Fig3(w, m)
+	}
+	if all || wants["fig4"] {
+		bench.Fig4(w, m)
+		fmt.Fprintln(w)
+	}
+	if all || wants["fig5"] {
+		bench.Fig5(w, m)
+		fmt.Fprintln(w)
+	}
+	if all || wants["fig6"] {
+		bench.Fig6(w, m)
+		fmt.Fprintln(w)
+	}
+	if all || wants["fig7"] {
+		bench.Fig7(w, m)
+		fmt.Fprintln(w)
+	}
+	if all || wants["table4"] {
+		bench.Table4(w, m)
+		fmt.Fprintln(w)
+	}
+	if all || wants["table5"] {
+		fmt.Fprintln(w, "Running the offline image-quality pipeline (Table V)...")
+		bench.Table5(w, *duration, *qualityFrames)
+		fmt.Fprintln(w)
+	}
+	if all || wants["table6"] {
+		bench.Table6(w, *duration)
+	}
+	if all || wants["table7"] {
+		bench.Table7(w)
+		fmt.Fprintln(w)
+	}
+	if all || wants["fig8"] {
+		bench.Fig8(w)
+		fmt.Fprintln(w)
+	}
+	if all || wants["ablation-vio"] {
+		bench.AblationVIO(w, *duration)
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,84 @@
+// Command illixr-run executes one integrated ILLIXR run — one application
+// on one modelled platform — and prints its end-to-end metrics, the
+// per-run equivalent of the paper's runner.sh (§III, appendix E).
+//
+// Usage:
+//
+//	illixr-run -app sponza -platform desktop -duration 30
+//	illixr-run -app platformer -platform jetson-lp -quality
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"illixr/internal/config"
+	"illixr/internal/core"
+	"illixr/internal/perfmodel"
+	"illixr/internal/render"
+	"illixr/internal/telemetry"
+)
+
+func main() {
+	appName := flag.String("app", "sponza", "application: sponza|materials|platformer|ar_demo")
+	platName := flag.String("platform", "desktop", "platform: desktop|jetson-hp|jetson-lp")
+	duration := flag.Float64("duration", 30, "virtual seconds")
+	quality := flag.Bool("quality", false, "run the offline SSIM/FLIP pipeline too")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	flag.Parse()
+
+	plat, ok := perfmodel.PlatformByName(*platName)
+	if !ok {
+		log.Fatalf("unknown platform %q", *platName)
+	}
+	valid := false
+	for _, a := range render.AllApps {
+		if string(a) == *appName {
+			valid = true
+		}
+	}
+	if !valid {
+		log.Fatalf("unknown app %q", *appName)
+	}
+
+	cfg := core.DefaultRunConfig(render.AppName(*appName), plat)
+	cfg.Duration = *duration
+	cfg.Seed = *seed
+	if *quality {
+		cfg.QualityFrames = 8
+	}
+	res := core.Run(cfg)
+
+	fmt.Printf("ILLIXR-Go integrated run: app=%s platform=%s duration=%.0fs seed=%d\n\n",
+		res.App, res.Platform, res.Duration, *seed)
+
+	t := &telemetry.Table{
+		Title:  "Component frame rates and execution times",
+		Header: []string{"Component", "Rate Hz", "Target", "Dropped", "Exec ms (mean±std)", "max"},
+	}
+	for _, c := range core.Components {
+		s := telemetry.Summarize(res.ExecMs[c])
+		t.AddRow(c,
+			fmt.Sprintf("%.1f", res.FrameRateHz[c]),
+			fmt.Sprintf("%.0f", res.TargetHz[c]),
+			fmt.Sprint(res.Dropped[c]),
+			fmt.Sprintf("%.2f±%.2f", s.Mean, s.Std),
+			fmt.Sprintf("%.2f", s.Max))
+	}
+	t.Render(os.Stdout)
+
+	m := res.MTPSummary()
+	fmt.Printf("\nMotion-to-photon latency: %.1f±%.1f ms (VR target %.0f, AR target %.0f)\n",
+		m.Mean, m.Std, config.TargetMTPVRMs, config.TargetMTPARMs)
+	fmt.Printf("Head-tracking ATE: %.1f cm\n", 100*res.VIOATE)
+	fmt.Printf("CPU utilization: %.0f%%  GPU utilization: %.0f%%\n", 100*res.CPUUtil, 100*res.GPUUtil)
+	cpu, gpu, ddr, soc, sys := res.Power.Shares()
+	fmt.Printf("Power: %.1f W (CPU %.0f%%, GPU %.0f%%, DDR %.0f%%, SoC %.0f%%, Sys %.0f%%)\n",
+		res.Power.Total(), 100*cpu, 100*gpu, 100*ddr, 100*soc, 100*sys)
+	if *quality {
+		fmt.Printf("Image quality vs idealized system: SSIM %.2f±%.2f, 1-FLIP %.2f±%.2f\n",
+			res.SSIM.Mean, res.SSIM.Std, res.OneMinusFLIP.Mean, res.OneMinusFLIP.Std)
+	}
+}

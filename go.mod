@@ -1,0 +1,3 @@
+module illixr
+
+go 1.22

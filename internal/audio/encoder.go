@@ -1,0 +1,126 @@
+package audio
+
+import "math"
+
+// Source is one monophonic sound source to be spatialized.
+type Source struct {
+	Name string
+	Dir  Direction
+	Gain float64
+	// Samples as signed 16-bit integers, the on-disk format of the
+	// Freesound clips the paper uses (§III-D): the encoder's first task is
+	// the INT16 → FP32 normalization of Table VII.
+	PCM []int16
+}
+
+// Encoder converts mono sources into an ambisonic soundfield block by
+// block, mirroring the three tasks of Table VII: normalization, encoding
+// (Y[j][i] = D × X[j]) and HOA soundfield summation.
+type Encoder struct {
+	Order     int
+	BlockSize int
+	Sources   []Source
+	cursor    int
+	// Stats for the performance model
+	SamplesEncoded int
+}
+
+// NewEncoder builds an encoder at the paper's tuned configuration
+// (Table III: 48 Hz block rate → 1024-sample blocks at 48 kHz, order 2).
+func NewEncoder(order, blockSize int, sources []Source) *Encoder {
+	return &Encoder{Order: order, BlockSize: blockSize, Sources: sources}
+}
+
+// NormalizeInt16 converts PCM samples to float in [-1, 1).
+func NormalizeInt16(pcm []int16, out []float64) {
+	for i, v := range pcm {
+		out[i] = float64(v) / 32768.0
+	}
+}
+
+// EncodeBlock produces the next soundfield block: a [channels][blockSize]
+// matrix. Sources shorter than the cursor wrap around (looping playback).
+func (e *Encoder) EncodeBlock() [][]float64 {
+	nCh := ChannelCount(e.Order)
+	field := make([][]float64, nCh)
+	for c := range field {
+		field[c] = make([]float64, e.BlockSize)
+	}
+	mono := make([]float64, e.BlockSize)
+	pcmBlock := make([]int16, e.BlockSize)
+	for _, src := range e.Sources {
+		if len(src.PCM) == 0 {
+			continue
+		}
+		// Task 1: normalization (INT16 -> FP64)
+		for i := 0; i < e.BlockSize; i++ {
+			pcmBlock[i] = src.PCM[(e.cursor+i)%len(src.PCM)]
+		}
+		NormalizeInt16(pcmBlock, mono)
+		// Task 2: encoding — sample-to-soundfield mapping Y[j][i] = D × X[j]
+		coeffs := EncodeSH(e.Order, src.Dir.Normalized())
+		gain := src.Gain
+		if gain == 0 {
+			gain = 1
+		}
+		// Task 3: HOA soundfield summation Y[i][j] += Xk[i][j] ∀k
+		for c := 0; c < nCh; c++ {
+			g := coeffs[c] * gain
+			row := field[c]
+			for i := 0; i < e.BlockSize; i++ {
+				row[i] += g * mono[i]
+			}
+		}
+		e.SamplesEncoded += e.BlockSize
+	}
+	e.cursor += e.BlockSize
+	return field
+}
+
+// Reset rewinds all source cursors.
+func (e *Encoder) Reset() { e.cursor = 0 }
+
+// SineSource builds a looping pure-tone source (test signal).
+func SineSource(name string, freqHz, sampleRate float64, seconds float64, dir Direction) Source {
+	n := int(seconds * sampleRate)
+	pcm := make([]int16, n)
+	for i := range pcm {
+		pcm[i] = int16(20000 * math.Sin(2*math.Pi*freqHz*float64(i)/sampleRate))
+	}
+	return Source{Name: name, Dir: dir, Gain: 1, PCM: pcm}
+}
+
+// SpeechLikeSource synthesizes a speech-like signal (amplitude-modulated
+// harmonics with formant-ish band emphasis) — the stand-in for the
+// "Science Teacher Lecturing" Freesound clip (§III-D).
+func SpeechLikeSource(name string, sampleRate float64, seconds float64, dir Direction, seed int64) Source {
+	n := int(seconds * sampleRate)
+	pcm := make([]int16, n)
+	// deterministic pseudo-random phases from the seed
+	rngState := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() float64 {
+		rngState = rngState*6364136223846793005 + 1442695040888963407
+		return float64(rngState>>11) / float64(1<<53)
+	}
+	f0 := 120 + 40*next() // fundamental
+	phases := make([]float64, 8)
+	for i := range phases {
+		phases[i] = 2 * math.Pi * next()
+	}
+	for i := 0; i < n; i++ {
+		t := float64(i) / sampleRate
+		// syllable-rate envelope ~4 Hz
+		env := 0.5 + 0.5*math.Sin(2*math.Pi*4*t+1.3)
+		env *= 0.6 + 0.4*math.Sin(2*math.Pi*0.7*t)
+		s := 0.0
+		for h := 1; h <= 8; h++ {
+			amp := 1.0 / float64(h)
+			if h == 3 || h == 4 { // crude formant emphasis
+				amp *= 2
+			}
+			s += amp * math.Sin(2*math.Pi*f0*float64(h)*t+phases[h-1])
+		}
+		pcm[i] = int16(6000 * env * s / 4)
+	}
+	return Source{Name: name, Dir: dir, Gain: 1, PCM: pcm}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"illixr/internal/audio"
+	"illixr/internal/integrator"
+	"illixr/internal/mathx"
+	"illixr/internal/runtime"
+	"illixr/internal/sensors"
+)
+
+// This file implements live plugins: the same components wired onto the
+// runtime's event streams (§II-B), used by the examples and the live
+// (non-simulated) mode. Each plugin is interchangeable with any other
+// implementation of its role via runtime.Registry.
+
+// DatasetPlayerPlugin replays a pre-recorded dataset onto the IMU and
+// camera topics — the paper's offline camera+IMU component, indistinguishable
+// from a live camera to the rest of the system (§II-B).
+type DatasetPlayerPlugin struct {
+	Dataset *sensors.Dataset
+	ctx     *runtime.Context
+	imuIdx  int
+	camIdx  int
+}
+
+// Name implements runtime.Plugin.
+func (p *DatasetPlayerPlugin) Name() string { return "sensors.offline_player" }
+
+// Start implements runtime.Plugin.
+func (p *DatasetPlayerPlugin) Start(ctx *runtime.Context) error {
+	if p.Dataset == nil {
+		return fmt.Errorf("dataset player: no dataset")
+	}
+	p.ctx = ctx
+	return nil
+}
+
+// Stop implements runtime.Plugin.
+func (p *DatasetPlayerPlugin) Stop() error { return nil }
+
+// PumpUntil publishes all sensor events with timestamps ≤ t, in time
+// order, and returns the number of events published. Examples drive this
+// from their own loop (virtual-time playback).
+func (p *DatasetPlayerPlugin) PumpUntil(t float64) int {
+	imuTopic := p.ctx.Switchboard.GetTopic(runtime.TopicIMU)
+	camTopic := p.ctx.Switchboard.GetTopic(runtime.TopicCamera)
+	n := 0
+	for p.imuIdx < len(p.Dataset.IMU) && p.Dataset.IMU[p.imuIdx].T <= t {
+		s := p.Dataset.IMU[p.imuIdx]
+		imuTopic.Publish(runtime.Event{T: s.T, Value: s})
+		p.imuIdx++
+		n++
+	}
+	for p.camIdx < len(p.Dataset.Frames) && p.Dataset.Frames[p.camIdx].T <= t {
+		f := p.Dataset.Frames[p.camIdx]
+		camTopic.Publish(runtime.Event{T: f.T, Value: f})
+		p.camIdx++
+		n++
+	}
+	return n
+}
+
+var _ runtime.Plugin = (*DatasetPlayerPlugin)(nil)
+
+// Rewind resets playback to the start of the recording.
+func (p *DatasetPlayerPlugin) Rewind() { p.imuIdx, p.camIdx = 0, 0 }
+
+// IntegratorPlugin subscribes synchronously to the IMU topic and publishes
+// fast poses (the IMU-integrator role of Fig 2).
+type IntegratorPlugin struct {
+	Initial integrator.State
+	in      *integrator.Integrator
+	sub     *runtime.Subscription
+	ctx     *runtime.Context
+	done    chan struct{}
+}
+
+// Name implements runtime.Plugin.
+func (p *IntegratorPlugin) Name() string { return "integrator.rk4" }
+
+// Start implements runtime.Plugin.
+func (p *IntegratorPlugin) Start(ctx *runtime.Context) error {
+	p.ctx = ctx
+	p.in = integrator.New(p.Initial)
+	p.sub = ctx.Switchboard.GetTopic(runtime.TopicIMU).Subscribe(4096)
+	p.done = make(chan struct{})
+	fastTopic := ctx.Switchboard.GetTopic(runtime.TopicFastPose)
+	go func() {
+		defer close(p.done)
+		for ev := range p.sub.C {
+			sample, ok := ev.Value.(sensors.IMUSample)
+			if !ok {
+				continue
+			}
+			p.in.Feed(sample)
+			fastTopic.Publish(runtime.Event{T: sample.T, Value: p.in.FastPose()})
+		}
+	}()
+	return nil
+}
+
+// Stop implements runtime.Plugin.
+func (p *IntegratorPlugin) Stop() error {
+	p.sub.Cancel()
+	<-p.done
+	return nil
+}
+
+var _ runtime.Plugin = (*IntegratorPlugin)(nil)
+
+// AudioPlugin encodes a fixed source set per block and binauralizes it
+// with the latest fast pose (asynchronous read), publishing stereo blocks.
+type AudioPlugin struct {
+	Order      int
+	BlockSize  int
+	SampleRate float64
+	Sources    []audio.Source
+
+	enc  *audio.Encoder
+	play *audio.Playback
+	ctx  *runtime.Context
+}
+
+// Name implements runtime.Plugin.
+func (p *AudioPlugin) Name() string { return "audio.hoa" }
+
+// Start implements runtime.Plugin.
+func (p *AudioPlugin) Start(ctx *runtime.Context) error {
+	if p.Order == 0 {
+		p.Order = 2
+	}
+	if p.BlockSize == 0 {
+		p.BlockSize = 1024
+	}
+	if p.SampleRate == 0 {
+		p.SampleRate = 48000
+	}
+	p.ctx = ctx
+	p.enc = audio.NewEncoder(p.Order, p.BlockSize, p.Sources)
+	p.play = audio.NewPlayback(p.Order, p.BlockSize, p.SampleRate)
+	return nil
+}
+
+// Stop implements runtime.Plugin.
+func (p *AudioPlugin) Stop() error { return nil }
+
+// ProcessBlock encodes and binauralizes one block at session time t,
+// publishing to the binaural topic and returning the stereo pair.
+func (p *AudioPlugin) ProcessBlock(t float64) (left, right []float64) {
+	pose := mathx.PoseIdentity()
+	if ev, ok := p.ctx.Switchboard.GetTopic(runtime.TopicFastPose).Latest(); ok {
+		if fp, ok2 := ev.Value.(mathx.Pose); ok2 {
+			pose = fp
+		}
+	}
+	field := p.enc.EncodeBlock()
+	left, right = p.play.Process(field, pose)
+	p.ctx.Switchboard.GetTopic(runtime.TopicBinaural).Publish(runtime.Event{
+		T: t, Value: [2][]float64{left, right},
+	})
+	return left, right
+}
+
+var _ runtime.Plugin = (*AudioPlugin)(nil)
+
+// NewStandardRegistry registers the standard component implementations
+// under their roles, mirroring Table II's interchangeable alternatives.
+func NewStandardRegistry(ds *sensors.Dataset) *runtime.Registry {
+	reg := runtime.NewRegistry()
+	_ = reg.Register("sensors", "offline_player", func() runtime.Plugin {
+		return &DatasetPlayerPlugin{Dataset: ds}
+	})
+	_ = reg.Register("fast_pose", "rk4", func() runtime.Plugin {
+		init := integrator.State{}
+		if ds != nil {
+			init = integrator.State{
+				Pos: ds.Traj.Position(0), Vel: ds.Traj.Velocity(0), Rot: ds.Traj.Orientation(0),
+			}
+		}
+		return &IntegratorPlugin{Initial: init}
+	})
+	_ = reg.Register("audio", "hoa", func() runtime.Plugin {
+		return &AudioPlugin{
+			Sources: []audio.Source{
+				audio.SpeechLikeSource("lecturer", 48000, 2, audio.DirectionFromAzEl(0.5, 0), 7),
+				audio.SineSource("radio", 440, 48000, 2, audio.DirectionFromAzEl(-1.2, 0.2)),
+			},
+		}
+	})
+	return reg
+}

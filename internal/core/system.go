@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"illixr/internal/perfmodel"
+	"illixr/internal/power"
+	"illixr/internal/simsched"
+	"illixr/internal/telemetry"
+)
+
+// poseStamp records when a fast-pose estimate became available and which
+// IMU sample time it reflects.
+type poseStamp struct {
+	available float64 // integrator completion time
+	sampleT   float64 // IMU sample timestamp the pose is based on
+}
+
+// vioCompletion records a finished VIO frame for the QoE pipeline.
+type vioCompletion struct {
+	frame  int
+	finish float64
+}
+
+// Run executes one integrated ILLIXR run.
+func Run(cfg RunConfig) *RunResult {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30
+	}
+	perc := runPerception(cfg)
+	appProf := buildAppProfile(cfg, perc.ds)
+
+	plat := cfg.Platform
+	sim := simsched.New(plat.Cores)
+
+	camPeriod := 1 / cfg.System.CameraRateHz
+	imuPeriod := 1 / cfg.System.IMURateHz
+	vsync := 1 / cfg.System.DisplayRateHz
+	audioPeriod := 1 / cfg.System.AudioRateHz
+
+	// pose availability log for MTP and QoE
+	var poseLog []poseStamp
+	var lastIMUSample float64
+	var vioDone []vioCompletion
+	pendingVIOFrame := 0
+
+	scale := func(c perfmodel.Cost) (float64, float64) {
+		cpuMs, gpuMs := c.OnPlatform(plat)
+		return cpuMs / 1000, gpuMs / 1000
+	}
+
+	// --- perception pipeline -------------------------------------------
+	sim.AddTask(&simsched.Task{
+		Name: CompIMU, Period: imuPeriod, Priority: 100,
+		Work: func(k int, t float64) (float64, float64) {
+			c, g := scale(perfmodel.IMUCost())
+			return c * (1 + 0.1*jitter(k)), g
+		},
+		OnComplete: func(k int, rel, start, fin float64) {
+			lastIMUSample = rel
+			sim.Trigger(CompIntegrator)
+		},
+	})
+	sim.AddTask(&simsched.Task{
+		Name: CompIntegrator, Priority: 95, DropIfBusy: true,
+		Work: func(k int, t float64) (float64, float64) {
+			c, g := scale(perfmodel.IntegratorCost(1))
+			c *= 1 + 0.15*jitter(k*7+1)
+			if k%211 == 0 {
+				c += 0.0025 // rare OS scheduling hiccup
+			}
+			return c, g
+		},
+		OnComplete: func(k int, rel, start, fin float64) {
+			poseLog = append(poseLog, poseStamp{available: fin, sampleT: lastIMUSample})
+		},
+	})
+	sim.AddTask(&simsched.Task{
+		Name: CompCamera, Period: camPeriod, Priority: 60,
+		Work: func(k int, t float64) (float64, float64) {
+			c, g := scale(perfmodel.CameraCost())
+			return c * (1 + 0.1*jitter(k*3+2)), g
+		},
+		OnComplete: func(k int, rel, start, fin float64) {
+			pendingVIOFrame = k
+			sim.Trigger(CompVIO)
+		},
+	})
+	vioFrameOf := map[int]int{} // vio instance k -> camera frame
+	sim.AddTask(&simsched.Task{
+		Name: CompVIO, Priority: 55, DropIfBusy: true,
+		Work: func(k int, t float64) (float64, float64) {
+			vioFrameOf[k] = pendingVIOFrame
+			c, g := scale(perc.vioCost(pendingVIOFrame))
+			return c * (1 + 0.06*jitter(k*5+3)), g
+		},
+		OnComplete: func(k int, rel, start, fin float64) {
+			vioDone = append(vioDone, vioCompletion{frame: vioFrameOf[k], finish: fin})
+		},
+	})
+
+	// --- visual pipeline -------------------------------------------------
+	var appDone []struct {
+		start, finish float64
+		k             int
+	}
+	sim.AddTask(&simsched.Task{
+		Name: CompApp, Period: vsync, Priority: 30, DropIfBusy: true,
+		// a fixed-size command chunk takes longer on slower GPUs
+		GPUSlice: 0.0005 / plat.GPUSpeed,
+		Work: func(k int, t float64) (float64, float64) {
+			return scale(appProf.costAt(t, k))
+		},
+		OnComplete: func(k int, rel, start, fin float64) {
+			appDone = append(appDone, struct {
+				start, finish float64
+				k             int
+			}{start, fin, k})
+		},
+	})
+
+	// Reprojection is scheduled as late as possible before each vsync
+	// (§II-B footnote): the release leads the vsync by its expected
+	// response time plus a small margin, clamped to one display period.
+	reprojCost := perfmodel.ReprojectionCost(reprojStatsFor(cfg))
+	rc, rg := scale(reprojCost)
+	lead := math.Min((rc+rg)*1.25+0.0008, vsync)
+	var mtp []telemetry.MTPSample
+	var warpDone []struct {
+		start, finish, display float64
+	}
+	sim.AddTask(&simsched.Task{
+		Name: CompReproj, Period: vsync, Offset: vsync - lead, Priority: 90,
+		DropIfBusy: true,
+		Work: func(k int, t float64) (float64, float64) {
+			return rc * (1 + 0.07*jitter(k*11+4)), rg * (1 + 0.07*jitter(k*13+5))
+		},
+		OnComplete: func(k int, rel, start, fin float64) {
+			deadline := rel + lead
+			accepted := deadline
+			if fin > deadline {
+				misses := math.Ceil((fin - deadline) / vsync)
+				accepted = deadline + misses*vsync
+			}
+			poseT := poseAt(poseLog, start)
+			mtp = append(mtp, telemetry.MTPSample{
+				T:      accepted,
+				IMUAge: (start - poseT) * 1000,
+				Reproj: (fin - start) * 1000,
+				Swap:   (accepted - fin) * 1000,
+			})
+			warpDone = append(warpDone, struct {
+				start, finish, display float64
+			}{start, fin, accepted})
+		},
+	})
+
+	// --- audio pipeline ---------------------------------------------------
+	sim.AddTask(&simsched.Task{
+		Name: CompAudioEnc, Period: audioPeriod, Priority: 70,
+		Work: func(k int, t float64) (float64, float64) {
+			c, g := scale(perfmodel.AudioEncodeCost(2))
+			return c * (1 + 0.08*jitter(k*17+6)), g
+		},
+		OnComplete: func(k int, rel, start, fin float64) {
+			sim.Trigger(CompAudioPlay)
+		},
+	})
+	sim.AddTask(&simsched.Task{
+		Name: CompAudioPlay, Priority: 68, DropIfBusy: true,
+		Work: func(k int, t float64) (float64, float64) {
+			c, g := scale(perfmodel.AudioPlaybackCost(12))
+			return c * (1 + 0.08*jitter(k*19+7)), g
+		},
+	})
+
+	sim.Run(cfg.Duration)
+
+	// --- assemble results --------------------------------------------------
+	res := &RunResult{
+		App:         string(cfg.App),
+		Platform:    plat.Name,
+		Duration:    cfg.Duration,
+		FrameRateHz: map[string]float64{},
+		TargetHz:    map[string]float64{},
+		ExecMs:      map[string][]float64{},
+		Timeline:    map[string]*telemetry.Series{},
+		CPUShare:    map[string]float64{},
+		Dropped:     map[string]int{},
+		MTP:         mtp,
+		VIOATE:      perc.runner.ATE(perc.ds),
+	}
+	res.TargetHz[CompCamera] = cfg.System.CameraRateHz
+	res.TargetHz[CompVIO] = cfg.System.CameraRateHz
+	res.TargetHz[CompIMU] = cfg.System.IMURateHz
+	res.TargetHz[CompIntegrator] = cfg.System.IMURateHz
+	res.TargetHz[CompApp] = cfg.System.DisplayRateHz
+	res.TargetHz[CompReproj] = cfg.System.DisplayRateHz
+	res.TargetHz[CompAudioEnc] = cfg.System.AudioRateHz
+	res.TargetHz[CompAudioPlay] = cfg.System.AudioRateHz
+
+	totalCPUSec := 0.0
+	cpuSec := map[string]float64{}
+	for _, name := range Components {
+		st := sim.Stats(name)
+		res.FrameRateHz[name] = float64(st.Completed) / cfg.Duration
+		res.Dropped[name] = st.Dropped
+		series := &telemetry.Series{Name: name}
+		for _, sp := range st.Spans {
+			ms := (sp.CPUDuration + sp.GPUDuration) * 1000
+			res.ExecMs[name] = append(res.ExecMs[name], ms)
+			series.Append(sp.Release, ms)
+		}
+		res.Timeline[name] = series
+		var c float64
+		for _, sp := range st.Spans {
+			c += sp.CPUDuration
+		}
+		cpuSec[name] = c
+		totalCPUSec += c
+	}
+	if totalCPUSec > 0 {
+		for name, c := range cpuSec {
+			res.CPUShare[name] = c / totalCPUSec
+		}
+	}
+	if cfg.Trace != nil {
+		for _, name := range Components {
+			for _, sp := range sim.Stats(name).Spans {
+				cfg.Trace.Record(name, sp.Finish, (sp.CPUDuration+sp.GPUDuration)*1000)
+			}
+		}
+	}
+	res.CPUUtil, res.GPUUtil = sim.Utilization()
+	res.Power = power.Estimate(plat, power.Utilization{CPU: res.CPUUtil, GPU: res.GPUUtil})
+
+	if cfg.QualityFrames > 0 {
+		evaluateQuality(cfg, perc, appProf, vioDone, appDone, warpDone, res)
+	}
+	return res
+}
+
+// poseAt returns the IMU sample time of the freshest pose available at
+// query time t (binary search over the pose log).
+func poseAt(log []poseStamp, t float64) float64 {
+	i := sort.Search(len(log), func(i int) bool { return log[i].available > t })
+	if i == 0 {
+		return 0
+	}
+	return log[i-1].sampleT
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"illixr/internal/integrator"
+	"illixr/internal/runtime"
+	"illixr/internal/sensors"
+	"illixr/internal/vio"
+)
+
+// VIOPlugin is the head-tracking plugin: it reads the camera topic
+// synchronously (every frame matters) and the IMU topic for propagation,
+// and publishes slow-pose estimates. Two interchangeable configurations
+// register under the "slow_pose" role — "openvins" (default accuracy) and
+// "fast" (§V-E's cheaper configuration) — demonstrating the paper's
+// plug-n-play component swapping.
+type VIOPlugin struct {
+	Params  vio.Params
+	Dataset *sensors.Dataset // initialization pose + camera model
+
+	filter   *vio.Filter
+	frontend vio.Frontend
+	ctx      *runtime.Context
+	camSub   *runtime.Subscription
+	imuSub   *runtime.Subscription
+	done     chan struct{}
+
+	mu        sync.Mutex
+	estimates []vio.Estimate
+}
+
+// Name implements runtime.Plugin.
+func (p *VIOPlugin) Name() string { return "vio.msckf" }
+
+// Start implements runtime.Plugin.
+func (p *VIOPlugin) Start(ctx *runtime.Context) error {
+	if p.Dataset == nil {
+		return fmt.Errorf("vio plugin: dataset (camera model + init) required")
+	}
+	p.ctx = ctx
+	init := integrator.State{
+		Pos: p.Dataset.Traj.Position(0),
+		Vel: p.Dataset.Traj.Velocity(0),
+		Rot: p.Dataset.Traj.Orientation(0),
+	}
+	p.filter = vio.NewFilter(p.Params, sensors.DefaultIMUNoise(), init)
+	p.frontend = vio.NewGeometricFrontend(p.Dataset.Cam, p.Params.MaxFeatures)
+	p.camSub = ctx.Switchboard.GetTopic(runtime.TopicCamera).Subscribe(64)
+	p.imuSub = ctx.Switchboard.GetTopic(runtime.TopicIMU).Subscribe(8192)
+	p.done = make(chan struct{})
+	slowTopic := ctx.Switchboard.GetTopic(runtime.TopicSlowPose)
+
+	go func() {
+		defer close(p.done)
+		var imuBuf []sensors.IMUSample
+		for ev := range p.camSub.C {
+			frame, ok := ev.Value.(sensors.CameraFrame)
+			if !ok {
+				continue
+			}
+			// drain all IMU samples already delivered (published before
+			// this camera frame on the pumped, time-ordered streams)
+		drain:
+			for {
+				select {
+				case imuEv, open := <-p.imuSub.C:
+					if !open {
+						break drain
+					}
+					if s, ok2 := imuEv.Value.(sensors.IMUSample); ok2 {
+						imuBuf = append(imuBuf, s)
+					}
+				default:
+					break drain
+				}
+			}
+			// split the buffer at the frame time
+			var use []sensors.IMUSample
+			rest := imuBuf[:0]
+			for _, s := range imuBuf {
+				if s.T <= frame.T {
+					use = append(use, s)
+				} else {
+					rest = append(rest, s)
+				}
+			}
+			imuBuf = append([]sensors.IMUSample(nil), rest...)
+			feats, _ := p.frontend.Process(frame)
+			est := p.filter.ProcessFrame(vio.FrameInput{T: frame.T, Features: feats, IMU: use})
+			p.mu.Lock()
+			p.estimates = append(p.estimates, est)
+			p.mu.Unlock()
+			slowTopic.Publish(runtime.Event{T: est.T, Value: est})
+		}
+	}()
+	return nil
+}
+
+// Stop implements runtime.Plugin.
+func (p *VIOPlugin) Stop() error {
+	p.camSub.Cancel()
+	p.imuSub.Cancel()
+	<-p.done
+	return nil
+}
+
+// Estimates returns a copy of the published estimates so far.
+func (p *VIOPlugin) Estimates() []vio.Estimate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]vio.Estimate, len(p.estimates))
+	copy(out, p.estimates)
+	return out
+}
+
+var _ runtime.Plugin = (*VIOPlugin)(nil)
+
+// RegisterVIO adds the two interchangeable VIO configurations to a
+// registry under the "slow_pose" role.
+func RegisterVIO(reg *runtime.Registry, ds *sensors.Dataset) {
+	_ = reg.Register("slow_pose", "openvins", func() runtime.Plugin {
+		return &VIOPlugin{Params: vio.DefaultParams(), Dataset: ds}
+	})
+	_ = reg.Register("slow_pose", "fast", func() runtime.Plugin {
+		return &VIOPlugin{Params: vio.FastParams(), Dataset: ds}
+	})
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"illixr/internal/runtime"
+	"illixr/internal/sensors"
+	"illixr/internal/vio"
+)
+
+func TestVIOPluginTracksOverSwitchboard(t *testing.T) {
+	cfg := sensors.DefaultDatasetConfig()
+	cfg.Duration = 1.5
+	cfg.MaxFeats = 40
+	ds := sensors.GenerateDataset(cfg)
+
+	reg := runtime.NewRegistry()
+	RegisterVIO(reg, ds)
+	impls := reg.Implementations("slow_pose")
+	if len(impls) != 2 {
+		t.Fatalf("slow_pose implementations = %v", impls)
+	}
+
+	plugin, err := reg.Create("slow_pose", "fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := runtime.NewLoader()
+	player := &DatasetPlayerPlugin{Dataset: ds}
+	if err := loader.Load(player); err != nil {
+		t.Fatal(err)
+	}
+	if err := loader.Load(plugin); err != nil {
+		t.Fatal(err)
+	}
+	// pump in small steps so camera/IMU interleave like a live system
+	for tm := 0.1; tm <= 1.5; tm += 0.1 {
+		player.PumpUntil(tm)
+		time.Sleep(2 * time.Millisecond) // let the plugin goroutine drain
+	}
+	// wait for processing to finish
+	vp := plugin.(*VIOPlugin)
+	deadline := time.Now().Add(30 * time.Second)
+	for len(vp.Estimates()) < 15 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	ests := vp.Estimates()
+	if len(ests) < 15 {
+		t.Fatalf("only %d estimates", len(ests))
+	}
+	last := ests[len(ests)-1]
+	gt := ds.GroundTruthAt(last.T)
+	if d := last.Pose.TranslationDistance(gt); d > 0.1 {
+		t.Errorf("live VIO error %.3f m", d)
+	}
+	// the slow-pose topic carries the estimates
+	top := loader.Context().Switchboard.GetTopic(runtime.TopicSlowPose)
+	if top.Seq() == 0 {
+		t.Error("no slow poses published")
+	}
+	ev, ok := top.Latest()
+	if !ok {
+		t.Fatal("no latest slow pose")
+	}
+	if _, isEst := ev.Value.(vio.Estimate); !isEst {
+		t.Error("slow-pose payload has wrong type")
+	}
+	if err := loader.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVIOPluginRequiresDataset(t *testing.T) {
+	p := &VIOPlugin{Params: vio.DefaultParams()}
+	if err := p.Start(runtime.NewLoader().Context()); err == nil {
+		t.Error("missing dataset accepted")
+	}
+}

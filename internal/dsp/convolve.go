@@ -1,0 +1,129 @@
+package dsp
+
+// ConvolveDirect computes the full linear convolution of x and h by the
+// direct O(N·M) method. Used as the reference implementation and for very
+// short kernels.
+func ConvolveDirect(x, h []float64) []float64 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	out := make([]float64, len(x)+len(h)-1)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		for j, hv := range h {
+			out[i+j] += xv * hv
+		}
+	}
+	return out
+}
+
+// ConvolveFFT computes the full linear convolution of x and h with a single
+// zero-padded FFT (frequency-domain multiplication).
+func ConvolveFFT(x, h []float64) []float64 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	outLen := len(x) + len(h) - 1
+	n := NextPowerOfTwo(outLen)
+	xs := make([]complex128, n)
+	hs := make([]complex128, n)
+	for i, v := range x {
+		xs[i] = complex(v, 0)
+	}
+	for i, v := range h {
+		hs[i] = complex(v, 0)
+	}
+	FFT(xs)
+	FFT(hs)
+	for i := range xs {
+		xs[i] *= hs[i]
+	}
+	IFFT(xs)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(xs[i])
+	}
+	return out
+}
+
+// OverlapAdd is a streaming FFT convolver: it convolves a long signal,
+// presented block by block, with a fixed FIR kernel. This is the structure
+// the audio playback component uses for HRTF binauralization and the
+// psychoacoustic filter (FFT → frequency-domain multiply → IFFT per block).
+type OverlapAdd struct {
+	kernelSpec []complex128
+	blockSize  int
+	fftSize    int
+	tail       []float64
+	// scratch buffers reused across blocks
+	buf []complex128
+}
+
+// NewOverlapAdd creates a convolver for the given FIR kernel and input
+// block size.
+func NewOverlapAdd(kernel []float64, blockSize int) *OverlapAdd {
+	fftSize := NextPowerOfTwo(blockSize + len(kernel) - 1)
+	spec := make([]complex128, fftSize)
+	for i, v := range kernel {
+		spec[i] = complex(v, 0)
+	}
+	FFT(spec)
+	return &OverlapAdd{
+		kernelSpec: spec,
+		blockSize:  blockSize,
+		fftSize:    fftSize,
+		tail:       make([]float64, fftSize-blockSize),
+		buf:        make([]complex128, fftSize),
+	}
+}
+
+// BlockSize returns the expected input block length.
+func (o *OverlapAdd) BlockSize() int { return o.blockSize }
+
+// Process convolves one block (len must equal BlockSize) and returns one
+// output block of the same length. Convolution tails are carried into
+// subsequent blocks.
+func (o *OverlapAdd) Process(block []float64) []float64 {
+	if len(block) != o.blockSize {
+		panic("dsp: OverlapAdd block size mismatch")
+	}
+	for i := range o.buf {
+		if i < len(block) {
+			o.buf[i] = complex(block[i], 0)
+		} else {
+			o.buf[i] = 0
+		}
+	}
+	FFT(o.buf)
+	for i := range o.buf {
+		o.buf[i] *= o.kernelSpec[i]
+	}
+	IFFT(o.buf)
+	out := make([]float64, o.blockSize)
+	for i := 0; i < o.blockSize; i++ {
+		out[i] = real(o.buf[i])
+		if i < len(o.tail) {
+			out[i] += o.tail[i]
+		}
+	}
+	// shift tail: new tail = old tail shifted by blockSize + new samples
+	newTail := make([]float64, len(o.tail))
+	for i := 0; i < len(o.tail); i++ {
+		v := real(o.buf[o.blockSize+i])
+		if o.blockSize+i < len(o.tail) {
+			v += o.tail[o.blockSize+i]
+		}
+		newTail[i] = v
+	}
+	o.tail = newTail
+	return out
+}
+
+// Reset clears the carried convolution tail.
+func (o *OverlapAdd) Reset() {
+	for i := range o.tail {
+		o.tail[i] = 0
+	}
+}

@@ -1,0 +1,216 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSineBin(t *testing.T) {
+	// A pure sinusoid at bin k puts all its energy in bins k and N-k.
+	n := 64
+	k := 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(2*math.Pi*float64(k*i)/float64(n)), 0)
+	}
+	FFT(x)
+	for i, v := range x {
+		mag := cmplx.Abs(v)
+		if i == k || i == n-k {
+			if math.Abs(mag-float64(n)/2) > 1e-9 {
+				t.Fatalf("bin %d mag = %v, want %v", i, mag, float64(n)/2)
+			}
+		} else if mag > 1e-9 {
+			t.Fatalf("bin %d leak = %v", i, mag)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 8, 256, 1024} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d: roundtrip mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 128
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	timeEnergy := 0.0
+	for _, v := range x {
+		timeEnergy += v * v
+	}
+	spec := FFTReal(x)
+	freqEnergy := 0.0
+	for _, v := range spec {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy) > 1e-8*timeEnergy {
+		t.Errorf("Parseval violated: %v vs %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestFFTPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+func TestPowerOfTwoHelpers(t *testing.T) {
+	if !IsPowerOfTwo(1) || !IsPowerOfTwo(1024) || IsPowerOfTwo(0) || IsPowerOfTwo(12) {
+		t.Error("IsPowerOfTwo broken")
+	}
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPowerOfTwo(in); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestConvolveFFTMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		x := make([]float64, 1+rng.Intn(200))
+		h := make([]float64, 1+rng.Intn(60))
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range h {
+			h[i] = rng.NormFloat64()
+		}
+		d := ConvolveDirect(x, h)
+		f := ConvolveFFT(x, h)
+		if len(d) != len(f) {
+			t.Fatalf("length mismatch %d vs %d", len(d), len(f))
+		}
+		for i := range d {
+			if math.Abs(d[i]-f[i]) > 1e-8 {
+				t.Fatalf("trial %d: mismatch at %d: %v vs %v", trial, i, d[i], f[i])
+			}
+		}
+	}
+}
+
+func TestConvolveEmpty(t *testing.T) {
+	if ConvolveDirect(nil, []float64{1}) != nil || ConvolveFFT([]float64{1}, nil) != nil {
+		t.Error("empty convolution should be nil")
+	}
+}
+
+func TestOverlapAddMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	kernel := make([]float64, 37)
+	for i := range kernel {
+		kernel[i] = rng.NormFloat64()
+	}
+	block := 64
+	nBlocks := 8
+	signal := make([]float64, block*nBlocks)
+	for i := range signal {
+		signal[i] = rng.NormFloat64()
+	}
+	ola := NewOverlapAdd(kernel, block)
+	var streamed []float64
+	for b := 0; b < nBlocks; b++ {
+		out := ola.Process(signal[b*block : (b+1)*block])
+		streamed = append(streamed, out...)
+	}
+	ref := ConvolveDirect(signal, kernel)
+	for i := range streamed {
+		if math.Abs(streamed[i]-ref[i]) > 1e-8 {
+			t.Fatalf("sample %d: %v vs %v", i, streamed[i], ref[i])
+		}
+	}
+}
+
+func TestOverlapAddReset(t *testing.T) {
+	kernel := []float64{1, 0.5, 0.25}
+	ola := NewOverlapAdd(kernel, 8)
+	in := make([]float64, 8)
+	in[7] = 1 // leaves a tail
+	first := ola.Process(in)
+	ola.Reset()
+	second := ola.Process(in)
+	for i := range first {
+		if math.Abs(first[i]-second[i]) > 1e-12 {
+			t.Fatalf("reset did not clear tail at %d", i)
+		}
+	}
+}
+
+func TestWindows(t *testing.T) {
+	h := Hann(8)
+	if math.Abs(h[0]) > 1e-12 || math.Abs(h[7]) > 1e-12 {
+		t.Error("Hann endpoints nonzero")
+	}
+	hm := Hamming(8)
+	if math.Abs(hm[0]-0.08) > 1e-12 {
+		t.Errorf("Hamming[0] = %v", hm[0])
+	}
+	if len(Hann(1)) != 1 || Hann(1)[0] != 1 {
+		t.Error("Hann(1)")
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 32
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			sum[i] = a[i] + b[i]
+		}
+		FFT(a)
+		FFT(b)
+		FFT(sum)
+		for i := 0; i < n; i++ {
+			if cmplx.Abs(sum[i]-(a[i]+b[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+package hologram
+
+import (
+	"math"
+
+	"illixr/internal/dsp"
+	"illixr/internal/imgproc"
+)
+
+// This file provides the second, interchangeable hologram implementation
+// (§II-B plug-n-play): full-field Fresnel propagation via FFT, used when
+// the display target is an *image* per depth plane rather than a set of
+// focal spots. It is the classical iterative Fourier-transform algorithm
+// (Gerchberg–Saxton proper) between the SLM plane and one or more image
+// planes.
+
+// FresnelParams configures FFT-based hologram generation. Width and
+// Height must be powers of two.
+type FresnelParams struct {
+	Width, Height int
+	PixelPitch    float64 // meters
+	Wavelength    float64 // meters
+	Iterations    int
+}
+
+// DefaultFresnelParams returns a small test configuration.
+func DefaultFresnelParams() FresnelParams {
+	return FresnelParams{
+		Width: 128, Height: 128,
+		PixelPitch: 8e-6,
+		Wavelength: 532e-9,
+		Iterations: 10,
+	}
+}
+
+// field is a complex 2-D wavefront in row-major layout.
+type field struct {
+	w, h int
+	data []complex128
+}
+
+func newField(w, h int) *field {
+	return &field{w: w, h: h, data: make([]complex128, w*h)}
+}
+
+// fft2 performs an in-place 2-D FFT (inverse when inv is true).
+func (f *field) fft2(inv bool) {
+	row := make([]complex128, f.w)
+	for y := 0; y < f.h; y++ {
+		copy(row, f.data[y*f.w:(y+1)*f.w])
+		if inv {
+			dsp.IFFT(row)
+		} else {
+			dsp.FFT(row)
+		}
+		copy(f.data[y*f.w:(y+1)*f.w], row)
+	}
+	col := make([]complex128, f.h)
+	for x := 0; x < f.w; x++ {
+		for y := 0; y < f.h; y++ {
+			col[y] = f.data[y*f.w+x]
+		}
+		if inv {
+			dsp.IFFT(col)
+		} else {
+			dsp.FFT(col)
+		}
+		for y := 0; y < f.h; y++ {
+			f.data[y*f.w+x] = col[y]
+		}
+	}
+}
+
+// transferFunction returns the angular-spectrum propagation phase factors
+// for distance z (meters). Frequencies follow FFT bin ordering.
+func transferFunction(p FresnelParams, z float64) []complex128 {
+	w, h := p.Width, p.Height
+	out := make([]complex128, w*h)
+	for y := 0; y < h; y++ {
+		fy := fftFreq(y, h) / (float64(h) * p.PixelPitch)
+		for x := 0; x < w; x++ {
+			fx := fftFreq(x, w) / (float64(w) * p.PixelPitch)
+			// Fresnel (paraxial) transfer function
+			phase := -math.Pi * p.Wavelength * z * (fx*fx + fy*fy)
+			s, c := math.Sincos(phase)
+			out[y*w+x] = complex(c, s)
+		}
+	}
+	return out
+}
+
+func fftFreq(i, n int) float64 {
+	if i <= n/2 {
+		return float64(i)
+	}
+	return float64(i - n)
+}
+
+// propagate applies the transfer function in the frequency domain.
+func (f *field) propagate(tf []complex128) {
+	f.fft2(false)
+	for i := range f.data {
+		f.data[i] *= tf[i]
+	}
+	f.fft2(true)
+}
+
+// FresnelResult is the output of GenerateFresnel.
+type FresnelResult struct {
+	Phase []float64 // SLM phase pattern
+	// Reconstruction is the intensity image obtained by propagating the
+	// final phase-only hologram to the target plane.
+	Reconstruction *imgproc.Gray
+	// Error is the mean absolute intensity error vs the (normalized)
+	// target after the final iteration.
+	Error float64
+	Stats Stats
+}
+
+// GenerateFresnel runs Gerchberg–Saxton between the SLM plane and a
+// target intensity image at propagation distance z (meters).
+func GenerateFresnel(p FresnelParams, target *imgproc.Gray, z float64) FresnelResult {
+	if !dsp.IsPowerOfTwo(p.Width) || !dsp.IsPowerOfTwo(p.Height) {
+		panic("hologram: Fresnel dimensions must be powers of two")
+	}
+	if target.W != p.Width || target.H != p.Height {
+		panic("hologram: target size mismatch")
+	}
+	n := p.Width * p.Height
+	// normalize the target amplitude
+	amp := make([]float64, n)
+	var sum float64
+	for i, v := range target.Pix {
+		amp[i] = math.Sqrt(math.Max(0, float64(v)))
+		sum += amp[i] * amp[i]
+	}
+	if sum == 0 {
+		sum = 1
+	}
+	norm := math.Sqrt(float64(n) / sum)
+	for i := range amp {
+		amp[i] *= norm
+	}
+
+	tfFwd := transferFunction(p, z)
+	tfBack := transferFunction(p, -z)
+
+	res := FresnelResult{Phase: make([]float64, n)}
+	f := newField(p.Width, p.Height)
+	// start from a deterministic pseudo-random phase to spread energy
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range f.data {
+		state = state*6364136223846793005 + 1442695040888963407
+		ph := 2 * math.Pi * float64(state>>11) / float64(1<<53)
+		s, c := math.Sincos(ph)
+		f.data[i] = complex(c, s)
+	}
+	for it := 0; it < p.Iterations; it++ {
+		// SLM plane: phase-only constraint (unit amplitude)
+		for i, v := range f.data {
+			m := cmplxAbs(v)
+			if m > 1e-15 {
+				f.data[i] = v * complex(1/m, 0)
+			} else {
+				f.data[i] = 1
+			}
+		}
+		// forward propagate to the image plane
+		f.propagate(tfFwd)
+		// image plane: impose the target amplitude, keep phase
+		for i, v := range f.data {
+			m := cmplxAbs(v)
+			if m > 1e-15 {
+				f.data[i] = v * complex(amp[i]/m, 0)
+			} else {
+				f.data[i] = complex(amp[i], 0)
+			}
+		}
+		// back propagate
+		f.propagate(tfBack)
+		res.Stats.Iterations++
+		res.Stats.PixelSpotOps += 4 * n // two 2-D FFT pairs dominate
+	}
+	// final phase-only hologram and its reconstruction
+	for i, v := range f.data {
+		res.Phase[i] = math.Atan2(imagPart(v), realPart(v))
+		s, c := math.Sincos(res.Phase[i])
+		f.data[i] = complex(c, s)
+	}
+	f.propagate(tfFwd)
+	res.Reconstruction = imgproc.NewGray(p.Width, p.Height)
+	var errSum, tgtSum float64
+	for i, v := range f.data {
+		inten := cmplxAbs(v)
+		inten *= inten
+		// map back to the original target intensity scale
+		res.Reconstruction.Pix[i] = float32(inten * sum / float64(n))
+		got := inten
+		want := amp[i] * amp[i]
+		errSum += math.Abs(got - want)
+		tgtSum += want
+	}
+	if tgtSum > 0 {
+		res.Error = errSum / tgtSum
+	}
+	return res
+}
+
+func cmplxAbs(v complex128) float64 { return math.Hypot(real(v), imag(v)) }
+func realPart(v complex128) float64 { return real(v) }
+func imagPart(v complex128) float64 { return imag(v) }

@@ -1,0 +1,119 @@
+package hologram
+
+import (
+	"math"
+	"testing"
+
+	"illixr/internal/imgproc"
+)
+
+// targetSquare builds a bright square target image.
+func targetSquare(n int) *imgproc.Gray {
+	g := imgproc.NewGray(n, n)
+	for y := n / 3; y < 2*n/3; y++ {
+		for x := n / 3; x < 2*n/3; x++ {
+			g.Set(x, y, 1)
+		}
+	}
+	return g
+}
+
+func TestFresnelReconstructsTarget(t *testing.T) {
+	p := DefaultFresnelParams()
+	p.Width, p.Height = 64, 64
+	p.Iterations = 15
+	target := targetSquare(64)
+	res := GenerateFresnel(p, target, 0.05)
+	// the reconstruction should concentrate energy inside the square
+	var inside, outside float64
+	nIn, nOut := 0, 0
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			v := float64(res.Reconstruction.At(x, y))
+			if target.At(x, y) > 0.5 {
+				inside += v
+				nIn++
+			} else {
+				outside += v
+				nOut++
+			}
+		}
+	}
+	meanIn := inside / float64(nIn)
+	meanOut := outside / float64(nOut)
+	if meanIn < 3*meanOut {
+		t.Errorf("reconstruction contrast too low: in %v vs out %v", meanIn, meanOut)
+	}
+	if res.Error > 0.8 {
+		t.Errorf("relative error %v", res.Error)
+	}
+}
+
+func TestFresnelIterationsImprove(t *testing.T) {
+	p := DefaultFresnelParams()
+	p.Width, p.Height = 64, 64
+	target := targetSquare(64)
+	p.Iterations = 1
+	one := GenerateFresnel(p, target, 0.05)
+	p.Iterations = 12
+	many := GenerateFresnel(p, target, 0.05)
+	if many.Error >= one.Error {
+		t.Errorf("GS did not converge: %v -> %v", one.Error, many.Error)
+	}
+}
+
+func TestFresnelPhaseOnly(t *testing.T) {
+	p := DefaultFresnelParams()
+	p.Width, p.Height = 32, 32
+	res := GenerateFresnel(p, targetSquare(32), 0.03)
+	for i, ph := range res.Phase {
+		if ph < -math.Pi-1e-9 || ph > math.Pi+1e-9 {
+			t.Fatalf("phase[%d] = %v", i, ph)
+		}
+	}
+	if res.Stats.Iterations != p.Iterations {
+		t.Errorf("iterations = %d", res.Stats.Iterations)
+	}
+}
+
+func TestFresnelRejectsBadSizes(t *testing.T) {
+	p := DefaultFresnelParams()
+	p.Width = 100 // not a power of two
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-power-of-two size")
+		}
+	}()
+	GenerateFresnel(p, imgproc.NewGray(100, 128), 0.05)
+}
+
+func TestFresnelDeterminism(t *testing.T) {
+	p := DefaultFresnelParams()
+	p.Width, p.Height = 32, 32
+	p.Iterations = 5
+	a := GenerateFresnel(p, targetSquare(32), 0.05)
+	b := GenerateFresnel(p, targetSquare(32), 0.05)
+	for i := range a.Phase {
+		if a.Phase[i] != b.Phase[i] {
+			t.Fatal("Fresnel hologram not deterministic")
+		}
+	}
+}
+
+func TestTransferFunctionUnitModulus(t *testing.T) {
+	p := DefaultFresnelParams()
+	p.Width, p.Height = 16, 16
+	tf := transferFunction(p, 0.1)
+	for i, v := range tf {
+		if math.Abs(cmplxAbs(v)-1) > 1e-12 {
+			t.Fatalf("|H[%d]| = %v", i, cmplxAbs(v))
+		}
+	}
+	// z=0 is the identity
+	id := transferFunction(p, 0)
+	for _, v := range id {
+		if math.Abs(real(v)-1) > 1e-12 || math.Abs(imag(v)) > 1e-12 {
+			t.Fatal("z=0 transfer not identity")
+		}
+	}
+}

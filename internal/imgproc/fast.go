@@ -1,0 +1,147 @@
+package imgproc
+
+import "sort"
+
+// Corner is a detected feature point with its corner-response score.
+type Corner struct {
+	X, Y  int
+	Score float32
+}
+
+// fastOffsets is the 16-pixel Bresenham circle of radius 3 used by FAST.
+var fastOffsets = [16][2]int{
+	{0, -3}, {1, -3}, {2, -2}, {3, -1},
+	{3, 0}, {3, 1}, {2, 2}, {1, 3},
+	{0, 3}, {-1, 3}, {-2, 2}, {-3, 1},
+	{-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+}
+
+// FAST9 detects corners with the FAST-9 segment test: a pixel is a corner
+// if 9 contiguous pixels on the radius-3 circle are all brighter than
+// center+threshold or all darker than center-threshold. Non-maximum
+// suppression is applied in a 3×3 neighbourhood, and at most maxCorners
+// strongest corners are returned (0 = unlimited).
+func FAST9(g *Gray, threshold float32, maxCorners int) []Corner {
+	const arc = 9
+	scores := NewGray(g.W, g.H)
+	var cands []Corner
+	for y := 3; y < g.H-3; y++ {
+		for x := 3; x < g.W-3; x++ {
+			c := g.Pix[y*g.W+x]
+			hi := c + threshold
+			lo := c - threshold
+			// quick rejection using the 4 compass points: for a 9-arc at
+			// least 2 of N,E,S,W must agree.
+			n := g.Pix[(y-3)*g.W+x]
+			s := g.Pix[(y+3)*g.W+x]
+			e := g.Pix[y*g.W+x+3]
+			w := g.Pix[y*g.W+x-3]
+			brighter := b2i(n > hi) + b2i(s > hi) + b2i(e > hi) + b2i(w > hi)
+			darker := b2i(n < lo) + b2i(s < lo) + b2i(e < lo) + b2i(w < lo)
+			if brighter < 2 && darker < 2 {
+				continue
+			}
+			// full segment test over the doubled circle
+			var state [32]int8 // 1 brighter, -1 darker, 0 neither
+			for i := 0; i < 16; i++ {
+				px := g.Pix[(y+fastOffsets[i][1])*g.W+x+fastOffsets[i][0]]
+				var st int8
+				if px > hi {
+					st = 1
+				} else if px < lo {
+					st = -1
+				}
+				state[i] = st
+				state[i+16] = st
+			}
+			run, best := 0, 0
+			var runSign int8
+			for i := 0; i < 32; i++ {
+				if state[i] != 0 && state[i] == runSign {
+					run++
+				} else {
+					runSign = state[i]
+					if runSign != 0 {
+						run = 1
+					} else {
+						run = 0
+					}
+				}
+				if run > best {
+					best = run
+				}
+			}
+			if best < arc {
+				continue
+			}
+			// score: sum of absolute differences on the circle
+			var score float32
+			for i := 0; i < 16; i++ {
+				px := g.Pix[(y+fastOffsets[i][1])*g.W+x+fastOffsets[i][0]]
+				d := px - c
+				if d < 0 {
+					d = -d
+				}
+				score += d
+			}
+			scores.Pix[y*g.W+x] = score
+			cands = append(cands, Corner{X: x, Y: y, Score: score})
+		}
+	}
+	// non-maximum suppression (3×3)
+	out := cands[:0]
+	for _, c := range cands {
+		s := scores.Pix[c.Y*g.W+c.X]
+		isMax := true
+	nms:
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				if scores.At(c.X+dx, c.Y+dy) > s {
+					isMax = false
+					break nms
+				}
+			}
+		}
+		if isMax {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	if maxCorners > 0 && len(out) > maxCorners {
+		out = out[:maxCorners]
+	}
+	return out
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// GridFilter keeps at most one corner per grid cell (the strongest),
+// enforcing a spatially uniform feature distribution as VIO front-ends do.
+func GridFilter(corners []Corner, w, h, cell int) []Corner {
+	if cell <= 0 {
+		return corners
+	}
+	cols := (w + cell - 1) / cell
+	rows := (h + cell - 1) / cell
+	best := make(map[int]Corner, cols*rows)
+	for _, c := range corners {
+		key := (c.Y/cell)*cols + c.X/cell
+		if cur, ok := best[key]; !ok || c.Score > cur.Score {
+			best[key] = c
+		}
+	}
+	out := make([]Corner, 0, len(best))
+	for _, c := range best {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}

@@ -1,0 +1,187 @@
+package imgproc
+
+import "math"
+
+// GaussianKernel returns a normalized 1-D Gaussian kernel with the given
+// standard deviation, with radius ceil(3σ).
+func GaussianKernel(sigma float64) []float64 {
+	if sigma <= 0 {
+		return []float64{1}
+	}
+	radius := int(math.Ceil(3 * sigma))
+	k := make([]float64, 2*radius+1)
+	sum := 0.0
+	for i := range k {
+		d := float64(i - radius)
+		k[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += k[i]
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// GaussianBlur applies a separable Gaussian blur and returns a new image.
+func GaussianBlur(g *Gray, sigma float64) *Gray {
+	k := GaussianKernel(sigma)
+	radius := len(k) / 2
+	tmp := NewGray(g.W, g.H)
+	out := NewGray(g.W, g.H)
+	// horizontal pass
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			s := 0.0
+			for i, kv := range k {
+				s += kv * float64(g.At(x+i-radius, y))
+			}
+			tmp.Pix[y*g.W+x] = float32(s)
+		}
+	}
+	// vertical pass
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			s := 0.0
+			for i, kv := range k {
+				s += kv * float64(tmp.At(x, y+i-radius))
+			}
+			out.Pix[y*g.W+x] = float32(s)
+		}
+	}
+	return out
+}
+
+// BoxBlur applies an unnormalized-radius box filter (radius r means a
+// (2r+1)² window).
+func BoxBlur(g *Gray, r int) *Gray {
+	if r <= 0 {
+		return g.Clone()
+	}
+	tmp := NewGray(g.W, g.H)
+	out := NewGray(g.W, g.H)
+	inv := float32(1.0 / float64(2*r+1))
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var s float32
+			for i := -r; i <= r; i++ {
+				s += g.At(x+i, y)
+			}
+			tmp.Pix[y*g.W+x] = s * inv
+		}
+	}
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var s float32
+			for i := -r; i <= r; i++ {
+				s += tmp.At(x, y+i)
+			}
+			out.Pix[y*g.W+x] = s * inv
+		}
+	}
+	return out
+}
+
+// Sobel computes image gradients with the 3×3 Sobel operator, returning
+// the horizontal (gx) and vertical (gy) derivative images.
+func Sobel(g *Gray) (gx, gy *Gray) {
+	gx = NewGray(g.W, g.H)
+	gy = NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			tl := g.At(x-1, y-1)
+			t := g.At(x, y-1)
+			tr := g.At(x+1, y-1)
+			l := g.At(x-1, y)
+			r := g.At(x+1, y)
+			bl := g.At(x-1, y+1)
+			b := g.At(x, y+1)
+			br := g.At(x+1, y+1)
+			gx.Pix[y*g.W+x] = (tr + 2*r + br - tl - 2*l - bl) / 8
+			gy.Pix[y*g.W+x] = (bl + 2*b + br - tl - 2*t - tr) / 8
+		}
+	}
+	return gx, gy
+}
+
+// Bilateral applies a bilateral filter: a spatial Gaussian modulated by a
+// range Gaussian so edges are preserved. Scene reconstruction uses it to
+// denoise incoming depth images (Table VI, "Camera Processing").
+func Bilateral(g *Gray, sigmaSpace, sigmaRange float64) *Gray {
+	radius := int(math.Ceil(2 * sigmaSpace))
+	if radius < 1 {
+		radius = 1
+	}
+	out := NewGray(g.W, g.H)
+	// precompute spatial weights
+	size := 2*radius + 1
+	spatial := make([]float64, size*size)
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			d2 := float64(dx*dx + dy*dy)
+			spatial[(dy+radius)*size+dx+radius] = math.Exp(-d2 / (2 * sigmaSpace * sigmaSpace))
+		}
+	}
+	inv2sr2 := 1 / (2 * sigmaRange * sigmaRange)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			center := float64(g.At(x, y))
+			num, den := 0.0, 0.0
+			for dy := -radius; dy <= radius; dy++ {
+				for dx := -radius; dx <= radius; dx++ {
+					v := float64(g.At(x+dx, y+dy))
+					dr := v - center
+					w := spatial[(dy+radius)*size+dx+radius] * math.Exp(-dr*dr*inv2sr2)
+					num += w * v
+					den += w
+				}
+			}
+			out.Pix[y*g.W+x] = float32(num / den)
+		}
+	}
+	return out
+}
+
+// Downsample2 halves the image size by averaging 2×2 blocks.
+func Downsample2(g *Gray) *Gray {
+	w2 := g.W / 2
+	h2 := g.H / 2
+	if w2 < 1 {
+		w2 = 1
+	}
+	if h2 < 1 {
+		h2 = 1
+	}
+	out := NewGray(w2, h2)
+	for y := 0; y < h2; y++ {
+		for x := 0; x < w2; x++ {
+			s := g.At(2*x, 2*y) + g.At(2*x+1, 2*y) + g.At(2*x, 2*y+1) + g.At(2*x+1, 2*y+1)
+			out.Pix[y*w2+x] = s / 4
+		}
+	}
+	return out
+}
+
+// Pyramid is a Gaussian image pyramid: Levels[0] is the full-resolution
+// image, each subsequent level is blurred and downsampled by 2.
+type Pyramid struct {
+	Levels []*Gray
+}
+
+// BuildPyramid constructs an n-level pyramid (n >= 1).
+func BuildPyramid(g *Gray, levels int) *Pyramid {
+	if levels < 1 {
+		levels = 1
+	}
+	p := &Pyramid{Levels: make([]*Gray, 0, levels)}
+	cur := g
+	p.Levels = append(p.Levels, cur)
+	for i := 1; i < levels; i++ {
+		if cur.W < 8 || cur.H < 8 {
+			break
+		}
+		blurred := GaussianBlur(cur, 1.0)
+		cur = Downsample2(blurred)
+		p.Levels = append(p.Levels, cur)
+	}
+	return p
+}

@@ -1,0 +1,245 @@
+// Package imgproc provides the image-processing substrate for ILLIXR:
+// float-valued grayscale and RGB images, separable and bilateral filters,
+// gradients, pyramids, the FAST-9 corner detector and a pyramidal
+// Lucas-Kanade (KLT) tracker. These are the building blocks used by the
+// VIO front-end, scene reconstruction, reprojection and the image-quality
+// metrics.
+package imgproc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gray is a single-channel float32 image in row-major layout. Pixel values
+// are nominally in [0, 1] but the type does not enforce a range.
+type Gray struct {
+	W, H int
+	Pix  []float32
+}
+
+// NewGray allocates a zeroed W×H grayscale image.
+func NewGray(w, h int) *Gray {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("imgproc: invalid image size %dx%d", w, h))
+	}
+	return &Gray{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// At returns the pixel at (x, y) with clamp-to-edge behaviour for
+// out-of-range coordinates.
+func (g *Gray) At(x, y int) float32 {
+	if x < 0 {
+		x = 0
+	} else if x >= g.W {
+		x = g.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= g.H {
+		y = g.H - 1
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set stores v at (x, y); out-of-range writes are ignored.
+func (g *Gray) Set(x, y int, v float32) {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// Clone returns a deep copy.
+func (g *Gray) Clone() *Gray {
+	out := NewGray(g.W, g.H)
+	copy(out.Pix, g.Pix)
+	return out
+}
+
+// Bilinear samples the image at real-valued coordinates with bilinear
+// interpolation and clamp-to-edge boundary handling.
+func (g *Gray) Bilinear(x, y float64) float32 {
+	x0 := int(math.Floor(x))
+	y0 := int(math.Floor(y))
+	fx := float32(x - float64(x0))
+	fy := float32(y - float64(y0))
+	v00 := g.At(x0, y0)
+	v10 := g.At(x0+1, y0)
+	v01 := g.At(x0, y0+1)
+	v11 := g.At(x0+1, y0+1)
+	top := v00 + (v10-v00)*fx
+	bot := v01 + (v11-v01)*fx
+	return top + (bot-top)*fy
+}
+
+// InBounds reports whether (x, y) lies inside the image with the given
+// margin.
+func (g *Gray) InBounds(x, y float64, margin int) bool {
+	m := float64(margin)
+	return x >= m && y >= m && x < float64(g.W)-m-1 && y < float64(g.H)-m-1
+}
+
+// Mean returns the mean pixel value.
+func (g *Gray) Mean() float64 {
+	if len(g.Pix) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range g.Pix {
+		s += float64(v)
+	}
+	return s / float64(len(g.Pix))
+}
+
+// RGB is a three-channel interleaved float32 image (R, G, B per pixel).
+type RGB struct {
+	W, H int
+	Pix  []float32 // len = 3*W*H, interleaved
+}
+
+// NewRGB allocates a zeroed W×H RGB image.
+func NewRGB(w, h int) *RGB {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("imgproc: invalid image size %dx%d", w, h))
+	}
+	return &RGB{W: w, H: h, Pix: make([]float32, 3*w*h)}
+}
+
+// At returns the (r, g, b) pixel at (x, y) with clamp-to-edge behaviour.
+func (im *RGB) At(x, y int) (r, g, b float32) {
+	if x < 0 {
+		x = 0
+	} else if x >= im.W {
+		x = im.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= im.H {
+		y = im.H - 1
+	}
+	i := 3 * (y*im.W + x)
+	return im.Pix[i], im.Pix[i+1], im.Pix[i+2]
+}
+
+// Set stores (r, g, b) at (x, y); out-of-range writes are ignored.
+func (im *RGB) Set(x, y int, r, g, b float32) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	i := 3 * (y*im.W + x)
+	im.Pix[i], im.Pix[i+1], im.Pix[i+2] = r, g, b
+}
+
+// Clone returns a deep copy.
+func (im *RGB) Clone() *RGB {
+	out := NewRGB(im.W, im.H)
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// Channel extracts one channel (0=R, 1=G, 2=B) as a Gray image.
+func (im *RGB) Channel(c int) *Gray {
+	out := NewGray(im.W, im.H)
+	for i := 0; i < im.W*im.H; i++ {
+		out.Pix[i] = im.Pix[3*i+c]
+	}
+	return out
+}
+
+// SetChannel overwrites one channel from a Gray image of the same size.
+func (im *RGB) SetChannel(c int, g *Gray) {
+	if g.W != im.W || g.H != im.H {
+		panic("imgproc: SetChannel size mismatch")
+	}
+	for i := 0; i < im.W*im.H; i++ {
+		im.Pix[3*i+c] = g.Pix[i]
+	}
+}
+
+// Luminance converts to grayscale with Rec. 709 weights.
+func (im *RGB) Luminance() *Gray {
+	out := NewGray(im.W, im.H)
+	for i := 0; i < im.W*im.H; i++ {
+		r, g, b := im.Pix[3*i], im.Pix[3*i+1], im.Pix[3*i+2]
+		out.Pix[i] = 0.2126*r + 0.7152*g + 0.0722*b
+	}
+	return out
+}
+
+// BilinearRGB samples the image at real-valued coordinates.
+func (im *RGB) BilinearRGB(x, y float64) (r, g, b float32) {
+	x0 := int(math.Floor(x))
+	y0 := int(math.Floor(y))
+	fx := float32(x - float64(x0))
+	fy := float32(y - float64(y0))
+	blend := func(c int) float32 {
+		at := func(xx, yy int) float32 {
+			if xx < 0 {
+				xx = 0
+			} else if xx >= im.W {
+				xx = im.W - 1
+			}
+			if yy < 0 {
+				yy = 0
+			} else if yy >= im.H {
+				yy = im.H - 1
+			}
+			return im.Pix[3*(yy*im.W+xx)+c]
+		}
+		v00 := at(x0, y0)
+		v10 := at(x0+1, y0)
+		v01 := at(x0, y0+1)
+		v11 := at(x0+1, y0+1)
+		top := v00 + (v10-v00)*fx
+		bot := v01 + (v11-v01)*fx
+		return top + (bot-top)*fy
+	}
+	return blend(0), blend(1), blend(2)
+}
+
+// Planar converts the interleaved RGB_RGB layout into planar RR_GG_BB
+// (three contiguous channel planes). Scene reconstruction performs this
+// conversion when moving data between GPU-compute and GPU-graphics style
+// layouts (Table VI "layout change").
+func (im *RGB) Planar() []float32 {
+	n := im.W * im.H
+	out := make([]float32, 3*n)
+	for i := 0; i < n; i++ {
+		out[i] = im.Pix[3*i]
+		out[n+i] = im.Pix[3*i+1]
+		out[2*n+i] = im.Pix[3*i+2]
+	}
+	return out
+}
+
+// RGBFromPlanar rebuilds an interleaved image from planar data.
+func RGBFromPlanar(w, h int, planar []float32) *RGB {
+	if len(planar) != 3*w*h {
+		panic("imgproc: planar length mismatch")
+	}
+	out := NewRGB(w, h)
+	n := w * h
+	for i := 0; i < n; i++ {
+		out.Pix[3*i] = planar[i]
+		out.Pix[3*i+1] = planar[n+i]
+		out.Pix[3*i+2] = planar[2*n+i]
+	}
+	return out
+}
+
+// Histogram computes an n-bin histogram of pixel values assumed in [0, 1].
+func (g *Gray) Histogram(bins int) []int {
+	h := make([]int, bins)
+	for _, v := range g.Pix {
+		b := int(float64(v) * float64(bins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		h[b]++
+	}
+	return h
+}

@@ -1,0 +1,39 @@
+package integrator
+
+import (
+	"illixr/internal/mathx"
+	"illixr/internal/sensors"
+)
+
+// MidpointStep propagates the state by one IMU interval with midpoint
+// (RK2) integration — the second, interchangeable integrator of Table II
+// (the GTSAM-preintegration slot): roughly half the work of RK4 at lower
+// accuracy, another point on the paper's accuracy/performance trade-off
+// space.
+func MidpointStep(s State, prev, cur sensors.IMUSample) State {
+	dt := cur.T - prev.T
+	if dt <= 0 {
+		return s
+	}
+	gm := prev.Gyro.Lerp(cur.Gyro, 0.5).Sub(s.BiasG)
+	am := prev.Accel.Lerp(cur.Accel, 0.5).Sub(s.BiasA)
+	// rotate by half the step first so the acceleration is expressed at
+	// the interval midpoint orientation
+	halfRot := s.Rot.Mul(mathx.ExpMap(gm.Scale(dt / 2))).Normalized()
+	aWorld := halfRot.Rotate(am).Add(sensors.Gravity)
+	out := s
+	out.T = cur.T
+	out.Rot = s.Rot.Mul(mathx.ExpMap(gm.Scale(dt))).Normalized()
+	out.Pos = s.Pos.Add(s.Vel.Scale(dt)).Add(aWorld.Scale(dt * dt / 2))
+	out.Vel = s.Vel.Add(aWorld.Scale(dt))
+	return out
+}
+
+// Stepper selects an integration scheme for the Integrator.
+type Stepper func(State, sensors.IMUSample, sensors.IMUSample) State
+
+// NewWithStepper creates an integrator using an alternative step function
+// (RK4Step is the default used by New).
+func NewWithStepper(anchor State, step Stepper) *Integrator {
+	return &Integrator{state: anchor, step: step}
+}

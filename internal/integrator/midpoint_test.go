@@ -1,0 +1,52 @@
+package integrator
+
+import (
+	"testing"
+
+	"illixr/internal/sensors"
+)
+
+func TestMidpointTracksTrajectory(t *testing.T) {
+	traj := sensors.DefaultTrajectory()
+	in := NewWithStepper(anchorAt(traj, 0), MidpointStep)
+	rate := 500.0
+	for i := 1; i <= int(2*rate); i++ {
+		in.Feed(noiselessIMU(traj, float64(i)/rate))
+	}
+	st := in.State()
+	if err := st.Pos.Sub(traj.Position(2)).Norm(); err > 0.05 {
+		t.Errorf("midpoint drift %v m after 2 s", err)
+	}
+}
+
+func TestMidpointLessAccurateThanRK4(t *testing.T) {
+	traj := sensors.DefaultTrajectory()
+	rate := 100.0 // coarse rate amplifies the scheme difference
+	run := func(step Stepper) float64 {
+		var in *Integrator
+		if step == nil {
+			in = New(anchorAt(traj, 0))
+		} else {
+			in = NewWithStepper(anchorAt(traj, 0), step)
+		}
+		for i := 1; i <= int(4*rate); i++ {
+			in.Feed(noiselessIMU(traj, float64(i)/rate))
+		}
+		return in.State().Pos.Sub(traj.Position(4)).Norm()
+	}
+	rk4Err := run(nil)
+	midErr := run(MidpointStep)
+	if midErr <= rk4Err {
+		t.Errorf("midpoint %.6f unexpectedly beats RK4 %.6f at coarse rate", midErr, rk4Err)
+	}
+	if midErr > 0.5 {
+		t.Errorf("midpoint error %.4f implausibly large", midErr)
+	}
+}
+
+func TestMidpointZeroDtNoop(t *testing.T) {
+	s := State{T: 1}
+	if MidpointStep(s, sensors.IMUSample{T: 1}, sensors.IMUSample{T: 1}) != s {
+		t.Error("zero-dt midpoint changed state")
+	}
+}

@@ -1,0 +1,577 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a dense row-major matrix of arbitrary size. It is the workhorse
+// type for the EKF in the VIO component (covariance, Jacobians) and for the
+// Gauss-Newton solvers in triangulation and scene reconstruction.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat allocates a zero matrix of the given shape.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mathx: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatFrom builds a matrix from row-major data. The slice is used
+// directly (not copied).
+func NewMatFrom(rows, cols int, data []float64) *Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mathx: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Mat {
+	m := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Mat) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at element (r, c).
+func (m *Mat) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Mat) T() *Mat {
+	out := NewMat(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.Data[c*m.Rows+r] = m.Data[r*m.Cols+c]
+		}
+	}
+	return out
+}
+
+// MulMat returns m * n (GEMM).
+func (m *Mat) MulMat(n *Mat) *Mat {
+	if m.Cols != n.Rows {
+		panic(fmt.Sprintf("mathx: mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	out := NewMat(m.Rows, n.Cols)
+	for r := 0; r < m.Rows; r++ {
+		mrow := m.Data[r*m.Cols : (r+1)*m.Cols]
+		orow := out.Data[r*n.Cols : (r+1)*n.Cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			nrow := n.Data[k*n.Cols : (k+1)*n.Cols]
+			for c, nv := range nrow {
+				orow[c] += mv * nv
+			}
+		}
+	}
+	return out
+}
+
+// MulVecN returns m * v for a length-Cols vector.
+func (m *Mat) MulVecN(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mathx: mulvec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		s := 0.0
+		for c, rv := range row {
+			s += rv * v[c]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// AddInPlace adds n into m element-wise.
+func (m *Mat) AddInPlace(n *Mat) {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		panic("mathx: add shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += n.Data[i]
+	}
+}
+
+// SubMat returns m - n.
+func (m *Mat) SubMat(n *Mat) *Mat {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		panic("mathx: sub shape mismatch")
+	}
+	out := NewMat(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] - n.Data[i]
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Mat) ScaleInPlace(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// SetBlock copies src into m with its top-left corner at (r0, c0).
+func (m *Mat) SetBlock(r0, c0 int, src *Mat) {
+	if r0+src.Rows > m.Rows || c0+src.Cols > m.Cols {
+		panic("mathx: SetBlock out of range")
+	}
+	for r := 0; r < src.Rows; r++ {
+		copy(m.Data[(r0+r)*m.Cols+c0:(r0+r)*m.Cols+c0+src.Cols],
+			src.Data[r*src.Cols:(r+1)*src.Cols])
+	}
+}
+
+// Block extracts the rows×cols sub-matrix at (r0, c0) as a copy.
+func (m *Mat) Block(r0, c0, rows, cols int) *Mat {
+	if r0+rows > m.Rows || c0+cols > m.Cols || r0 < 0 || c0 < 0 {
+		panic("mathx: Block out of range")
+	}
+	out := NewMat(rows, cols)
+	for r := 0; r < rows; r++ {
+		copy(out.Data[r*cols:(r+1)*cols],
+			m.Data[(r0+r)*m.Cols+c0:(r0+r)*m.Cols+c0+cols])
+	}
+	return out
+}
+
+// SetMat3 copies a Mat3 into m at (r0, c0).
+func (m *Mat) SetMat3(r0, c0 int, src Mat3) {
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			m.Set(r0+r, c0+c, src[3*r+c])
+		}
+	}
+}
+
+// Symmetrize averages m with its transpose in place (m must be square);
+// used to keep EKF covariances numerically symmetric.
+func (m *Mat) Symmetrize() {
+	if m.Rows != m.Cols {
+		panic("mathx: Symmetrize requires square matrix")
+	}
+	n := m.Rows
+	for r := 0; r < n; r++ {
+		for c := r + 1; c < n; c++ {
+			v := 0.5 * (m.Data[r*n+c] + m.Data[c*n+r])
+			m.Data[r*n+c] = v
+			m.Data[c*n+r] = v
+		}
+	}
+}
+
+// MaxAbs returns the largest absolute element value.
+func (m *Mat) MaxAbs() float64 {
+	mx := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Cholesky computes the lower-triangular factor L with m = L Lᵀ.
+// Returns false if m is not (numerically) positive definite.
+func (m *Mat) Cholesky() (*Mat, bool) {
+	if m.Rows != m.Cols {
+		panic("mathx: Cholesky requires square matrix")
+	}
+	n := m.Rows
+	l := NewMat(n, n)
+	for j := 0; j < n; j++ {
+		d := m.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, false
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := m.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, true
+}
+
+// CholeskySolve solves m x = b via Cholesky factorization. m must be
+// symmetric positive definite.
+func (m *Mat) CholeskySolve(b []float64) ([]float64, bool) {
+	l, ok := m.Cholesky()
+	if !ok {
+		return nil, false
+	}
+	n := m.Rows
+	// forward: L y = b
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// backward: Lᵀ x = y
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, true
+}
+
+// CholeskySolveMat solves m X = B column-by-column.
+func (m *Mat) CholeskySolveMat(b *Mat) (*Mat, bool) {
+	if m.Rows != b.Rows {
+		panic("mathx: CholeskySolveMat shape mismatch")
+	}
+	out := NewMat(b.Rows, b.Cols)
+	col := make([]float64, b.Rows)
+	for c := 0; c < b.Cols; c++ {
+		for r := 0; r < b.Rows; r++ {
+			col[r] = b.At(r, c)
+		}
+		x, ok := m.CholeskySolve(col)
+		if !ok {
+			return nil, false
+		}
+		for r := 0; r < b.Rows; r++ {
+			out.Set(r, c, x[r])
+		}
+	}
+	return out, true
+}
+
+// LUSolve solves m x = b by Gaussian elimination with partial pivoting.
+func (m *Mat) LUSolve(b []float64) ([]float64, bool) {
+	if m.Rows != m.Cols || len(b) != m.Rows {
+		panic("mathx: LUSolve shape mismatch")
+	}
+	n := m.Rows
+	a := m.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// pivot
+		p, pmax := col, math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > pmax {
+				p, pmax = r, v
+			}
+		}
+		if pmax < 1e-300 {
+			return nil, false
+		}
+		if p != col {
+			for c := 0; c < n; c++ {
+				a.Data[col*n+c], a.Data[p*n+c] = a.Data[p*n+c], a.Data[col*n+c]
+			}
+			x[col], x[p] = x[p], x[col]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a.Data[r*n+c] -= f * a.Data[col*n+c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for c := i + 1; c < n; c++ {
+			s -= a.At(i, c) * x[c]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, true
+}
+
+// QR computes the thin QR decomposition m = Q R via Householder
+// reflections, with Q of shape rows×cols and R of shape cols×cols
+// (requires rows >= cols).
+func (m *Mat) QR() (q, r *Mat) {
+	rows, cols := m.Rows, m.Cols
+	if rows < cols {
+		panic("mathx: QR requires rows >= cols")
+	}
+	a := m.Clone()
+	// Accumulate Householder vectors; build Q afterwards.
+	vs := make([][]float64, 0, cols)
+	for k := 0; k < cols; k++ {
+		// norm of column k below diagonal
+		norm := 0.0
+		for i := k; i < rows; i++ {
+			norm += a.At(i, k) * a.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		alpha := -norm
+		if a.At(k, k) < 0 {
+			alpha = norm
+		}
+		v := make([]float64, rows)
+		v[k] = a.At(k, k) - alpha
+		for i := k + 1; i < rows; i++ {
+			v[i] = a.At(i, k)
+		}
+		vnorm2 := 0.0
+		for i := k; i < rows; i++ {
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 < 1e-300 {
+			vs = append(vs, nil)
+			continue
+		}
+		// apply H = I - 2 v vᵀ / (vᵀv) to remaining columns
+		for c := k; c < cols; c++ {
+			dot := 0.0
+			for i := k; i < rows; i++ {
+				dot += v[i] * a.At(i, c)
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < rows; i++ {
+				a.Set(i, c, a.At(i, c)-f*v[i])
+			}
+		}
+		vs = append(vs, v)
+	}
+	r = NewMat(cols, cols)
+	for i := 0; i < cols; i++ {
+		for j := i; j < cols; j++ {
+			r.Set(i, j, a.At(i, j))
+		}
+	}
+	// Q = H₀ H₁ … H_{k-1} applied to the first `cols` columns of I.
+	q = NewMat(rows, cols)
+	for c := 0; c < cols; c++ {
+		e := make([]float64, rows)
+		e[c] = 1
+		for k := len(vs) - 1; k >= 0; k-- {
+			v := vs[k]
+			if v == nil {
+				continue
+			}
+			vnorm2, dot := 0.0, 0.0
+			for i := k; i < rows; i++ {
+				vnorm2 += v[i] * v[i]
+				dot += v[i] * e[i]
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < rows; i++ {
+				e[i] -= f * v[i]
+			}
+		}
+		for i := 0; i < rows; i++ {
+			q.Set(i, c, e[i])
+		}
+	}
+	return q, r
+}
+
+// SVD computes the singular value decomposition m = U diag(s) Vᵀ using
+// one-sided Jacobi rotations. Suitable for the small/medium matrices in
+// triangulation and nullspace projection. U is rows×cols, V is cols×cols,
+// and s holds the cols singular values in decreasing order.
+func (m *Mat) SVD() (u *Mat, s []float64, v *Mat) {
+	rows, cols := m.Rows, m.Cols
+	if rows < cols {
+		// Work on the transpose and swap the factors.
+		vt, sv, ut := m.T().SVD()
+		return ut, sv, vt
+	}
+	a := m.Clone()
+	v = Eye(cols)
+	const maxSweeps = 60
+	eps := 1e-14
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < cols-1; p++ {
+			for q := p + 1; q < cols; q++ {
+				// compute [alpha gamma; gamma beta] = submatrix of AᵀA
+				var alpha, beta, gamma float64
+				for i := 0; i < rows; i++ {
+					ap := a.At(i, p)
+					aq := a.At(i, q)
+					alpha += ap * ap
+					beta += aq * aq
+					gamma += ap * aq
+				}
+				off += gamma * gamma
+				if math.Abs(gamma) < eps*math.Sqrt(alpha*beta)+1e-300 {
+					continue
+				}
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				sn := c * t
+				for i := 0; i < rows; i++ {
+					ap := a.At(i, p)
+					aq := a.At(i, q)
+					a.Set(i, p, c*ap-sn*aq)
+					a.Set(i, q, sn*ap+c*aq)
+				}
+				for i := 0; i < cols; i++ {
+					vp := v.At(i, p)
+					vq := v.At(i, q)
+					v.Set(i, p, c*vp-sn*vq)
+					v.Set(i, q, sn*vp+c*vq)
+				}
+			}
+		}
+		if off < eps {
+			break
+		}
+	}
+	// singular values are column norms of a
+	s = make([]float64, cols)
+	u = NewMat(rows, cols)
+	type cs struct {
+		sv  float64
+		idx int
+	}
+	order := make([]cs, cols)
+	for c := 0; c < cols; c++ {
+		norm := 0.0
+		for i := 0; i < rows; i++ {
+			norm += a.At(i, c) * a.At(i, c)
+		}
+		order[c] = cs{math.Sqrt(norm), c}
+	}
+	// sort descending by singular value (insertion sort; cols is small)
+	for i := 1; i < cols; i++ {
+		for j := i; j > 0 && order[j].sv > order[j-1].sv; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	vOrdered := NewMat(cols, cols)
+	for newc, o := range order {
+		s[newc] = o.sv
+		for i := 0; i < rows; i++ {
+			if o.sv > 1e-300 {
+				u.Set(i, newc, a.At(i, o.idx)/o.sv)
+			}
+		}
+		for i := 0; i < cols; i++ {
+			vOrdered.Set(i, newc, v.At(i, o.idx))
+		}
+	}
+	return u, s, vOrdered
+}
+
+// Nullspace returns an orthonormal basis (rows×k) for the left nullspace
+// of m, i.e. the columns N with Nᵀ m = 0, using the full QR of m. Used by
+// the MSCKF update to project out feature-position dependence.
+func (m *Mat) Nullspace() *Mat {
+	rows, cols := m.Rows, m.Cols
+	if rows <= cols {
+		return NewMat(rows, 0)
+	}
+	// Full QR via Householder on m, then the trailing rows-cols columns of
+	// the full Q span the left nullspace.
+	a := m.Clone()
+	vs := make([][]float64, 0, cols)
+	for k := 0; k < cols; k++ {
+		norm := 0.0
+		for i := k; i < rows; i++ {
+			norm += a.At(i, k) * a.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		alpha := -norm
+		if a.At(k, k) < 0 {
+			alpha = norm
+		}
+		v := make([]float64, rows)
+		v[k] = a.At(k, k) - alpha
+		for i := k + 1; i < rows; i++ {
+			v[i] = a.At(i, k)
+		}
+		vnorm2 := 0.0
+		for i := k; i < rows; i++ {
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 < 1e-300 {
+			vs = append(vs, nil)
+			continue
+		}
+		for c := k; c < cols; c++ {
+			dot := 0.0
+			for i := k; i < rows; i++ {
+				dot += v[i] * a.At(i, c)
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < rows; i++ {
+				a.Set(i, c, a.At(i, c)-f*v[i])
+			}
+		}
+		vs = append(vs, v)
+	}
+	nsCols := rows - cols
+	out := NewMat(rows, nsCols)
+	for c := 0; c < nsCols; c++ {
+		e := make([]float64, rows)
+		e[cols+c] = 1
+		for k := len(vs) - 1; k >= 0; k-- {
+			v := vs[k]
+			if v == nil {
+				continue
+			}
+			vnorm2, dot := 0.0, 0.0
+			for i := k; i < rows; i++ {
+				vnorm2 += v[i] * v[i]
+				dot += v[i] * e[i]
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < rows; i++ {
+				e[i] -= f * v[i]
+			}
+		}
+		for i := 0; i < rows; i++ {
+			out.Set(i, c, e[i])
+		}
+	}
+	return out
+}

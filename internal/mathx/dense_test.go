@@ -1,0 +1,364 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randMat(rng *rand.Rand, rows, cols int) *Mat {
+	m := NewMat(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// randSPD builds a random symmetric positive-definite matrix AᵀA + εI.
+func randSPD(rng *rand.Rand, n int) *Mat {
+	a := randMat(rng, n, n)
+	spd := a.T().MulMat(a)
+	for i := 0; i < n; i++ {
+		spd.Data[i*n+i] += 0.5
+	}
+	return spd
+}
+
+func matApprox(a, b *Mat, eps float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMat(rng, 4, 6)
+	if got := Eye(4).MulMat(a); !matApprox(got, a, tol) {
+		t.Error("I*A != A")
+	}
+	if got := a.MulMat(Eye(6)); !matApprox(got, a, tol) {
+		t.Error("A*I != A")
+	}
+}
+
+func TestMatTransposeTwice(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 5, 3)
+	if !matApprox(a.T().T(), a, 0) {
+		t.Error("transpose twice != original")
+	}
+}
+
+func TestMatMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMat(rng, 3, 4)
+	b := randMat(rng, 4, 5)
+	c := randMat(rng, 5, 2)
+	left := a.MulMat(b).MulMat(c)
+	right := a.MulMat(b.MulMat(c))
+	if !matApprox(left, right, 1e-10) {
+		t.Error("(AB)C != A(BC)")
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 5, 12} {
+		spd := randSPD(rng, n)
+		l, ok := spd.Cholesky()
+		if !ok {
+			t.Fatalf("n=%d: SPD matrix rejected", n)
+		}
+		if !matApprox(l.MulMat(l.T()), spd, 1e-8) {
+			t.Fatalf("n=%d: L Lᵀ != A", n)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := NewMatFrom(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, ok := m.Cholesky(); ok {
+		t.Error("indefinite matrix accepted")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 3, 8} {
+		spd := randSPD(rng, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := spd.MulVecN(want)
+		got, ok := spd.CholeskySolve(b)
+		if !ok {
+			t.Fatalf("n=%d: solve failed", n)
+		}
+		for i := range want {
+			if !approx(got[i], want[i], 1e-7) {
+				t.Fatalf("n=%d: x[%d]=%v want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{1, 4, 10} {
+		a := randMat(rng, n, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVecN(want)
+		got, ok := a.LUSolve(b)
+		if !ok {
+			t.Fatalf("n=%d: LU solve failed", n)
+		}
+		for i := range want {
+			if !approx(got[i], want[i], 1e-6) {
+				t.Fatalf("n=%d: x[%d]=%v want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLUSolveSingular(t *testing.T) {
+	a := NewMatFrom(2, 2, []float64{1, 2, 2, 4})
+	if _, ok := a.LUSolve([]float64{1, 2}); ok {
+		t.Error("singular matrix accepted")
+	}
+}
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range [][2]int{{4, 4}, {8, 3}, {10, 6}} {
+		a := randMat(rng, shape[0], shape[1])
+		q, r := a.QR()
+		if !matApprox(q.MulMat(r), a, 1e-8) {
+			t.Fatalf("%v: QR != A", shape)
+		}
+		// Q orthonormal columns
+		qtq := q.T().MulMat(q)
+		if !matApprox(qtq, Eye(shape[1]), 1e-8) {
+			t.Fatalf("%v: QᵀQ != I", shape)
+		}
+		// R upper triangular
+		for i := 0; i < r.Rows; i++ {
+			for j := 0; j < i; j++ {
+				if math.Abs(r.At(i, j)) > 1e-9 {
+					t.Fatalf("%v: R not triangular at (%d,%d)", shape, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, shape := range [][2]int{{3, 3}, {6, 4}, {4, 6}, {10, 2}} {
+		a := randMat(rng, shape[0], shape[1])
+		u, s, v := a.SVD()
+		// rebuild
+		k := len(s)
+		us := NewMat(u.Rows, k)
+		for r := 0; r < u.Rows; r++ {
+			for c := 0; c < k; c++ {
+				us.Set(r, c, u.At(r, c)*s[c])
+			}
+		}
+		rec := us.MulMat(v.T())
+		if !matApprox(rec, a, 1e-7) {
+			t.Fatalf("%v: U S Vᵀ != A", shape)
+		}
+		// singular values sorted descending and non-negative
+		for i := 1; i < k; i++ {
+			if s[i] > s[i-1]+1e-12 || s[i] < 0 {
+				t.Fatalf("%v: singular values unsorted: %v", shape, s)
+			}
+		}
+	}
+}
+
+func TestNullspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randMat(rng, 8, 3)
+	n := a.Nullspace()
+	if n.Rows != 8 || n.Cols != 5 {
+		t.Fatalf("nullspace shape %dx%d", n.Rows, n.Cols)
+	}
+	// Nᵀ A ≈ 0
+	prod := n.T().MulMat(a)
+	if prod.MaxAbs() > 1e-8 {
+		t.Errorf("NᵀA max abs = %v", prod.MaxAbs())
+	}
+	// columns orthonormal
+	if !matApprox(n.T().MulMat(n), Eye(5), 1e-8) {
+		t.Error("nullspace columns not orthonormal")
+	}
+}
+
+func TestBlockOps(t *testing.T) {
+	m := NewMat(4, 4)
+	sub := NewMatFrom(2, 2, []float64{1, 2, 3, 4})
+	m.SetBlock(1, 2, sub)
+	if m.At(1, 2) != 1 || m.At(2, 3) != 4 {
+		t.Error("SetBlock misplaced")
+	}
+	got := m.Block(1, 2, 2, 2)
+	if !matApprox(got, sub, 0) {
+		t.Error("Block readback mismatch")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := NewMatFrom(2, 2, []float64{1, 2, 4, 3})
+	m.Symmetrize()
+	if m.At(0, 1) != 3 || m.At(1, 0) != 3 {
+		t.Errorf("symmetrize = %v", m.Data)
+	}
+}
+
+func TestChi2Threshold(t *testing.T) {
+	if !approx(Chi2Threshold95(1), 3.841, 1e-3) {
+		t.Errorf("chi2(1) = %v", Chi2Threshold95(1))
+	}
+	if !approx(Chi2Threshold95(10), 18.307, 1e-3) {
+		t.Errorf("chi2(10) = %v", Chi2Threshold95(10))
+	}
+	// Wilson-Hilferty branch: chi2_0.95(30) ≈ 43.77
+	if got := Chi2Threshold95(30); math.Abs(got-43.77) > 0.5 {
+		t.Errorf("chi2(30) = %v", got)
+	}
+	if Chi2Threshold95(0) != 0 {
+		t.Error("chi2(0) should be 0")
+	}
+}
+
+func TestStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if !approx(Mean(xs), 3, tol) {
+		t.Error("mean")
+	}
+	if !approx(StdDev(xs), math.Sqrt(2), tol) {
+		t.Error("stddev")
+	}
+	if !approx(Percentile(xs, 50), 3, tol) {
+		t.Error("median")
+	}
+	if !approx(Percentile(xs, 0), 1, tol) || !approx(Percentile(xs, 100), 5, tol) {
+		t.Error("percentile extremes")
+	}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Error("min/max")
+	}
+	if !approx(RMSE([]float64{3, 4}), math.Sqrt(12.5), tol) {
+		t.Error("rmse")
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Error("empty-slice handling")
+	}
+}
+
+func TestMat3Inverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 50; i++ {
+		var m Mat3
+		for j := range m {
+			m[j] = rng.NormFloat64()
+		}
+		inv, ok := m.Inverse()
+		if !ok {
+			continue
+		}
+		prod := m.Mul(inv)
+		id := Mat3Identity()
+		for j := range prod {
+			if !approx(prod[j], id[j], 1e-8) {
+				t.Fatalf("M*M⁻¹ != I: %v", prod)
+			}
+		}
+	}
+}
+
+func TestMat4Perspective(t *testing.T) {
+	p := Perspective(Deg2Rad(90), 1, 0.1, 100)
+	// A point on the near plane straight ahead maps to z = -1 (NDC).
+	ndc := p.MulPoint(Vec3{0, 0, -0.1})
+	if !approx(ndc.Z, -1, 1e-9) {
+		t.Errorf("near-plane z = %v", ndc.Z)
+	}
+	far := p.MulPoint(Vec3{0, 0, -100})
+	if !approx(far.Z, 1, 1e-6) {
+		t.Errorf("far-plane z = %v", far.Z)
+	}
+}
+
+func TestLookAt(t *testing.T) {
+	v := LookAt(Vec3{0, 0, 5}, Vec3{}, Vec3{Y: 1})
+	// The origin should be 5 units in front of the camera (-Z in view space).
+	p := v.MulPoint(Vec3{})
+	if !vecApprox(p, Vec3{0, 0, -5}, tol) {
+		t.Errorf("lookat origin = %v", p)
+	}
+}
+
+func TestSkewMatchesCross(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 50; i++ {
+		a := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		b := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if !vecApprox(Skew(a).MulVec(b), a.Cross(b), 1e-10) {
+			t.Fatal("skew(a)b != a×b")
+		}
+	}
+}
+
+func TestPoseComposeInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		p := Pose{
+			Pos: Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()},
+			Rot: randomQuat(rng),
+		}
+		q := Pose{
+			Pos: Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()},
+			Rot: randomQuat(rng),
+		}
+		// p ∘ p⁻¹ = identity
+		id := p.Compose(p.Inverse())
+		if id.Pos.Norm() > 1e-9 || id.Rot.AngleTo(QuatIdentity()) > 1e-9 {
+			t.Fatalf("p∘p⁻¹ = %+v", id)
+		}
+		// delta consistency: p ∘ delta = q
+		d := p.Delta(q)
+		q2 := p.Compose(d)
+		if q2.TranslationDistance(q) > 1e-9 || q2.RotationDistance(q) > 1e-9 {
+			t.Fatal("delta composition mismatch")
+		}
+		// apply matches matrix
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if !vecApprox(p.Apply(v), p.Matrix().MulPoint(v), 1e-9) {
+			t.Fatal("Apply != Matrix·v")
+		}
+	}
+}
+
+func TestPoseInterpolate(t *testing.T) {
+	a := PoseIdentity()
+	b := Pose{Pos: Vec3{2, 0, 0}, Rot: QuatFromAxisAngle(Vec3{Z: 1}, 1.0)}
+	mid := a.Interpolate(b, 0.5)
+	if !vecApprox(mid.Pos, Vec3{1, 0, 0}, tol) {
+		t.Errorf("mid pos = %v", mid.Pos)
+	}
+	if !approx(mid.Rot.AngleTo(QuatIdentity()), 0.5, 1e-9) {
+		t.Errorf("mid angle = %v", mid.Rot.AngleTo(QuatIdentity()))
+	}
+}

@@ -1,0 +1,99 @@
+package openxr
+
+import (
+	"testing"
+
+	"illixr/internal/imgproc"
+	"illixr/internal/mathx"
+	"illixr/internal/sensors"
+)
+
+func gtPoses() PoseProvider {
+	tr := sensors.DefaultTrajectory()
+	return PoseFunc(func(t float64) mathx.Pose { return tr.Pose(t) })
+}
+
+func TestSessionCreationValidation(t *testing.T) {
+	inst := CreateInstance("test")
+	if _, err := inst.CreateSession(SessionConfig{Width: 0, Height: 10, Poses: gtPoses()}); err == nil {
+		t.Error("zero-width session accepted")
+	}
+	if _, err := inst.CreateSession(SessionConfig{Width: 10, Height: 10}); err == nil {
+		t.Error("session without poses accepted")
+	}
+	s, err := inst.CreateSession(SessionConfig{Width: 16, Height: 16, Poses: gtPoses()})
+	if err != nil || s == nil {
+		t.Fatalf("valid session rejected: %v", err)
+	}
+}
+
+func TestFrameLoopOrdering(t *testing.T) {
+	inst := CreateInstance("test")
+	s, _ := inst.CreateSession(SessionConfig{Width: 8, Height: 8, Poses: gtPoses()})
+	if err := s.EndFrame(imgproc.NewRGB(8, 8)); err == nil {
+		t.Error("EndFrame before BeginFrame accepted")
+	}
+	st := s.WaitFrame()
+	if st.FrameIndex != 0 || st.PredictedDisplayTime <= 0 {
+		t.Errorf("frame state %+v", st)
+	}
+	if err := s.BeginFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginFrame(); err == nil {
+		t.Error("double BeginFrame accepted")
+	}
+	views := s.LocateViews(st.PredictedDisplayTime)
+	if len(views) != 1 {
+		t.Fatalf("views = %d", len(views))
+	}
+	if err := s.EndFrame(imgproc.NewRGB(4, 4)); err == nil {
+		t.Error("wrong-size layer accepted")
+	}
+	if err := s.EndFrame(imgproc.NewRGB(8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Displayed == nil {
+		t.Error("no displayed frame")
+	}
+	st2 := s.WaitFrame()
+	if st2.FrameIndex != 1 {
+		t.Errorf("frame index %d", st2.FrameIndex)
+	}
+}
+
+func TestViewsFollowPoseProvider(t *testing.T) {
+	inst := CreateInstance("test")
+	s, _ := inst.CreateSession(SessionConfig{
+		Width: 8, Height: 8, DisplayRateHz: 60, Poses: gtPoses(),
+	})
+	tr := sensors.DefaultTrajectory()
+	st := s.WaitFrame()
+	s.BeginFrame()
+	v := s.LocateViews(st.PredictedDisplayTime)[0]
+	want := tr.Pose(st.PredictedDisplayTime)
+	if v.Pose.TranslationDistance(want) > 1e-12 {
+		t.Error("view pose not from provider")
+	}
+	s.EndFrame(imgproc.NewRGB(8, 8))
+}
+
+func TestReprojectingSessionWarps(t *testing.T) {
+	inst := CreateInstance("test")
+	s, _ := inst.CreateSession(SessionConfig{
+		Width: 32, Height: 32, DisplayRateHz: 30, Poses: gtPoses(), Reproject: true,
+	})
+	st := s.WaitFrame()
+	s.BeginFrame()
+	s.LocateViews(st.PredictedDisplayTime)
+	layer := imgproc.NewRGB(32, 32)
+	for i := range layer.Pix {
+		layer.Pix[i] = 0.5
+	}
+	if err := s.EndFrame(layer); err != nil {
+		t.Fatal(err)
+	}
+	if s.Displayed == nil || s.Displayed.W != 32 {
+		t.Fatal("no warped output")
+	}
+}

@@ -1,0 +1,74 @@
+// Package quality implements ILLIXR's quality-of-experience metrics
+// (§II-C): SSIM and FLIP for image quality (Table V) and absolute/relative
+// trajectory error for head-tracking accuracy (§V-E).
+package quality
+
+import (
+	"math"
+
+	"illixr/internal/imgproc"
+)
+
+// SSIM computes the mean Structural Similarity Index between two
+// same-sized grayscale images (Wang et al. 2004), using an 11×11 Gaussian
+// window with σ=1.5 and the standard constants for a [0,1] dynamic range.
+func SSIM(a, b *imgproc.Gray) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("quality: SSIM size mismatch")
+	}
+	const c1 = 0.01 * 0.01
+	const c2 = 0.03 * 0.03
+	// Gaussian-filtered moments
+	muA := imgproc.GaussianBlur(a, 1.5)
+	muB := imgproc.GaussianBlur(b, 1.5)
+	aa := mulImg(a, a)
+	bb := mulImg(b, b)
+	ab := mulImg(a, b)
+	sAA := imgproc.GaussianBlur(aa, 1.5)
+	sBB := imgproc.GaussianBlur(bb, 1.5)
+	sAB := imgproc.GaussianBlur(ab, 1.5)
+	sum := 0.0
+	n := a.W * a.H
+	for i := 0; i < n; i++ {
+		ma := float64(muA.Pix[i])
+		mb := float64(muB.Pix[i])
+		varA := float64(sAA.Pix[i]) - ma*ma
+		varB := float64(sBB.Pix[i]) - mb*mb
+		covAB := float64(sAB.Pix[i]) - ma*mb
+		num := (2*ma*mb + c1) * (2*covAB + c2)
+		den := (ma*ma + mb*mb + c1) * (varA + varB + c2)
+		sum += num / den
+	}
+	return sum / float64(n)
+}
+
+// SSIMRGB computes SSIM on the luminance of two RGB images.
+func SSIMRGB(a, b *imgproc.RGB) float64 {
+	return SSIM(a.Luminance(), b.Luminance())
+}
+
+func mulImg(a, b *imgproc.Gray) *imgproc.Gray {
+	out := imgproc.NewGray(a.W, a.H)
+	for i := range out.Pix {
+		out.Pix[i] = a.Pix[i] * b.Pix[i]
+	}
+	return out
+}
+
+// PSNR computes peak signal-to-noise ratio (dB) between two gray images
+// with a [0,1] range.
+func PSNR(a, b *imgproc.Gray) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("quality: PSNR size mismatch")
+	}
+	mse := 0.0
+	for i := range a.Pix {
+		d := float64(a.Pix[i] - b.Pix[i])
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(mse)
+}

@@ -1,0 +1,99 @@
+package quality
+
+import (
+	"math"
+
+	"illixr/internal/mathx"
+)
+
+// TimedPose pairs a pose with its timestamp.
+type TimedPose struct {
+	T    float64
+	Pose mathx.Pose
+}
+
+// ATE computes the absolute trajectory error (position RMSE, meters)
+// between an estimated trajectory and ground truth sampled at the estimate
+// timestamps. gt must be time-sorted.
+func ATE(est, gt []TimedPose) float64 {
+	if len(est) == 0 || len(gt) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range est {
+		g := interpolatePose(gt, e.T)
+		d := e.Pose.TranslationDistance(g)
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(est)))
+}
+
+// RPE computes the relative pose error: the RMSE of the translational
+// drift over windows of the given duration (seconds).
+func RPE(est, gt []TimedPose, window float64) float64 {
+	if len(est) < 2 || len(gt) == 0 {
+		return 0
+	}
+	var errs []float64
+	for i := 0; i < len(est); i++ {
+		tEnd := est[i].T + window
+		j := i
+		for j < len(est) && est[j].T < tEnd {
+			j++
+		}
+		if j >= len(est) {
+			break
+		}
+		// estimated relative motion vs ground-truth relative motion
+		dEst := est[i].Pose.Delta(est[j].Pose)
+		gA := interpolatePose(gt, est[i].T)
+		gB := interpolatePose(gt, est[j].T)
+		dGt := gA.Delta(gB)
+		errs = append(errs, dEst.Pos.Sub(dGt.Pos).Norm())
+	}
+	if len(errs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range errs {
+		sum += e * e
+	}
+	return math.Sqrt(sum / float64(len(errs)))
+}
+
+// RotationalATE computes the orientation RMSE (radians).
+func RotationalATE(est, gt []TimedPose) float64 {
+	if len(est) == 0 || len(gt) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range est {
+		g := interpolatePose(gt, e.T)
+		d := e.Pose.RotationDistance(g)
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(est)))
+}
+
+func interpolatePose(gt []TimedPose, t float64) mathx.Pose {
+	if t <= gt[0].T {
+		return gt[0].Pose
+	}
+	if t >= gt[len(gt)-1].T {
+		return gt[len(gt)-1].Pose
+	}
+	lo, hi := 0, len(gt)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if gt[mid].T <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	span := gt[hi].T - gt[lo].T
+	if span <= 0 {
+		return gt[lo].Pose
+	}
+	return gt[lo].Pose.Interpolate(gt[hi].Pose, (t-gt[lo].T)/span)
+}

@@ -1,0 +1,189 @@
+package reconstruct
+
+import (
+	"math"
+	"testing"
+
+	"illixr/internal/mathx"
+	"illixr/internal/sensors"
+)
+
+// smallCam returns a low-resolution camera for fast tests.
+func smallCam() sensors.CameraModel {
+	return sensors.CameraModel{Width: 80, Height: 60, Fx: 40, Fy: 40, Cx: 40, Cy: 30}
+}
+
+// dysonLabSequence renders an RGB-D walk — the stand-in for the paper's
+// dyson_lab dataset.
+func dysonLabSequence(cam sensors.CameraModel, n int, dt float64) (*sensors.World, *sensors.Trajectory) {
+	world := sensors.NewRoomWorld(50, 9)
+	traj := sensors.DefaultTrajectory()
+	_ = n
+	_ = dt
+	return world, traj
+}
+
+func TestVertexMapsGeometry(t *testing.T) {
+	cam := smallCam()
+	world, traj := dysonLabSequence(cam, 1, 0)
+	depth, _ := world.RenderDepth(cam, traj.Pose(0))
+	r := New(DefaultParams(), cam, traj.Pose(0))
+	vm := r.buildVertexMaps(depth)
+	validCount := 0
+	for i, ok := range vm.valid {
+		if !ok {
+			continue
+		}
+		validCount++
+		// vertex depth must match the depth image
+		y := i / vm.w
+		x := i % vm.w
+		if math.Abs(vm.verts[i].Z-float64(depth.At(x, y))) > 1e-4 {
+			t.Fatalf("vertex depth mismatch at (%d,%d)", x, y)
+		}
+		if vm.normals[i].Norm() > 0 && math.Abs(vm.normals[i].Norm()-1) > 1e-6 {
+			t.Fatal("non-unit normal")
+		}
+	}
+	if validCount < vm.w*vm.h/2 {
+		t.Errorf("only %d valid vertices", validCount)
+	}
+}
+
+func TestReconGrowsMap(t *testing.T) {
+	cam := smallCam()
+	world, traj := dysonLabSequence(cam, 0, 0)
+	r := New(DefaultParams(), cam, traj.Pose(0))
+	var lastStats FrameStats
+	for i := 0; i < 5; i++ {
+		tm := float64(i) * 0.2
+		pose := traj.Pose(tm)
+		depth, rgb := world.RenderDepth(cam, pose)
+		lastStats = r.ProcessFrame(depth, rgb, &pose)
+	}
+	if lastStats.MapSize == 0 {
+		t.Fatal("empty map")
+	}
+	if lastStats.SurfelsFused == 0 {
+		t.Error("no surfels fused on revisit")
+	}
+	if lastStats.DepthPixels != 80*60 {
+		t.Errorf("depth pixels %d", lastStats.DepthPixels)
+	}
+}
+
+func TestMapSizeGrowsOverTime(t *testing.T) {
+	// The paper: "execution time keeps steadily increasing due to the
+	// increasing size of its map."
+	cam := smallCam()
+	world, traj := dysonLabSequence(cam, 0, 0)
+	r := New(DefaultParams(), cam, traj.Pose(0))
+	var sizes []int
+	for i := 0; i < 8; i++ {
+		tm := float64(i) * 0.4
+		pose := traj.Pose(tm)
+		depth, rgb := world.RenderDepth(cam, pose)
+		st := r.ProcessFrame(depth, rgb, &pose)
+		sizes = append(sizes, st.MapSize)
+	}
+	if sizes[len(sizes)-1] <= sizes[0] {
+		t.Errorf("map did not grow: %v", sizes)
+	}
+}
+
+func TestICPCorrectsPosePerturbation(t *testing.T) {
+	cam := smallCam()
+	world, traj := dysonLabSequence(cam, 0, 0)
+	truePose := traj.Pose(0)
+	r := New(DefaultParams(), cam, truePose)
+	// build the map from a few true-pose frames
+	for i := 0; i < 3; i++ {
+		tm := float64(i) * 0.05
+		p := traj.Pose(tm)
+		depth, rgb := world.RenderDepth(cam, p)
+		r.ProcessFrame(depth, rgb, &p)
+	}
+	// now feed a frame with a perturbed prior
+	tm := 0.2
+	p := traj.Pose(tm)
+	depth, rgb := world.RenderDepth(cam, p)
+	perturbed := mathx.Pose{
+		Pos: p.Pos.Add(mathx.Vec3{X: 0.03, Y: -0.02, Z: 0.01}),
+		Rot: p.Rot.Mul(mathx.QuatFromAxisAngle(mathx.Vec3{Z: 1}, 0.02)),
+	}
+	r.ProcessFrame(depth, rgb, &perturbed)
+	errBefore := perturbed.TranslationDistance(p)
+	errAfter := r.Pose.TranslationDistance(p)
+	if errAfter >= errBefore {
+		t.Errorf("ICP did not improve pose: %.4f -> %.4f", errBefore, errAfter)
+	}
+}
+
+func TestLoopClosureOnRevisit(t *testing.T) {
+	cam := smallCam()
+	world, traj := dysonLabSequence(cam, 0, 0)
+	p := DefaultParams()
+	p.FernInterval = 2
+	p.LoopMinGap = 10
+	p.LoopHamming = 10
+	r := New(p, cam, traj.Pose(0))
+	sawLoop := false
+	deformWork := 0
+	// walk a full loop (period 20 s at 2.5 fps ≈ 50 frames) and revisit
+	for i := 0; i < 56; i++ {
+		tm := float64(i) * 0.4
+		pose := traj.Pose(tm)
+		depth, rgb := world.RenderDepth(cam, pose)
+		st := r.ProcessFrame(depth, rgb, &pose)
+		if st.LoopClosure {
+			sawLoop = true
+			deformWork = st.DeformSurfels
+		}
+	}
+	if !sawLoop {
+		t.Fatal("no loop closure detected on trajectory revisit")
+	}
+	if deformWork == 0 {
+		t.Error("loop closure did not touch the map")
+	}
+}
+
+func TestFernEncodingStable(t *testing.T) {
+	cam := smallCam()
+	world, traj := dysonLabSequence(cam, 0, 0)
+	r := New(DefaultParams(), cam, traj.Pose(0))
+	_, rgb := world.RenderDepth(cam, traj.Pose(0))
+	a := r.encodeFern(rgb.Luminance())
+	b := r.encodeFern(rgb.Luminance())
+	if a != b {
+		t.Error("fern code not deterministic")
+	}
+	// different viewpoint → different code
+	_, rgb2 := world.RenderDepth(cam, traj.Pose(5))
+	c := r.encodeFern(rgb2.Luminance())
+	if hamming(a, c) == 0 {
+		t.Error("distinct views produced identical fern codes")
+	}
+}
+
+func TestHamming(t *testing.T) {
+	if hamming(0, 0) != 0 || hamming(0xFF, 0) != 8 || hamming(0b1010, 0b0101) != 4 {
+		t.Error("hamming broken")
+	}
+}
+
+func TestInvalidDepthRejected(t *testing.T) {
+	cam := smallCam()
+	world, traj := dysonLabSequence(cam, 0, 0)
+	depth, rgb := world.RenderDepth(cam, traj.Pose(0))
+	// poke holes in the depth map
+	for i := 0; i < len(depth.Pix); i += 7 {
+		depth.Pix[i] = 0
+	}
+	r := New(DefaultParams(), cam, traj.Pose(0))
+	pose := traj.Pose(0)
+	st := r.ProcessFrame(depth, rgb, &pose)
+	if st.InvalidDepths == 0 {
+		t.Error("invalid depths not counted")
+	}
+}

@@ -1,0 +1,186 @@
+package reconstruct
+
+import (
+	"math"
+
+	"illixr/internal/imgproc"
+	"illixr/internal/mathx"
+	"illixr/internal/sensors"
+)
+
+// This file provides the second, interchangeable scene-reconstruction
+// implementation of Table II: a KinectFusion-style truncated signed
+// distance function (TSDF) volume with weighted depth fusion and
+// ray-marched surface extraction, as an alternative to the
+// ElasticFusion-style surfel map in recon.go.
+
+// TSDFParams configures the volumetric reconstruction.
+type TSDFParams struct {
+	// VoxelSize is the edge length of one voxel in meters.
+	VoxelSize float64
+	// Truncation is the TSDF band, in meters (typically 4-8 voxels).
+	Truncation float64
+	// Origin is the minimum corner of the volume in world coordinates.
+	Origin mathx.Vec3
+	// Dim is the voxel count per axis.
+	Dim int
+	// MaxWeight caps the per-voxel integration weight.
+	MaxWeight float32
+}
+
+// DefaultTSDFParams covers the synthetic room at coarse resolution.
+func DefaultTSDFParams() TSDFParams {
+	return TSDFParams{
+		VoxelSize:  0.08,
+		Truncation: 0.32,
+		Origin:     mathx.Vec3{X: -4.5, Y: -4.5, Z: -0.5},
+		Dim:        120,
+		MaxWeight:  64,
+	}
+}
+
+// TSDF is the volumetric map.
+type TSDF struct {
+	P      TSDFParams
+	Cam    sensors.CameraModel
+	dist   []float32 // truncated signed distance per voxel
+	weight []float32
+	// FusedFrames counts integrated frames.
+	FusedFrames int
+}
+
+// NewTSDF allocates the volume.
+func NewTSDF(p TSDFParams, cam sensors.CameraModel) *TSDF {
+	n := p.Dim * p.Dim * p.Dim
+	t := &TSDF{P: p, Cam: cam, dist: make([]float32, n), weight: make([]float32, n)}
+	for i := range t.dist {
+		t.dist[i] = 1 // far/unknown
+	}
+	return t
+}
+
+func (t *TSDF) index(x, y, z int) int { return (z*t.P.Dim+y)*t.P.Dim + x }
+
+// voxelCenter returns the world position of voxel (x, y, z).
+func (t *TSDF) voxelCenter(x, y, z int) mathx.Vec3 {
+	return mathx.Vec3{
+		X: t.P.Origin.X + (float64(x)+0.5)*t.P.VoxelSize,
+		Y: t.P.Origin.Y + (float64(y)+0.5)*t.P.VoxelSize,
+		Z: t.P.Origin.Z + (float64(z)+0.5)*t.P.VoxelSize,
+	}
+}
+
+// At returns the TSDF value and weight of the voxel containing the world
+// point (1, 0 outside the volume).
+func (t *TSDF) At(p mathx.Vec3) (float32, float32) {
+	x := int((p.X - t.P.Origin.X) / t.P.VoxelSize)
+	y := int((p.Y - t.P.Origin.Y) / t.P.VoxelSize)
+	z := int((p.Z - t.P.Origin.Z) / t.P.VoxelSize)
+	if x < 0 || y < 0 || z < 0 || x >= t.P.Dim || y >= t.P.Dim || z >= t.P.Dim {
+		return 1, 0
+	}
+	i := t.index(x, y, z)
+	return t.dist[i], t.weight[i]
+}
+
+// Integrate fuses one depth frame taken from the given body pose into the
+// volume (projective TSDF update). Returns the number of voxels touched.
+func (t *TSDF) Integrate(depth *imgproc.Gray, pose mathx.Pose) int {
+	touched := 0
+	trunc := float32(t.P.Truncation)
+	inv := pose.Inverse()
+	// Only voxels within the camera frustum band are visited; iterate all
+	// voxels and project (simple and cache-friendly for these sizes).
+	for z := 0; z < t.P.Dim; z++ {
+		for y := 0; y < t.P.Dim; y++ {
+			for x := 0; x < t.P.Dim; x++ {
+				pw := t.voxelCenter(x, y, z)
+				pc := sensors.CamFromBody().Rotate(inv.Apply(pw))
+				if pc.Z <= 0.05 {
+					continue
+				}
+				u, v, ok := t.Cam.Project(pc)
+				if !ok {
+					continue
+				}
+				d := float64(depth.At(int(u), int(v)))
+				if d <= 0 {
+					continue
+				}
+				sdf := float32(d - pc.Z) // positive in front of the surface
+				if sdf < -trunc {
+					continue // occluded beyond the band
+				}
+				tsdf := sdf / trunc
+				if tsdf > 1 {
+					tsdf = 1
+				}
+				i := t.index(x, y, z)
+				w := t.weight[i]
+				t.dist[i] = (t.dist[i]*w + tsdf) / (w + 1)
+				if w < t.P.MaxWeight {
+					t.weight[i] = w + 1
+				}
+				touched++
+			}
+		}
+	}
+	t.FusedFrames++
+	return touched
+}
+
+// Raycast marches a ray from the camera through the volume and returns
+// the zero-crossing depth (meters) along the ray, or -1 if none is found
+// within maxDepth.
+func (t *TSDF) Raycast(pose mathx.Pose, u, v float64, maxDepth float64) float64 {
+	rayCam := t.Cam.NormalizedRay(u, v)
+	dirWorld := pose.ApplyDir(sensors.CamFromBody().Inverse().Rotate(rayCam))
+	origin := pose.Pos
+	step := t.P.VoxelSize * 0.5
+	prev := float32(1)
+	prevD := 0.0
+	for d := t.P.VoxelSize; d < maxDepth; d += step {
+		p := origin.Add(dirWorld.Scale(d))
+		tsdf, w := t.At(p)
+		if w > 0 && prev > 0 && tsdf <= 0 {
+			// linear interpolation of the zero crossing
+			frac := float64(prev) / float64(prev-tsdf)
+			hit := prevD + frac*(d-prevD)
+			// convert distance along ray to camera-frame depth
+			pc := sensors.WorldPointToCam(pose, origin.Add(dirWorld.Scale(hit)))
+			return pc.Z
+		}
+		if w > 0 {
+			prev = tsdf
+			prevD = d
+		}
+	}
+	return -1
+}
+
+// RenderDepth raycasts the full image from a pose — the model-based depth
+// prediction KinectFusion tracks against.
+func (t *TSDF) RenderDepth(pose mathx.Pose, maxDepth float64) *imgproc.Gray {
+	out := imgproc.NewGray(t.Cam.Width, t.Cam.Height)
+	for y := 0; y < t.Cam.Height; y++ {
+		for x := 0; x < t.Cam.Width; x++ {
+			d := t.Raycast(pose, float64(x)+0.5, float64(y)+0.5, maxDepth)
+			if d > 0 {
+				out.Set(x, y, float32(d))
+			}
+		}
+	}
+	return out
+}
+
+// OccupiedVoxels counts voxels near the surface (|tsdf| < 0.5 with
+// weight), a proxy for reconstructed surface area.
+func (t *TSDF) OccupiedVoxels() int {
+	n := 0
+	for i := range t.dist {
+		if t.weight[i] > 0 && math.Abs(float64(t.dist[i])) < 0.5 {
+			n++
+		}
+	}
+	return n
+}

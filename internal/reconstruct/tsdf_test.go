@@ -1,0 +1,118 @@
+package reconstruct
+
+import (
+	"math"
+	"testing"
+
+	"illixr/internal/mathx"
+	"illixr/internal/sensors"
+)
+
+// tinyTSDF builds a small volume around the synthetic room.
+func tinyTSDF(cam sensors.CameraModel) *TSDF {
+	p := DefaultTSDFParams()
+	p.VoxelSize = 0.15
+	p.Truncation = 0.6
+	p.Dim = 64
+	return NewTSDF(p, cam)
+}
+
+func TestTSDFIntegrateTouchesVoxels(t *testing.T) {
+	cam := smallCam()
+	world, traj := dysonLabSequence(cam, 0, 0)
+	tsdf := tinyTSDF(cam)
+	depth, _ := world.RenderDepth(cam, traj.Pose(0))
+	touched := tsdf.Integrate(depth, traj.Pose(0))
+	if touched == 0 {
+		t.Fatal("no voxels integrated")
+	}
+	if tsdf.OccupiedVoxels() == 0 {
+		t.Fatal("no surface voxels after integration")
+	}
+	if tsdf.FusedFrames != 1 {
+		t.Errorf("fused frames %d", tsdf.FusedFrames)
+	}
+}
+
+func TestTSDFRaycastMatchesTrueDepth(t *testing.T) {
+	cam := smallCam()
+	world, traj := dysonLabSequence(cam, 0, 0)
+	tsdf := tinyTSDF(cam)
+	// fuse several views for a stable surface
+	for i := 0; i < 4; i++ {
+		pose := traj.Pose(float64(i) * 0.15)
+		depth, _ := world.RenderDepth(cam, pose)
+		tsdf.Integrate(depth, pose)
+	}
+	pose := traj.Pose(0)
+	depth, _ := world.RenderDepth(cam, pose)
+	// sample some central pixels and compare raycast depth to true depth
+	checked, good := 0, 0
+	for _, px := range [][2]int{{40, 30}, {20, 30}, {60, 30}, {40, 20}, {40, 40}} {
+		want := float64(depth.At(px[0], px[1]))
+		if want <= 0 {
+			continue
+		}
+		got := tsdf.Raycast(pose, float64(px[0])+0.5, float64(px[1])+0.5, 10)
+		checked++
+		if got > 0 && math.Abs(got-want) < 3*tsdf.P.VoxelSize {
+			good++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no valid center depths")
+	}
+	if good < checked-1 {
+		t.Errorf("raycast matched %d/%d sample pixels", good, checked)
+	}
+}
+
+func TestTSDFRenderDepthCoverage(t *testing.T) {
+	cam := sensors.CameraModel{Width: 40, Height: 30, Fx: 20, Fy: 20, Cx: 20, Cy: 15}
+	world, traj := dysonLabSequence(cam, 0, 0)
+	tsdf := tinyTSDF(cam)
+	for i := 0; i < 3; i++ {
+		pose := traj.Pose(float64(i) * 0.2)
+		depth, _ := world.RenderDepth(cam, pose)
+		tsdf.Integrate(depth, pose)
+	}
+	pred := tsdf.RenderDepth(traj.Pose(0.1), 10)
+	hits := 0
+	for _, d := range pred.Pix {
+		if d > 0 {
+			hits++
+		}
+	}
+	if hits < len(pred.Pix)/3 {
+		t.Errorf("model raycast covered only %d/%d pixels", hits, len(pred.Pix))
+	}
+}
+
+func TestTSDFWeightCapped(t *testing.T) {
+	cam := smallCam()
+	world, traj := dysonLabSequence(cam, 0, 0)
+	p := DefaultTSDFParams()
+	p.VoxelSize = 0.2
+	p.Dim = 48
+	p.MaxWeight = 3
+	tsdf := NewTSDF(p, cam)
+	pose := traj.Pose(0)
+	depth, _ := world.RenderDepth(cam, pose)
+	for i := 0; i < 6; i++ {
+		tsdf.Integrate(depth, pose)
+	}
+	for _, w := range tsdf.weight {
+		if w > 3 {
+			t.Fatalf("weight %v exceeds cap", w)
+		}
+	}
+}
+
+func TestTSDFAtOutsideVolume(t *testing.T) {
+	cam := smallCam()
+	tsdf := tinyTSDF(cam)
+	d, w := tsdf.At(mathx.Vec3{X: 1000, Y: 1000, Z: 1000})
+	if d != 1 || w != 0 {
+		t.Errorf("outside query = (%v, %v)", d, w)
+	}
+}

@@ -1,0 +1,294 @@
+package render
+
+import (
+	"math"
+
+	"illixr/internal/imgproc"
+	"illixr/internal/mathx"
+)
+
+// ShadingModel selects the per-fragment cost class.
+type ShadingModel int
+
+const (
+	// ShadeFlat is ambient-only (cheapest).
+	ShadeFlat ShadingModel = iota
+	// ShadeLambert is diffuse-only.
+	ShadeLambert
+	// ShadeBlinnPhong adds a specular lobe.
+	ShadeBlinnPhong
+	// ShadePBR is the most expensive: GGX-style specular with Fresnel and
+	// a displacement-ish normal perturbation (the Materials app workload).
+	ShadePBR
+)
+
+// Material describes the surface of an instance.
+type Material struct {
+	Albedo    [3]float32
+	Model     ShadingModel
+	Roughness float64
+	Metallic  float64
+}
+
+// Instance places a mesh in the world.
+type Instance struct {
+	Mesh     *Mesh
+	Material Material
+	// Animated instances are re-posed each frame by the scene's Update.
+	Name string
+}
+
+// Light is a directional light.
+type Light struct {
+	Dir   mathx.Vec3
+	Color [3]float32
+}
+
+// Scene is a collection of instances plus lights and an update hook.
+type Scene struct {
+	Name      string
+	Instances []*Instance
+	Lights    []Light
+	Ambient   float32
+	// Update advances scene animation/physics to time t (seconds).
+	Update func(s *Scene, t float64)
+	// PhysicsCost is a per-frame work weight for app-side simulation
+	// (Platformer's physics and collisions, the AR demo's ball).
+	PhysicsCost int
+}
+
+// TriangleCount sums the triangles over all instances.
+func (s *Scene) TriangleCount() int {
+	n := 0
+	for _, in := range s.Instances {
+		n += in.Mesh.TriangleCount()
+	}
+	return n
+}
+
+// FrameStats counts rendering work for the performance model.
+type FrameStats struct {
+	TrianglesSubmitted  int
+	TrianglesRasterized int
+	FragmentsShaded     int
+	ShadingCostWeight   int // fragments weighted by shading model cost
+	PhysicsOps          int
+}
+
+// Renderer is a z-buffered software rasterizer.
+type Renderer struct {
+	W, H  int
+	FovY  float64
+	Near  float64
+	Far   float64
+	color *imgproc.RGB
+	depth []float32
+	Stats FrameStats
+}
+
+// NewRenderer creates a renderer with the given framebuffer size.
+func NewRenderer(w, h int) *Renderer {
+	return &Renderer{
+		W: w, H: h,
+		FovY: mathx.Deg2Rad(90), Near: 0.05, Far: 100,
+		color: imgproc.NewRGB(w, h),
+		depth: make([]float32, w*h),
+	}
+}
+
+// viewFromPose builds the view matrix for a body pose: the camera looks
+// along body +X with body +Z up (the same convention as the sensors
+// package).
+func viewFromPose(p mathx.Pose) mathx.Mat4 {
+	fwd := p.ApplyDir(mathx.Vec3{X: 1})
+	up := p.ApplyDir(mathx.Vec3{Z: 1})
+	return mathx.LookAt(p.Pos, p.Pos.Add(fwd), up)
+}
+
+// RenderFrame rasterizes the scene from the given head pose and returns
+// the framebuffer (reused across calls — clone if retained).
+func (r *Renderer) RenderFrame(s *Scene, pose mathx.Pose, t float64) *imgproc.RGB {
+	if s.Update != nil {
+		s.Update(s, t)
+		r.Stats.PhysicsOps += s.PhysicsCost
+	}
+	// clear
+	for i := range r.depth {
+		r.depth[i] = float32(math.Inf(1))
+	}
+	for i := range r.color.Pix {
+		r.color.Pix[i] = 0
+	}
+	view := viewFromPose(pose)
+	proj := mathx.Perspective(r.FovY, float64(r.W)/float64(r.H), r.Near, r.Far)
+	vp := proj.Mul(view)
+	for _, inst := range s.Instances {
+		r.drawMesh(inst, s, vp)
+	}
+	return r.color
+}
+
+// Framebuffer returns the last rendered image.
+func (r *Renderer) Framebuffer() *imgproc.RGB { return r.color }
+
+type clipVert struct {
+	clip mathx.Vec4
+	n    mathx.Vec3
+	wp   mathx.Vec3
+}
+
+func (r *Renderer) drawMesh(inst *Instance, s *Scene, vp mathx.Mat4) {
+	mesh := inst.Mesh
+	// transform all vertices once
+	cv := make([]clipVert, len(mesh.Vertices))
+	for i, v := range mesh.Vertices {
+		cv[i] = clipVert{
+			clip: vp.MulVec(mathx.Vec4{X: v.Pos.X, Y: v.Pos.Y, Z: v.Pos.Z, W: 1}),
+			n:    v.Normal,
+			wp:   v.Pos,
+		}
+	}
+	for _, tri := range mesh.Triangles {
+		r.Stats.TrianglesSubmitted++
+		a, b, c := cv[tri[0]], cv[tri[1]], cv[tri[2]]
+		// reject triangles with any vertex behind the near plane (simple
+		// clipping: fine for these scenes where geometry is room-scale)
+		if a.clip.W < r.Near || b.clip.W < r.Near || c.clip.W < r.Near {
+			continue
+		}
+		pa := a.clip.PerspectiveDivide()
+		pb := b.clip.PerspectiveDivide()
+		pc := c.clip.PerspectiveDivide()
+		// viewport transform (NDC y up → pixel y down)
+		ax := (pa.X + 1) / 2 * float64(r.W)
+		ay := (1 - pa.Y) / 2 * float64(r.H)
+		bx := (pb.X + 1) / 2 * float64(r.W)
+		by := (1 - pb.Y) / 2 * float64(r.H)
+		cx := (pc.X + 1) / 2 * float64(r.W)
+		cy := (1 - pc.Y) / 2 * float64(r.H)
+		// backface cull (counter-clockwise front faces in screen space)
+		area := (bx-ax)*(cy-ay) - (by-ay)*(cx-ax)
+		if area >= 0 {
+			continue
+		}
+		// bounding box
+		minX := int(math.Floor(math.Min(ax, math.Min(bx, cx))))
+		maxX := int(math.Ceil(math.Max(ax, math.Max(bx, cx))))
+		minY := int(math.Floor(math.Min(ay, math.Min(by, cy))))
+		maxY := int(math.Ceil(math.Max(ay, math.Max(by, cy))))
+		if minX < 0 {
+			minX = 0
+		}
+		if minY < 0 {
+			minY = 0
+		}
+		if maxX > r.W-1 {
+			maxX = r.W - 1
+		}
+		if maxY > r.H-1 {
+			maxY = r.H - 1
+		}
+		if minX > maxX || minY > maxY {
+			continue
+		}
+		r.Stats.TrianglesRasterized++
+		invArea := 1 / area
+		for py := minY; py <= maxY; py++ {
+			fy := float64(py) + 0.5
+			for px := minX; px <= maxX; px++ {
+				fx := float64(px) + 0.5
+				// barycentric
+				w0 := ((cx-bx)*(fy-by) - (cy-by)*(fx-bx)) * invArea
+				w1 := ((ax-cx)*(fy-cy) - (ay-cy)*(fx-cx)) * invArea
+				w2 := 1 - w0 - w1
+				if w0 < 0 || w1 < 0 || w2 < 0 {
+					continue
+				}
+				z := float32(w0*pa.Z + w1*pb.Z + w2*pc.Z)
+				di := py*r.W + px
+				if z >= r.depth[di] {
+					continue
+				}
+				r.depth[di] = z
+				n := a.n.Scale(w0).Add(b.n.Scale(w1)).Add(c.n.Scale(w2)).Normalized()
+				wp := a.wp.Scale(w0).Add(b.wp.Scale(w1)).Add(c.wp.Scale(w2))
+				col := r.shade(inst.Material, s, n, wp)
+				r.color.Pix[3*di] = col[0]
+				r.color.Pix[3*di+1] = col[1]
+				r.color.Pix[3*di+2] = col[2]
+				r.Stats.FragmentsShaded++
+				r.Stats.ShadingCostWeight += shadingCost(inst.Material.Model)
+			}
+		}
+	}
+}
+
+func shadingCost(m ShadingModel) int {
+	switch m {
+	case ShadeFlat:
+		return 1
+	case ShadeLambert:
+		return 2
+	case ShadeBlinnPhong:
+		return 4
+	default:
+		return 10
+	}
+}
+
+func (r *Renderer) shade(m Material, s *Scene, n, wp mathx.Vec3) [3]float32 {
+	amb := s.Ambient
+	var col [3]float32
+	col[0] = m.Albedo[0] * amb
+	col[1] = m.Albedo[1] * amb
+	col[2] = m.Albedo[2] * amb
+	if m.Model == ShadeFlat {
+		return col
+	}
+	for _, l := range s.Lights {
+		ld := l.Dir.Normalized().Neg() // Dir points from light toward scene
+		lam := mathx.Clamp(n.Dot(ld), 0, 1)
+		if lam <= 0 {
+			continue
+		}
+		diff := float32(lam)
+		col[0] += m.Albedo[0] * l.Color[0] * diff
+		col[1] += m.Albedo[1] * l.Color[1] * diff
+		col[2] += m.Albedo[2] * l.Color[2] * diff
+		if m.Model == ShadeLambert {
+			continue
+		}
+		// view direction approximated as +Z (headset-relative highlights
+		// are not needed for workload purposes)
+		v := mathx.Vec3{Z: 1}
+		h := ld.Add(v).Normalized()
+		ndh := mathx.Clamp(n.Dot(h), 0, 1)
+		if m.Model == ShadeBlinnPhong {
+			spec := float32(math.Pow(ndh, 32))
+			col[0] += 0.3 * spec * l.Color[0]
+			col[1] += 0.3 * spec * l.Color[1]
+			col[2] += 0.3 * spec * l.Color[2]
+			continue
+		}
+		// ShadePBR: GGX distribution + Schlick Fresnel + a procedural
+		// normal perturbation standing in for displacement mapping.
+		rough := mathx.Clamp(m.Roughness, 0.05, 1)
+		a2 := rough * rough * rough * rough
+		denom := ndh*ndh*(a2-1) + 1
+		d := a2 / (math.Pi * denom * denom)
+		f0 := 0.04 + 0.96*m.Metallic
+		fres := f0 + (1-f0)*math.Pow(1-ndh, 5)
+		// subsurface-ish wrap term
+		wrap := (lam + 0.3) / 1.3
+		spec := float32(d * fres * 0.25)
+		for ch := 0; ch < 3; ch++ {
+			col[ch] += (m.Albedo[ch]*float32(wrap)*0.4 + spec) * l.Color[ch]
+		}
+	}
+	for ch := 0; ch < 3; ch++ {
+		if col[ch] > 1 {
+			col[ch] = 1
+		}
+	}
+	return col
+}

@@ -1,0 +1,207 @@
+// Package reprojection implements ILLIXR's asynchronous reprojection
+// component (Table II, "Reprojection"): rotational (and optionally
+// translational) timewarp of the application-rendered frame onto the
+// freshest head pose, combined with mesh-based radial lens-distortion and
+// chromatic-aberration correction as in van Waveren's asynchronous
+// timewarp.
+package reprojection
+
+import (
+	"math"
+
+	"illixr/internal/imgproc"
+	"illixr/internal/mathx"
+)
+
+// Params configures the reprojection pass.
+type Params struct {
+	// FovY is the vertical field of view of both source and output, rad.
+	FovY float64
+	// Translational enables positional reprojection against a constant
+	// depth plane (ILLIXR v1 implements rotational only; translational was
+	// added later — §II-A).
+	Translational bool
+	// PlaneDepth is the assumed scene depth (m) for translational
+	// correction.
+	PlaneDepth float64
+	// MeshSize is the distortion-mesh resolution per axis (Table II:
+	// mesh-based radial distortion).
+	MeshSize int
+	// K1, K2 are the lens radial distortion coefficients to pre-correct.
+	K1, K2 float64
+	// ChromaticScale offsets K1 per color channel (red and blue are
+	// distorted slightly differently by the lens).
+	ChromaticScale float64
+}
+
+// DefaultParams mirrors a typical HMD configuration.
+func DefaultParams() Params {
+	return Params{
+		FovY:           mathx.Deg2Rad(90),
+		Translational:  false,
+		PlaneDepth:     2.0,
+		MeshSize:       32,
+		K1:             0.22,
+		K2:             0.08,
+		ChromaticScale: 0.015,
+	}
+}
+
+// Stats records per-frame reprojection work for the performance model,
+// split into the three tasks of Table VII.
+type Stats struct {
+	// FBO and OpenGL state-update tasks are modelled as fixed driver-call
+	// overhead; counted as "state ops".
+	StateOps int
+	// Pixels resampled by the reprojection shader.
+	Pixels int
+	// MeshVertices transformed (6 matrix-vector multiplies per vertex as
+	// per Table VII).
+	MeshVertices int
+}
+
+// Reprojector holds the precomputed distortion meshes.
+type Reprojector struct {
+	P Params
+	// distortion mesh per channel: for output grid vertex (i, j), the
+	// tangent-space (x, y) direction to sample.
+	meshR, meshG, meshB [][2]float64
+	meshW, meshH        int
+	Stats               Stats
+}
+
+// New builds a reprojector and precomputes its distortion meshes.
+func New(p Params) *Reprojector {
+	if p.MeshSize < 2 {
+		p.MeshSize = 2
+	}
+	r := &Reprojector{P: p, meshW: p.MeshSize + 1, meshH: p.MeshSize + 1}
+	r.meshR = r.buildMesh(p.K1*(1+p.ChromaticScale), p.K2)
+	r.meshG = r.buildMesh(p.K1, p.K2)
+	r.meshB = r.buildMesh(p.K1*(1-p.ChromaticScale), p.K2)
+	return r
+}
+
+// buildMesh computes, for each mesh vertex of the output (distorted
+// display) grid, the pre-distorted tangent-space coordinate to sample from
+// the rendered image: the inverse of the lens pincushion distortion.
+func (r *Reprojector) buildMesh(k1, k2 float64) [][2]float64 {
+	tanHalf := math.Tan(r.P.FovY / 2)
+	mesh := make([][2]float64, r.meshW*r.meshH)
+	for j := 0; j < r.meshH; j++ {
+		for i := 0; i < r.meshW; i++ {
+			// normalized device coords in [-1, 1]
+			nx := 2*float64(i)/float64(r.meshW-1) - 1
+			ny := 2*float64(j)/float64(r.meshH-1) - 1
+			// tangent space
+			tx := nx * tanHalf
+			ty := ny * tanHalf
+			// barrel-distort the sample position so that the lens's
+			// pincushion cancels: x' = x (1 + k1 r² + k2 r⁴)
+			r2 := tx*tx + ty*ty
+			d := 1 + k1*r2 + k2*r2*r2
+			mesh[j*r.meshW+i] = [2]float64{tx * d, ty * d}
+		}
+	}
+	return mesh
+}
+
+// meshLookup bilinearly interpolates a distortion mesh at output NDC.
+func meshLookup(mesh [][2]float64, w, h int, u, v float64) (x, y float64) {
+	fx := u * float64(w-1)
+	fy := v * float64(h-1)
+	x0 := int(fx)
+	y0 := int(fy)
+	if x0 >= w-1 {
+		x0 = w - 2
+	}
+	if y0 >= h-1 {
+		y0 = h - 2
+	}
+	ax := fx - float64(x0)
+	ay := fy - float64(y0)
+	v00 := mesh[y0*w+x0]
+	v10 := mesh[y0*w+x0+1]
+	v01 := mesh[(y0+1)*w+x0]
+	v11 := mesh[(y0+1)*w+x0+1]
+	x = (v00[0]*(1-ax)+v10[0]*ax)*(1-ay) + (v01[0]*(1-ax)+v11[0]*ax)*ay
+	y = (v00[1]*(1-ax)+v10[1]*ax)*(1-ay) + (v01[1]*(1-ax)+v11[1]*ax)*ay
+	return x, y
+}
+
+// Reproject warps the source frame (rendered at renderPose) to the fresh
+// pose and applies lens-distortion + chromatic-aberration correction. The
+// output has the same dimensions as the source.
+func (r *Reprojector) Reproject(src *imgproc.RGB, renderPose, freshPose mathx.Pose) *imgproc.RGB {
+	out := imgproc.NewRGB(src.W, src.H)
+	r.Stats.StateOps += 3 // FBO bind/clear + per-eye draw state (modelled)
+	r.Stats.MeshVertices += 3 * r.meshW * r.meshH
+	r.Stats.Pixels += src.W * src.H
+
+	// Rotation from fresh view to render view: a direction seen in the
+	// fresh camera frame is mapped into the render camera frame.
+	dq := renderPose.Rot.Inverse().Mul(freshPose.Rot)
+	dR := dq.RotationMatrix()
+	var dPos mathx.Vec3
+	if r.P.Translational {
+		// displacement of the camera expressed in the render frame
+		dPos = renderPose.Rot.Inverse().Rotate(freshPose.Pos.Sub(renderPose.Pos))
+	}
+
+	tanHalf := math.Tan(r.P.FovY / 2)
+	aspect := float64(src.W) / float64(src.H)
+	for py := 0; py < src.H; py++ {
+		v := (float64(py) + 0.5) / float64(src.H)
+		for px := 0; px < src.W; px++ {
+			u := (float64(px) + 0.5) / float64(src.W)
+			// per-channel distorted tangent-space direction in the fresh
+			// view (display space)
+			var rgb [3]float32
+			for c := 0; c < 3; c++ {
+				var tx, ty float64
+				switch c {
+				case 0:
+					tx, ty = meshLookup(r.meshR, r.meshW, r.meshH, u, v)
+				case 1:
+					tx, ty = meshLookup(r.meshG, r.meshW, r.meshH, u, v)
+				default:
+					tx, ty = meshLookup(r.meshB, r.meshW, r.meshH, u, v)
+				}
+				// direction in fresh camera space (camera looks down +Z
+				// here with x right, y down in image space)
+				dir := mathx.Vec3{X: tx * aspect, Y: ty, Z: 1}
+				// rotate into the render camera frame
+				rd := dR.MulVec(dir)
+				if r.P.Translational && r.P.PlaneDepth > 0 {
+					// intersect with the constant-depth plane and correct
+					// for camera displacement
+					pt := rd.Scale(r.P.PlaneDepth / math.Max(rd.Z, 1e-6))
+					pt = pt.Add(dPos)
+					rd = pt
+				}
+				if rd.Z <= 1e-6 {
+					continue // behind the render camera: leave black
+				}
+				sx := rd.X / rd.Z / aspect
+				sy := rd.Y / rd.Z
+				// back to pixel coordinates in the source frame
+				fx := (sx/tanHalf + 1) / 2 * float64(src.W)
+				fy := (sy/tanHalf + 1) / 2 * float64(src.H)
+				if fx < 0 || fy < 0 || fx >= float64(src.W) || fy >= float64(src.H) {
+					continue
+				}
+				rr, gg, bb := src.BilinearRGB(fx-0.5, fy-0.5)
+				switch c {
+				case 0:
+					rgb[0] = rr
+				case 1:
+					rgb[1] = gg
+				default:
+					rgb[2] = bb
+				}
+			}
+			out.Set(px, py, rgb[0], rgb[1], rgb[2])
+		}
+	}
+	return out
+}

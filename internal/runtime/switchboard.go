@@ -1,0 +1,197 @@
+// Package runtime implements ILLIXR's modular runtime and communication
+// framework (§II-B): typed event streams ("topics") supporting writes,
+// asynchronous reads (latest value) and synchronous reads (every value),
+// a plugin registry with interchangeable implementations per role, and a
+// live goroutine-based scheduler for running the system in wall-clock
+// time. The deterministic virtual-time scheduler used for the paper's
+// experiments lives in internal/simsched.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Event is a timestamped value on a topic. T is in seconds of session
+// time.
+type Event struct {
+	T     float64
+	Value any
+}
+
+// Topic is one event stream. Writers publish; asynchronous readers poll
+// the latest value; synchronous readers receive every event in order.
+type Topic struct {
+	name string
+
+	mu     sync.Mutex
+	latest Event
+	hasAny bool
+	seq    uint64
+	subs   []*Subscription
+}
+
+// Subscription is a synchronous reader handle: every event published
+// after Subscribe is delivered on C in order.
+type Subscription struct {
+	C      chan Event
+	topic  *Topic
+	closed bool
+}
+
+// Cancel detaches the subscription and closes its channel.
+func (s *Subscription) Cancel() {
+	s.topic.mu.Lock()
+	defer s.topic.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	subs := s.topic.subs[:0]
+	for _, sub := range s.topic.subs {
+		if sub != s {
+			subs = append(subs, sub)
+		}
+	}
+	s.topic.subs = subs
+	close(s.C)
+}
+
+// Publish writes an event to the topic. Synchronous subscribers with full
+// buffers drop the oldest event (latest-wins backpressure, matching an XR
+// runtime where stale sensor data is worthless).
+func (t *Topic) Publish(ev Event) {
+	t.mu.Lock()
+	t.latest = ev
+	t.hasAny = true
+	t.seq++
+	subs := make([]*Subscription, len(t.subs))
+	copy(subs, t.subs)
+	t.mu.Unlock()
+	for _, s := range subs {
+		select {
+		case s.C <- ev:
+		default:
+			// drop one, retry once
+			select {
+			case <-s.C:
+			default:
+			}
+			select {
+			case s.C <- ev:
+			default:
+			}
+		}
+	}
+}
+
+// Latest performs an asynchronous read: the most recent event, if any.
+func (t *Topic) Latest() (Event, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.latest, t.hasAny
+}
+
+// Seq returns the number of events ever published (for staleness checks).
+func (t *Topic) Seq() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Subscribe performs a synchronous-read registration with the given
+// buffer capacity.
+func (t *Topic) Subscribe(buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &Subscription{C: make(chan Event, buffer), topic: t}
+	t.mu.Lock()
+	t.subs = append(t.subs, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.name }
+
+// Switchboard is the topic directory.
+type Switchboard struct {
+	mu     sync.Mutex
+	topics map[string]*Topic
+}
+
+// NewSwitchboard creates an empty switchboard.
+func NewSwitchboard() *Switchboard {
+	return &Switchboard{topics: map[string]*Topic{}}
+}
+
+// GetTopic returns the named topic, creating it on first use.
+func (sb *Switchboard) GetTopic(name string) *Topic {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	t, ok := sb.topics[name]
+	if !ok {
+		t = &Topic{name: name}
+		sb.topics[name] = t
+	}
+	return t
+}
+
+// Topics lists all topic names.
+func (sb *Switchboard) Topics() []string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	out := make([]string, 0, len(sb.topics))
+	for n := range sb.topics {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Standard topic names used by the integrated system (Fig 2's streams).
+const (
+	TopicIMU       = "imu"             // sensors.IMUSample
+	TopicCamera    = "cam"             // sensors.CameraFrame
+	TopicSlowPose  = "slow_pose"       // vio.Estimate
+	TopicFastPose  = "fast_pose"       // integrator fast pose
+	TopicAppFrame  = "app_frame"       // rendered application frame
+	TopicWarped    = "reprojected"     // final display frame
+	TopicSound     = "soundfield"      // encoded ambisonic block
+	TopicBinaural  = "binaural"        // stereo output block
+	TopicEyeGaze   = "eye_gaze"        // eyetrack.Result pair
+	TopicSceneMesh = "scene_mesh"      // reconstruct map stats
+	TopicHologram  = "hologram_phase"  // hologram.Result
+	TopicVsync     = "vsync_estimate"  // next vsync time
+	TopicMetrics   = "metrics_records" // telemetry records
+)
+
+// Phonebook is the service directory plugins use to look up shared
+// facilities (the analogue of ILLIXR's phonebook).
+type Phonebook struct {
+	mu       sync.Mutex
+	services map[string]any
+}
+
+// NewPhonebook creates an empty phonebook.
+func NewPhonebook() *Phonebook { return &Phonebook{services: map[string]any{}} }
+
+// Register stores a service under a name; duplicate registration is an
+// error (plugins must not silently shadow each other).
+func (p *Phonebook) Register(name string, svc any) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.services[name]; exists {
+		return fmt.Errorf("runtime: service %q already registered", name)
+	}
+	p.services[name] = svc
+	return nil
+}
+
+// Lookup fetches a service by name.
+func (p *Phonebook) Lookup(name string) (any, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.services[name]
+	return s, ok
+}

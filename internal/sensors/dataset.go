@@ -1,0 +1,217 @@
+package sensors
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"illixr/internal/mathx"
+)
+
+// TimedPose is a ground-truth pose sample.
+type TimedPose struct {
+	T    float64
+	Pose mathx.Pose
+}
+
+// CameraFrame is one synchronized (stereo-rectified) camera observation:
+// the geometric feature channel used by the VIO back end plus, optionally,
+// a lazily-rendered image for the image front end.
+type CameraFrame struct {
+	Seq      int
+	T        float64
+	Features []FeatureObs
+}
+
+// Dataset is an offline, pre-recorded sensor recording with ground truth —
+// the analogue of the EuRoC "Vicon Room 1 Medium" sequence the paper uses
+// for VIO characterization and image-quality evaluation (§III-D, §III-E).
+type Dataset struct {
+	Name        string
+	Cam         CameraModel
+	World       *World
+	Traj        *Trajectory
+	IMU         []IMUSample
+	Frames      []CameraFrame
+	GroundTruth []TimedPose
+}
+
+// DatasetConfig controls synthetic dataset generation.
+type DatasetConfig struct {
+	Name       string
+	Duration   float64 // seconds
+	IMURateHz  float64
+	CamRateHz  float64
+	Landmarks  int
+	PixelNoise float64
+	IMUNoise   IMUNoise
+	MaxFeats   int // per-frame feature cap (0 = all)
+	Seed       int64
+}
+
+// DefaultDatasetConfig matches the paper's tuned system parameters
+// (Table III): camera 15 Hz, IMU 500 Hz.
+func DefaultDatasetConfig() DatasetConfig {
+	return DatasetConfig{
+		Name:       "synthetic",
+		Duration:   30,
+		IMURateHz:  500,
+		CamRateHz:  15,
+		Landmarks:  600,
+		PixelNoise: 0.4,
+		IMUNoise:   DefaultIMUNoise(),
+		MaxFeats:   150,
+		Seed:       42,
+	}
+}
+
+// GenerateDataset synthesizes a full recording from the config.
+func GenerateDataset(cfg DatasetConfig) *Dataset {
+	traj := DefaultTrajectory()
+	world := NewRoomWorld(cfg.Landmarks, cfg.Seed)
+	cam := VGACamera()
+	imu := NewIMU(traj, cfg.IMUNoise, cfg.IMURateHz, cfg.Seed+1)
+	featRng := rand.New(rand.NewSource(cfg.Seed + 2))
+
+	ds := &Dataset{Name: cfg.Name, Cam: cam, World: world, Traj: traj}
+	nIMU := int(cfg.Duration * cfg.IMURateHz)
+	for i := 0; i <= nIMU; i++ {
+		t := float64(i) / cfg.IMURateHz
+		ds.IMU = append(ds.IMU, imu.Sample(t))
+		ds.GroundTruth = append(ds.GroundTruth, TimedPose{T: t, Pose: traj.Pose(t)})
+	}
+	nCam := int(cfg.Duration * cfg.CamRateHz)
+	for i := 0; i <= nCam; i++ {
+		t := float64(i) / cfg.CamRateHz
+		feats := world.VisibleFeatures(cam, traj.Pose(t), cfg.PixelNoise, cfg.MaxFeats, featRng)
+		ds.Frames = append(ds.Frames, CameraFrame{Seq: i, T: t, Features: feats})
+	}
+	return ds
+}
+
+// ViconRoom1Medium returns the standard 30-second characterization
+// sequence (the analogue of EuRoC V1_02_medium used throughout §IV).
+func ViconRoom1Medium() *Dataset {
+	cfg := DefaultDatasetConfig()
+	cfg.Name = "vicon_room_1_medium"
+	return GenerateDataset(cfg)
+}
+
+// GroundTruthAt linearly interpolates the ground-truth pose at time t.
+func (d *Dataset) GroundTruthAt(t float64) mathx.Pose {
+	gt := d.GroundTruth
+	if len(gt) == 0 {
+		return mathx.PoseIdentity()
+	}
+	if t <= gt[0].T {
+		return gt[0].Pose
+	}
+	if t >= gt[len(gt)-1].T {
+		return gt[len(gt)-1].Pose
+	}
+	// binary search for the bracketing samples
+	lo, hi := 0, len(gt)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if gt[mid].T <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	span := gt[hi].T - gt[lo].T
+	if span <= 0 {
+		return gt[lo].Pose
+	}
+	return gt[lo].Pose.Interpolate(gt[hi].Pose, (t-gt[lo].T)/span)
+}
+
+// WriteIMUCSV writes the IMU channel in EuRoC format:
+// timestamp_ns, wx, wy, wz, ax, ay, az.
+func (d *Dataset) WriteIMUCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"#timestamp_ns", "wx", "wy", "wz", "ax", "ay", "az"}); err != nil {
+		return err
+	}
+	for _, s := range d.IMU {
+		rec := []string{
+			strconv.FormatInt(int64(s.T*1e9), 10),
+			fmtF(s.Gyro.X), fmtF(s.Gyro.Y), fmtF(s.Gyro.Z),
+			fmtF(s.Accel.X), fmtF(s.Accel.Y), fmtF(s.Accel.Z),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteGroundTruthCSV writes the ground-truth channel in EuRoC format:
+// timestamp_ns, px, py, pz, qw, qx, qy, qz.
+func (d *Dataset) WriteGroundTruthCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"#timestamp_ns", "px", "py", "pz", "qw", "qx", "qy", "qz"}); err != nil {
+		return err
+	}
+	for _, s := range d.GroundTruth {
+		rec := []string{
+			strconv.FormatInt(int64(s.T*1e9), 10),
+			fmtF(s.Pose.Pos.X), fmtF(s.Pose.Pos.Y), fmtF(s.Pose.Pos.Z),
+			fmtF(s.Pose.Rot.W), fmtF(s.Pose.Rot.X), fmtF(s.Pose.Rot.Y), fmtF(s.Pose.Rot.Z),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadIMUCSV parses an EuRoC-format IMU CSV stream.
+func ReadIMUCSV(r io.Reader) ([]IMUSample, error) {
+	cr := csv.NewReader(r)
+	var out []IMUSample
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			first = false
+			if len(rec) > 0 && len(rec[0]) > 0 && rec[0][0] == '#' {
+				continue // header
+			}
+		}
+		if len(rec) != 7 {
+			return nil, fmt.Errorf("sensors: IMU CSV wants 7 fields, got %d", len(rec))
+		}
+		ns, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, 6)
+		for i := 0; i < 6; i++ {
+			vals[i], err = strconv.ParseFloat(rec[i+1], 64)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, IMUSample{
+			T:     float64(ns) / 1e9,
+			Gyro:  mathx.Vec3{X: vals[0], Y: vals[1], Z: vals[2]},
+			Accel: mathx.Vec3{X: vals[3], Y: vals[4], Z: vals[5]},
+		})
+	}
+	return out, nil
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 17, 64) }

@@ -1,0 +1,107 @@
+// Package sensors provides the synthetic sensing substrate that stands in
+// for the ZED Mini camera + IMU rig of the original ILLIXR: an analytic
+// 6-DoF head-trajectory generator, an IMU measurement model with bias
+// random walk and white noise, a pinhole camera with radial distortion, a
+// landmark world that yields feature measurements and synthetic images,
+// and EuRoC-style datasets with ground truth ("Vicon Room 1 Medium"
+// analogue).
+package sensors
+
+import (
+	"math"
+
+	"illixr/internal/mathx"
+)
+
+// Trajectory is a smooth, infinitely differentiable head path. Positions
+// are sums of sinusoids (a walking loop around a room with head bob);
+// orientation is a smooth yaw sweep with pitch/roll oscillation, as a user
+// looking around while walking.
+type Trajectory struct {
+	// Position: center + sum of sinusoidal terms per axis.
+	Center mathx.Vec3
+	// Loop radius and angular rate of the main walking circle.
+	Radius   float64
+	RateHz   float64 // revolutions per second of the walking loop
+	BobAmp   float64 // vertical head bob amplitude (m)
+	BobHz    float64
+	YawRate  float64 // base yaw rate (rad/s), follows the walk direction
+	PitchAmp float64 // look up/down amplitude (rad)
+	PitchHz  float64
+	RollAmp  float64
+	RollHz   float64
+}
+
+// DefaultTrajectory resembles the paper's lab walk: a ~2 m-radius loop
+// taking ~20 s per revolution with gentle head motion.
+func DefaultTrajectory() *Trajectory {
+	return &Trajectory{
+		Center:   mathx.Vec3{X: 0, Y: 0, Z: 1.6},
+		Radius:   2.0,
+		RateHz:   0.05,
+		BobAmp:   0.03,
+		BobHz:    1.8,
+		YawRate:  2 * math.Pi * 0.05,
+		PitchAmp: 0.15,
+		PitchHz:  0.23,
+		RollAmp:  0.05,
+		RollHz:   0.31,
+	}
+}
+
+// Position returns the world-frame position at time t (seconds).
+func (tr *Trajectory) Position(t float64) mathx.Vec3 {
+	w := 2 * math.Pi * tr.RateHz
+	return mathx.Vec3{
+		X: tr.Center.X + tr.Radius*math.Cos(w*t),
+		Y: tr.Center.Y + tr.Radius*math.Sin(w*t),
+		Z: tr.Center.Z + tr.BobAmp*math.Sin(2*math.Pi*tr.BobHz*t),
+	}
+}
+
+// Velocity returns the analytic world-frame velocity at time t.
+func (tr *Trajectory) Velocity(t float64) mathx.Vec3 {
+	w := 2 * math.Pi * tr.RateHz
+	wb := 2 * math.Pi * tr.BobHz
+	return mathx.Vec3{
+		X: -tr.Radius * w * math.Sin(w*t),
+		Y: tr.Radius * w * math.Cos(w*t),
+		Z: tr.BobAmp * wb * math.Cos(wb*t),
+	}
+}
+
+// Acceleration returns the analytic world-frame acceleration at time t.
+func (tr *Trajectory) Acceleration(t float64) mathx.Vec3 {
+	w := 2 * math.Pi * tr.RateHz
+	wb := 2 * math.Pi * tr.BobHz
+	return mathx.Vec3{
+		X: -tr.Radius * w * w * math.Cos(w*t),
+		Y: -tr.Radius * w * w * math.Sin(w*t),
+		Z: -tr.BobAmp * wb * wb * math.Sin(wb*t),
+	}
+}
+
+// Orientation returns the world-frame orientation at time t: yaw follows
+// the walk, with sinusoidal pitch and roll.
+func (tr *Trajectory) Orientation(t float64) mathx.Quat {
+	yaw := tr.YawRate*t + math.Pi/2 // face along the walk direction
+	pitch := tr.PitchAmp * math.Sin(2*math.Pi*tr.PitchHz*t)
+	roll := tr.RollAmp * math.Sin(2*math.Pi*tr.RollHz*t)
+	return mathx.QuatFromEuler(yaw, pitch, roll)
+}
+
+// Pose returns the full pose at time t.
+func (tr *Trajectory) Pose(t float64) mathx.Pose {
+	return mathx.Pose{Pos: tr.Position(t), Rot: tr.Orientation(t)}
+}
+
+// AngularVelocityBody returns the body-frame angular velocity at time t,
+// computed from the analytic orientation by symmetric differencing (the
+// quaternion path is smooth, so this is accurate to O(dt²)).
+func (tr *Trajectory) AngularVelocityBody(t float64) mathx.Vec3 {
+	const dt = 1e-5
+	q0 := tr.Orientation(t - dt)
+	q1 := tr.Orientation(t + dt)
+	dq := q0.Inverse().Mul(q1)
+	return dq.LogMap().Scale(1 / (2 * dt))
+}

@@ -1,0 +1,88 @@
+package simsched
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGPUSlicePreemption verifies that a long sliced GPU phase lets a
+// higher-priority GPU task in between slices — the mechanism that keeps
+// reprojection latency bounded under a heavy application render.
+func TestGPUSlicePreemption(t *testing.T) {
+	run := func(slice float64) float64 {
+		s := New(4)
+		var worstWait float64
+		s.AddTask(&Task{
+			Name: "app", Period: 0.02, Priority: 1, DropIfBusy: true,
+			GPUSlice: slice,
+			Work:     func(k int, tm float64) (float64, float64) { return 0.0001, 0.018 },
+		})
+		s.AddTask(&Task{
+			Name: "reproj", Period: 0.008, Priority: 10, DropIfBusy: true,
+			Work: func(k int, tm float64) (float64, float64) { return 0.0001, 0.001 },
+			OnComplete: func(k int, rel, start, fin float64) {
+				if w := fin - rel; w > worstWait {
+					worstWait = w
+				}
+			},
+		})
+		s.Run(1.0)
+		return worstWait
+	}
+	unsliced := run(0)
+	sliced := run(0.001)
+	// without slicing, reprojection can wait behind an entire 18 ms render
+	if unsliced < 0.010 {
+		t.Errorf("unsliced worst wait %.4f unexpectedly small", unsliced)
+	}
+	// with 1 ms slices the wait is bounded by ~one slice + own work
+	if sliced > 0.004 {
+		t.Errorf("sliced worst wait %.4f too large", sliced)
+	}
+	if sliced >= unsliced {
+		t.Errorf("slicing did not help: %.4f vs %.4f", sliced, unsliced)
+	}
+}
+
+// TestGPUSliceConservesWork: slicing must not change total completed work.
+func TestGPUSliceConservesWork(t *testing.T) {
+	run := func(slice float64) (int, float64) {
+		s := New(2)
+		s.AddTask(&Task{
+			Name: "gpu", Period: 0.01, Priority: 1, DropIfBusy: true,
+			GPUSlice: slice,
+			Work:     func(k int, tm float64) (float64, float64) { return 0.0005, 0.004 },
+		})
+		s.Run(1.0)
+		_, gpuU := s.Utilization()
+		return s.Stats("gpu").Completed, gpuU
+	}
+	c0, u0 := run(0)
+	c1, u1 := run(0.001)
+	if c0 != c1 {
+		t.Errorf("completions differ: %d vs %d", c0, c1)
+	}
+	if math.Abs(u0-u1) > 0.01 {
+		t.Errorf("utilization differs: %v vs %v", u0, u1)
+	}
+}
+
+// TestGPUSliceSpanDurations: spans must report the full GPU duration even
+// when the phase executed in multiple slices.
+func TestGPUSliceSpanDurations(t *testing.T) {
+	s := New(1)
+	s.AddTask(&Task{
+		Name: "x", Period: 0.1, Priority: 1,
+		GPUSlice: 0.001,
+		Work:     func(k int, tm float64) (float64, float64) { return 0.001, 0.0095 },
+	})
+	s.Run(0.35)
+	for _, sp := range s.Stats("x").Spans {
+		if math.Abs(sp.GPUDuration-0.0095) > 1e-12 {
+			t.Fatalf("span GPU duration %v", sp.GPUDuration)
+		}
+		if sp.Finish-sp.Start < 0.0105-1e-9 {
+			t.Fatalf("span wall time %v shorter than work", sp.Finish-sp.Start)
+		}
+	}
+}

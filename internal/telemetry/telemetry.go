@@ -1,0 +1,185 @@
+// Package telemetry provides ILLIXR's logging and metrics support
+// (§II-C): per-frame records, motion-to-photon samples, summary
+// statistics, and text/CSV emitters used by the figure and table
+// generators in cmd/illixr-bench.
+package telemetry
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"illixr/internal/mathx"
+)
+
+// MTPSample is one motion-to-photon measurement, logged by the
+// reprojection component every time it runs (§III-E): the age of the pose
+// used, the reprojection time itself, and the wait until the frame buffer
+// is accepted for display. All fields are milliseconds.
+type MTPSample struct {
+	T      float64 // display (vsync) time, seconds
+	IMUAge float64
+	Reproj float64
+	Swap   float64
+}
+
+// Total returns the motion-to-photon latency in milliseconds (without
+// t_display, as in the paper).
+func (m MTPSample) Total() float64 { return m.IMUAge + m.Reproj + m.Swap }
+
+// Series is a named sequence of (t, value) points, the exchange format
+// for the timeline figures (Fig 4, Fig 7).
+type Series struct {
+	Name   string
+	T      []float64
+	Values []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(t, v float64) {
+	s.T = append(s.T, t)
+	s.Values = append(s.Values, v)
+}
+
+// Summary holds mean ± standard deviation plus extremes.
+type Summary struct {
+	Mean, Std, Min, Max, P99 float64
+	N                        int
+}
+
+// Summarize computes a Summary of values.
+func Summarize(values []float64) Summary {
+	return Summary{
+		Mean: mathx.Mean(values),
+		Std:  mathx.StdDev(values),
+		Min:  mathx.Min(values),
+		Max:  mathx.Max(values),
+		P99:  mathx.Percentile(values, 99),
+		N:    len(values),
+	}
+}
+
+// String renders "mean±std".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.1f±%.1f", s.Mean, s.Std)
+}
+
+// Table is a simple text table renderer for the bench output.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteSeriesCSV emits one or more aligned series as CSV (t plus one
+// column per series; series are sampled at their own timestamps, rows are
+// the union).
+func WriteSeriesCSV(w io.Writer, series ...*Series) error {
+	cw := csv.NewWriter(w)
+	header := []string{"t"}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	// union of timestamps
+	tset := map[float64]bool{}
+	for _, s := range series {
+		for _, t := range s.T {
+			tset[t] = true
+		}
+	}
+	ts := make([]float64, 0, len(tset))
+	for t := range tset {
+		ts = append(ts, t)
+	}
+	sort.Float64s(ts)
+	for _, t := range ts {
+		row := []string{strconv.FormatFloat(t, 'g', 10, 64)}
+		for _, s := range series {
+			v, ok := lookup(s, t)
+			if ok {
+				row = append(row, strconv.FormatFloat(v, 'g', 10, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func lookup(s *Series, t float64) (float64, bool) {
+	i := sort.SearchFloat64s(s.T, t)
+	if i < len(s.T) && s.T[i] == t {
+		return s.Values[i], true
+	}
+	return 0, false
+}
+
+// Bar renders an ASCII bar of the given fraction (0–1) and width.
+func Bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// TraceRecorder captures per-topic event traces — the rosbag-style
+// component input/output recording the paper proposes for driving
+// architectural simulations of individual components (§V-G, idea 2). The
+// recorder stores one scalar summary per event (payload sizes or domain
+// summaries supplied by the caller), sufficient to replay arrival
+// processes into a simulator.
+type TraceRecorder struct {
+	mu     sync.Mutex
+	traces map[string][]TraceEvent
+}
+
+// TraceEvent is one recorded event.
+type TraceEvent struct {
+	T     float64 // session time, seconds
+	Value float64 // caller-defined scalar (e.g. payload size, work units)
+}
+
+// NewTraceRecorder creates an empty recorder.
+func NewTraceRecorder() *TraceRecorder {
+	return &TraceRecorder{traces: map[string][]TraceEvent{}}
+}
+
+// Record appends one event to a topic's trace.
+func (tr *TraceRecorder) Record(topic string, t, value float64) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.traces[topic] = append(tr.traces[topic], TraceEvent{T: t, Value: value})
+}
+
+// Topics lists recorded topic names, sorted.
+func (tr *TraceRecorder) Topics() []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]string, 0, len(tr.traces))
+	for k := range tr.traces {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Events returns a copy of one topic's trace.
+func (tr *TraceRecorder) Events(topic string) []TraceEvent {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]TraceEvent, len(tr.traces[topic]))
+	copy(out, tr.traces[topic])
+	return out
+}
+
+// InterArrivals returns the gaps between consecutive events of a topic —
+// the arrival process a component simulator would be driven with.
+func (tr *TraceRecorder) InterArrivals(topic string) []float64 {
+	evs := tr.Events(topic)
+	if len(evs) < 2 {
+		return nil
+	}
+	out := make([]float64, len(evs)-1)
+	for i := 1; i < len(evs); i++ {
+		out[i-1] = evs[i].T - evs[i-1].T
+	}
+	return out
+}
+
+// WriteCSV emits the full bag: topic, t, value rows in time order.
+func (tr *TraceRecorder) WriteCSV(w io.Writer) error {
+	tr.mu.Lock()
+	type row struct {
+		topic string
+		ev    TraceEvent
+	}
+	var rows []row
+	for topic, evs := range tr.traces {
+		for _, ev := range evs {
+			rows = append(rows, row{topic, ev})
+		}
+	}
+	tr.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].ev.T != rows[j].ev.T {
+			return rows[i].ev.T < rows[j].ev.T
+		}
+		return rows[i].topic < rows[j].topic
+	})
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"topic", "t", "value"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.topic,
+			strconv.FormatFloat(r.ev.T, 'g', -1, 64),
+			strconv.FormatFloat(r.ev.Value, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTraceCSV parses a bag written by WriteCSV.
+func ReadTraceCSV(r io.Reader) (*TraceRecorder, error) {
+	cr := csv.NewReader(r)
+	out := NewTraceRecorder()
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			first = false
+			if len(rec) > 0 && rec[0] == "topic" {
+				continue
+			}
+		}
+		if len(rec) != 3 {
+			return nil, fmt.Errorf("telemetry: trace CSV wants 3 fields, got %d", len(rec))
+		}
+		t, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, err
+		}
+		out.Record(rec[0], t, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceRecorderBasics(t *testing.T) {
+	tr := NewTraceRecorder()
+	tr.Record("imu", 0.002, 6)
+	tr.Record("imu", 0.004, 6)
+	tr.Record("cam", 0.0667, 640*480)
+	if got := tr.Topics(); len(got) != 2 || got[0] != "cam" {
+		t.Errorf("topics = %v", got)
+	}
+	evs := tr.Events("imu")
+	if len(evs) != 2 || evs[1].T != 0.004 {
+		t.Errorf("imu events %v", evs)
+	}
+	gaps := tr.InterArrivals("imu")
+	if len(gaps) != 1 || math.Abs(gaps[0]-0.002) > 1e-12 {
+		t.Errorf("gaps %v", gaps)
+	}
+	if tr.InterArrivals("cam") != nil {
+		t.Error("single-event topic should have no gaps")
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	tr := NewTraceRecorder()
+	for i := 0; i < 5; i++ {
+		tr.Record("a", float64(i)*0.1, float64(i))
+		tr.Record("b", float64(i)*0.1+0.05, float64(i*2))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// rows are time-sorted with interleaved topics
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "topic,t,value" {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a,0,") || !strings.HasPrefix(lines[2], "b,0.05,") {
+		t.Errorf("ordering: %q %q", lines[1], lines[2])
+	}
+	back, err := ReadTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topic := range []string{"a", "b"} {
+		orig := tr.Events(topic)
+		got := back.Events(topic)
+		if len(got) != len(orig) {
+			t.Fatalf("%s: %d vs %d events", topic, len(got), len(orig))
+		}
+		for i := range got {
+			if got[i] != orig[i] {
+				t.Fatalf("%s event %d mismatch", topic, i)
+			}
+		}
+	}
+}
+
+func TestTraceCSVRejectsMalformed(t *testing.T) {
+	if _, err := ReadTraceCSV(strings.NewReader("a,b\n")); err == nil {
+		t.Error("2-field row accepted")
+	}
+	if _, err := ReadTraceCSV(strings.NewReader("a,notanumber,3\n")); err == nil {
+		t.Error("bad float accepted")
+	}
+}
+
+func TestTraceRecorderConcurrent(t *testing.T) {
+	tr := NewTraceRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record("x", float64(i), float64(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(tr.Events("x")) != 800 {
+		t.Errorf("events = %d", len(tr.Events("x")))
+	}
+}

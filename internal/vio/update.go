@@ -1,0 +1,397 @@
+package vio
+
+import (
+	"sort"
+
+	"illixr/internal/mathx"
+)
+
+// ProcessFrame runs one full VIO iteration: IMU propagation, clone
+// augmentation, track maintenance, MSCKF and SLAM updates, SLAM promotion
+// and marginalization. It returns the new estimate with work statistics.
+func (f *Filter) ProcessFrame(in FrameInput) Estimate {
+	f.stats = FrameStats{T: in.T}
+
+	// 1) propagate through the buffered IMU. Each step integrates exactly
+	//    from the filter's current time to the sample time (covering batch
+	//    boundaries), and the last sample is extrapolated so the state
+	//    lands exactly on the frame timestamp: the clone must be
+	//    time-aligned with the measurements.
+	for _, cur := range in.IMU {
+		if cur.T <= f.t+1e-12 {
+			f.lastIMU, f.hasIMU = cur, true
+			continue
+		}
+		prev := cur
+		if f.hasIMU {
+			prev = f.lastIMU
+		}
+		prev.T = f.t
+		f.propagate(prev, cur)
+		f.lastIMU, f.hasIMU = cur, true
+	}
+	if f.hasIMU && in.T > f.t+1e-12 {
+		prev := f.lastIMU
+		prev.T = f.t
+		virtual := f.lastIMU
+		virtual.T = in.T
+		f.propagate(prev, virtual)
+	}
+	f.t = in.T
+
+	// 2) stochastic cloning of the current pose
+	f.augmentClone()
+	curClone := f.clones[len(f.clones)-1].ID
+
+	// 3) track bookkeeping (the front end already associated features)
+	live := make(map[int]bool, len(in.Features))
+	for _, tf := range in.Features {
+		live[tf.ID] = true
+		tr, ok := f.tracks[tf.ID]
+		if !ok {
+			tr = &Track{FeatureID: tf.ID}
+			f.tracks[tf.ID] = tr
+			f.stats.DetectedFeatures++
+		} else {
+			f.stats.TrackedFeatures++
+		}
+		tr.Obs = append(tr.Obs, Obs{CloneID: curClone, XN: tf.XN, YN: tf.YN})
+	}
+
+	// 4) SLAM update: state features observed in this frame, then prune
+	//    state features that left the field of view
+	f.slamUpdate(live, curClone)
+	f.pruneSLAM(live)
+
+	// 5) MSCKF update: tracks that just died with enough observations, or
+	//    tracks about to lose their oldest observation to marginalization.
+	f.msckfUpdate(live)
+
+	// 6) promote long, still-alive tracks to SLAM features
+	f.promoteSLAM(live)
+
+	// 7) window management
+	for len(f.clones) > f.P.MaxClones {
+		f.marginalizeOldest()
+	}
+
+	f.stats.StateDim = f.dim()
+	return Estimate{
+		T: f.t, Pose: f.Pose(), Vel: f.vel, BiasG: f.bg, BiasA: f.ba,
+		Stats: f.stats,
+	}
+}
+
+// clonePoses gathers the poses for a track's observations. Returns nil if
+// any observation references a clone no longer in the window.
+func (f *Filter) clonePoses(tr *Track) ([]mathx.Pose, []int) {
+	poses := make([]mathx.Pose, 0, len(tr.Obs))
+	idx := make([]int, 0, len(tr.Obs))
+	for _, o := range tr.Obs {
+		ci := f.cloneIndex(o.CloneID)
+		if ci < 0 {
+			return nil, nil
+		}
+		poses = append(poses, f.clones[ci].Pose)
+		idx = append(idx, ci)
+	}
+	return poses, idx
+}
+
+// msckfUpdate triangulates dead tracks and applies the nullspace-projected
+// MSCKF measurement update.
+func (f *Filter) msckfUpdate(live map[int]bool) {
+	sigma := f.P.PixelNoise / 320.0 // normalized-plane noise (fx=320)
+	sigma2 := sigma * sigma
+
+	// Collect candidate tracks: dead, not SLAM, enough observations.
+	var cands []*Track
+	for id, tr := range f.tracks {
+		if tr.InState || live[id] {
+			continue
+		}
+		if len(tr.Obs) >= f.P.MinTrackLen {
+			cands = append(cands, tr)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if len(cands[i].Obs) != len(cands[j].Obs) {
+			return len(cands[i].Obs) > len(cands[j].Obs)
+		}
+		return cands[i].FeatureID < cands[j].FeatureID
+	})
+
+	n := f.dim()
+	var rowsH []*mathx.Mat // per-feature projected Jacobians
+	var rowsR [][]float64
+	totalRows := 0
+	for _, tr := range cands {
+		if totalRows > 3*n { // cap stacked size; QR compresses the rest
+			break
+		}
+		h, r, ok := f.featureResidual(tr, sigma2)
+		if !ok {
+			f.stats.RejectedChi2++
+			continue
+		}
+		rowsH = append(rowsH, h)
+		rowsR = append(rowsR, r)
+		totalRows += h.Rows
+		f.stats.InitFeatures++
+	}
+	// remove consumed tracks regardless of acceptance (they are dead)
+	for _, tr := range cands {
+		delete(f.tracks, tr.FeatureID)
+	}
+	if totalRows == 0 {
+		return
+	}
+	bigH := mathx.NewMat(totalRows, n)
+	bigR := make([]float64, totalRows)
+	row := 0
+	for i, h := range rowsH {
+		bigH.SetBlock(row, 0, h)
+		copy(bigR[row:row+h.Rows], rowsR[i])
+		row += h.Rows
+	}
+	f.stats.MSCKFRows = totalRows
+	f.ekfUpdate(bigH, bigR, sigma2)
+}
+
+// featureResidual triangulates one track and produces its nullspace-
+// projected Jacobian and residual, chi-square gated.
+func (f *Filter) featureResidual(tr *Track, sigma2 float64) (*mathx.Mat, []float64, bool) {
+	poses, idx := f.clonePoses(tr)
+	if poses == nil || len(poses) < 2 {
+		return nil, nil, false
+	}
+	pf, _, ok := TriangulateGN(poses, tr.Obs, f.P.MaxIterGN)
+	if !ok {
+		return nil, nil, false
+	}
+	n := f.dim()
+	m := 2 * len(tr.Obs)
+	hx := mathx.NewMat(m, n)
+	hf := mathx.NewMat(m, 3)
+	r := make([]float64, m)
+	validRows := 0
+	for i, o := range tr.Obs {
+		res, hc, hfi, okJ := f.obsJacobian(idx[i], pf, o)
+		if !okJ {
+			continue
+		}
+		row := validRows * 2
+		off := imuDim + 6*idx[i]
+		for c := 0; c < 6; c++ {
+			hx.Set(row, off+c, hc[0][c])
+			hx.Set(row+1, off+c, hc[1][c])
+		}
+		for c := 0; c < 3; c++ {
+			hf.Set(row, c, hfi[0][c])
+			hf.Set(row+1, c, hfi[1][c])
+		}
+		r[row] = res[0]
+		r[row+1] = res[1]
+		validRows++
+	}
+	if validRows < 2 {
+		return nil, nil, false
+	}
+	m = 2 * validRows
+	hx = hx.Block(0, 0, m, n)
+	hf = hf.Block(0, 0, m, 3)
+	r = r[:m]
+	// nullspace projection removes the feature-position dependence
+	ns := hf.Nullspace() // m×(m-3)
+	if ns.Cols == 0 {
+		return nil, nil, false
+	}
+	hProj := ns.T().MulMat(hx)
+	rProj := ns.T().MulVecN(r)
+	// chi-square gate: rᵀ (H P Hᵀ + σ²I)⁻¹ r < χ²₀.₉₅(dof)
+	s := hProj.MulMat(f.cov).MulMat(hProj.T())
+	for i := 0; i < s.Rows; i++ {
+		s.Set(i, i, s.At(i, i)+sigma2)
+	}
+	sol, okS := s.CholeskySolve(rProj)
+	if !okS {
+		return nil, nil, false
+	}
+	gamma := 0.0
+	for i := range rProj {
+		gamma += rProj[i] * sol[i]
+	}
+	if gamma > f.P.ChiSquareScale*mathx.Chi2Threshold95(len(rProj)) {
+		return nil, nil, false
+	}
+	return hProj, rProj, true
+}
+
+// slamUpdate applies the EKF-SLAM measurement update for state features
+// observed in the current frame.
+func (f *Filter) slamUpdate(live map[int]bool, curClone int) {
+	if len(f.slam) == 0 {
+		return
+	}
+	sigma := f.P.PixelNoise / 320.0
+	sigma2 := sigma * sigma
+	ci := f.cloneIndex(curClone)
+	if ci < 0 {
+		return
+	}
+	n := f.dim()
+	so := f.slamOffset()
+	type rowSet struct {
+		h *mathx.Mat
+		r []float64
+	}
+	var rows []rowSet
+	for si, sf := range f.slam {
+		tr, ok := f.tracks[sf.ID]
+		if !ok || !live[sf.ID] {
+			continue
+		}
+		// latest observation is the one at the current clone
+		var o Obs
+		found := false
+		for i := len(tr.Obs) - 1; i >= 0; i-- {
+			if tr.Obs[i].CloneID == curClone {
+				o = tr.Obs[i]
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		res, hc, hfi, okJ := f.obsJacobian(ci, sf.Pos, o)
+		if !okJ {
+			continue
+		}
+		h := mathx.NewMat(2, n)
+		off := imuDim + 6*ci
+		for c := 0; c < 6; c++ {
+			h.Set(0, off+c, hc[0][c])
+			h.Set(1, off+c, hc[1][c])
+		}
+		foff := so + 3*si
+		for c := 0; c < 3; c++ {
+			h.Set(0, foff+c, hfi[0][c])
+			h.Set(1, foff+c, hfi[1][c])
+		}
+		r := []float64{res[0], res[1]}
+		// per-feature chi-square gate
+		s := h.MulMat(f.cov).MulMat(h.T())
+		s.Set(0, 0, s.At(0, 0)+sigma2)
+		s.Set(1, 1, s.At(1, 1)+sigma2)
+		sol, okS := s.CholeskySolve(r)
+		if !okS {
+			continue
+		}
+		gamma := r[0]*sol[0] + r[1]*sol[1]
+		if gamma > f.P.ChiSquareScale*mathx.Chi2Threshold95(2) {
+			f.stats.RejectedChi2++
+			continue
+		}
+		rows = append(rows, rowSet{h, r})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	bigH := mathx.NewMat(2*len(rows), n)
+	bigR := make([]float64, 2*len(rows))
+	for i, rs := range rows {
+		bigH.SetBlock(2*i, 0, rs.h)
+		bigR[2*i] = rs.r[0]
+		bigR[2*i+1] = rs.r[1]
+	}
+	f.stats.SLAMRows = len(bigR)
+	f.ekfUpdate(bigH, bigR, sigma2)
+}
+
+// pruneSLAM drops SLAM features that are no longer observed.
+func (f *Filter) pruneSLAM(live map[int]bool) {
+	for i := len(f.slam) - 1; i >= 0; i-- {
+		if live[f.slam[i].ID] {
+			continue
+		}
+		// remove feature i from state
+		off := f.slamOffset() + 3*i
+		f.cov = removeRange(f.cov, off, 3)
+		if tr, ok := f.tracks[f.slam[i].ID]; ok {
+			tr.InState = false
+			delete(f.tracks, f.slam[i].ID)
+		}
+		f.slam = append(f.slam[:i], f.slam[i+1:]...)
+	}
+}
+
+// promoteSLAM upgrades mature live tracks into state features. The initial
+// covariance is taken from the triangulation information matrix (inflated)
+// with zero cross-correlation — a documented approximation of OpenVINS's
+// delayed initialization.
+func (f *Filter) promoteSLAM(live map[int]bool) {
+	if len(f.slam) >= f.P.MaxSLAM {
+		return
+	}
+	type cand struct {
+		tr  *Track
+		len int
+	}
+	var cands []cand
+	for id, tr := range f.tracks {
+		if tr.InState || !live[id] {
+			continue
+		}
+		if len(tr.Obs) >= f.P.MaxClones-1 {
+			cands = append(cands, cand{tr, len(tr.Obs)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].len != cands[j].len {
+			return cands[i].len > cands[j].len
+		}
+		return cands[i].tr.FeatureID < cands[j].tr.FeatureID
+	})
+	for _, c := range cands {
+		if len(f.slam) >= f.P.MaxSLAM {
+			break
+		}
+		poses, _ := f.clonePoses(c.tr)
+		if poses == nil {
+			continue
+		}
+		pf, residual, ok := TriangulateGN(poses, c.tr.Obs, f.P.MaxIterGN)
+		if !ok || residual > 5*f.P.PixelNoise/320.0 {
+			continue
+		}
+		// grow covariance by 3
+		n := f.dim()
+		newCov := mathx.NewMat(n+3, n+3)
+		newCov.SetBlock(0, 0, f.cov)
+		// initial variance: conservative isotropic prior scaled by depth
+		depth := pf.Sub(poses[len(poses)-1].Pos).Norm()
+		v := 0.05 * depth * depth / float64(len(c.tr.Obs))
+		if v < 1e-4 {
+			v = 1e-4
+		}
+		for i := 0; i < 3; i++ {
+			newCov.Set(n+i, n+i, v)
+		}
+		f.cov = newCov
+		f.slam = append(f.slam, slamFeat{ID: c.tr.FeatureID, Pos: pf})
+		c.tr.InState = true
+		// keep only the most recent observation; SLAM features update
+		// against the newest clone from now on.
+		if len(c.tr.Obs) > 1 {
+			c.tr.Obs = c.tr.Obs[len(c.tr.Obs)-1:]
+		}
+		f.stats.InitFeatures++
+	}
+}
+
+// SLAMFeatureCount returns the number of landmarks currently in the state.
+func (f *Filter) SLAMFeatureCount() int { return len(f.slam) }
+
+// CloneCount returns the number of stochastic clones in the window.
+func (f *Filter) CloneCount() int { return len(f.clones) }
