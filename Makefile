@@ -1,0 +1,17 @@
+.PHONY: check test build vet bench
+
+# Full verification gate: vet + build + race-enabled tests.
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+bench:
+	go test -bench=. -benchmem ./...

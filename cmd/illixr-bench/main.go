@@ -7,7 +7,7 @@
 //	illixr-bench -exp table5 -duration 10 -quality-frames 8
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
-// fig3 fig4 fig5 fig6 fig7 fig8 ablation-vio all
+// fig3 fig4 fig5 fig6 fig7 fig8 ablation-vio faults all
 package main
 
 import (
@@ -20,9 +20,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table7, fig3..fig8, ablation-vio, all)")
+	exp := flag.String("exp", "all", "experiment id (table1..table7, fig3..fig8, ablation-vio, faults, all)")
 	duration := flag.Float64("duration", 30, "virtual seconds per integrated run (the paper uses ~30)")
 	qualityFrames := flag.Int("quality-frames", 8, "sampled frames for the Table V image-quality pipeline")
+	faultScenario := flag.String("fault-scenario", "light", "fault scenario for -exp faults (vio-stall|light|stress)")
+	faultSeed := flag.Int64("fault-seed", 42, "seed for the fault schedule")
 	flag.Parse()
 
 	w := os.Stdout
@@ -93,6 +95,13 @@ func main() {
 	}
 	if all || wants["ablation-vio"] {
 		bench.AblationVIO(w, *duration)
+		fmt.Fprintln(w)
+	}
+	if all || wants["faults"] {
+		if _, err := bench.FaultScenario(w, *faultScenario, *duration, *faultSeed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Fprintln(w)
 	}
 }

@@ -6,6 +6,7 @@
 //
 //	illixr-run -app sponza -platform desktop -duration 30
 //	illixr-run -app platformer -platform jetson-lp -quality
+//	illixr-run -app platformer -fault-scenario vio-stall -fault-seed 11
 package main
 
 import (
@@ -13,9 +14,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
+	"illixr/internal/bench"
 	"illixr/internal/config"
 	"illixr/internal/core"
+	"illixr/internal/faults"
 	"illixr/internal/perfmodel"
 	"illixr/internal/render"
 	"illixr/internal/telemetry"
@@ -27,6 +31,9 @@ func main() {
 	duration := flag.Float64("duration", 30, "virtual seconds")
 	quality := flag.Bool("quality", false, "run the offline SSIM/FLIP pipeline too")
 	seed := flag.Int64("seed", 42, "deterministic seed")
+	faultScenario := flag.String("fault-scenario", "none",
+		"inject a seeded fault schedule: "+strings.Join(faults.ScenarioNames(), "|"))
+	faultSeed := flag.Int64("fault-seed", 42, "seed for the fault schedule")
 	flag.Parse()
 
 	plat, ok := perfmodel.PlatformByName(*platName)
@@ -48,6 +55,13 @@ func main() {
 	cfg.Seed = *seed
 	if *quality {
 		cfg.QualityFrames = 8
+	}
+	if *faultScenario != "" && *faultScenario != "none" {
+		fc, err := faults.Scenario(*faultScenario, *faultSeed, *duration)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults = faults.Generate(fc)
 	}
 	res := core.Run(cfg)
 
@@ -80,5 +94,10 @@ func main() {
 	if *quality {
 		fmt.Printf("Image quality vs idealized system: SSIM %.2f±%.2f, 1-FLIP %.2f±%.2f\n",
 			res.SSIM.Mean, res.SSIM.Std, res.OneMinusFLIP.Mean, res.OneMinusFLIP.Std)
+	}
+	if res.Faults != nil {
+		fmt.Printf("\nFault scenario %q (seed %d), schedule fingerprint %016x\n\n",
+			*faultScenario, *faultSeed, res.Faults.Schedule.Fingerprint())
+		bench.RenderFaultReport(os.Stdout, res)
 	}
 }

@@ -11,6 +11,7 @@ package core
 
 import (
 	"illixr/internal/config"
+	"illixr/internal/faults"
 	"illixr/internal/perfmodel"
 	"illixr/internal/power"
 	"illixr/internal/render"
@@ -36,6 +37,14 @@ type RunConfig struct {
 	Trace *telemetry.TraceRecorder
 	// QualityRes is the offline-render resolution per axis pair.
 	QualityW, QualityH int
+	// Faults, when non-nil, injects the deterministic fault schedule into
+	// the run: sensor-dropout windows suppress camera/IMU releases, a VIO
+	// stall hangs the estimator until its timeout-restart, and cost
+	// spikes inflate component compute. The degradation policies (VIO
+	// skipping dropped frames, dead-reckoning on stale poses, reprojection
+	// warping through the stall) and their QoE impact are measured into
+	// RunResult.Faults. See internal/faults.
+	Faults *faults.Schedule
 }
 
 // DefaultRunConfig returns the paper's tuned configuration for an app and
@@ -105,6 +114,11 @@ type RunResult struct {
 	// (Table V); zero when the quality pipeline was disabled.
 	SSIM         telemetry.Summary
 	OneMinusFLIP telemetry.Summary
+
+	// Faults measures the QoE impact of every injected fault window
+	// (MTP before/during/after, pose staleness, recovery time); nil when
+	// the run had no fault schedule.
+	Faults *FaultReport
 }
 
 // MTPTotals extracts the total MTP milliseconds per sample.

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"illixr/internal/faults"
+	"illixr/internal/integrator"
+	"illixr/internal/mathx"
+	"illixr/internal/runtime"
+	"illixr/internal/sensors"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestSupervisedIntegratorSurvivesInjectedPanic is the live-runtime half of
+// the fault story: an injected panic mid-stream crashes the integrator
+// plugin, the supervisor restarts it with backoff, and the fast-pose stream
+// resumes — the process never dies and shutdown stays clean.
+func TestSupervisedIntegratorSurvivesInjectedPanic(t *testing.T) {
+	dcfg := sensors.DefaultDatasetConfig()
+	dcfg.Duration = 2
+	ds := sensors.GenerateDataset(dcfg)
+
+	loader := runtime.NewLoader()
+	sched := &faults.Schedule{Windows: []faults.Window{
+		{Kind: faults.PluginPanic, Component: "integrator.rk4", Start: 0.5, End: 0.5},
+	}}
+	inj := faults.NewInjector(sched)
+	if err := loader.Context().Phonebook.Register(faults.InjectorService, inj); err != nil {
+		t.Fatal(err)
+	}
+
+	player := &DatasetPlayerPlugin{Dataset: ds}
+	init := integrator.State{
+		Pos: ds.Traj.Position(0), Vel: ds.Traj.Velocity(0), Rot: ds.Traj.Orientation(0),
+	}
+	sup := runtime.NewSupervisor("fast_pose.supervised", func() runtime.Plugin {
+		return &IntegratorPlugin{Initial: init}
+	}, runtime.SupervisorOptions{
+		MaxRestarts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond, Seed: 1,
+	})
+	for _, p := range []runtime.Plugin{player, sup} {
+		if err := loader.Load(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fastTopic := loader.Context().Switchboard.GetTopic(runtime.TopicFastPose)
+
+	// first half of the stream: below the panic threshold, poses flow
+	player.PumpUntil(0.4)
+	waitFor(t, "pre-fault fast poses", func() bool { return fastTopic.Seq() > 0 })
+	if sup.Restarts() != 0 {
+		t.Fatalf("restarted before the fault fired: %d", sup.Restarts())
+	}
+
+	// cross the panic threshold: the integrator instance crashes and the
+	// supervisor must bring up a replacement
+	player.PumpUntil(1.0)
+	waitFor(t, "supervisor restart", func() bool {
+		return sup.Restarts() == 1 && sup.Health() == runtime.Healthy
+	})
+	if inj.Fired() != 1 {
+		t.Errorf("injector fired %d windows, want 1", inj.Fired())
+	}
+
+	// the stream resumes: new sensor events reach the restarted instance
+	seqAfterRestart := fastTopic.Seq()
+	player.PumpUntil(2.0)
+	waitFor(t, "post-restart fast poses", func() bool { return fastTopic.Seq() > seqAfterRestart })
+
+	// the panic window fires once: the replacement instance must not be
+	// re-crashed by the same window
+	if sup.Restarts() != 1 {
+		t.Errorf("restarts = %d after stream end, want 1", sup.Restarts())
+	}
+	if err := loader.Shutdown(); err != nil {
+		t.Fatalf("shutdown after supervised recovery: %v", err)
+	}
+}
+
+// TestIntegratorResumesFromLastPublishedPose checks the graceful-degradation
+// detail of a restart: a fresh integrator instance anchors on the last pose
+// the crashed instance published instead of teleporting back to the origin.
+func TestIntegratorResumesFromLastPublishedPose(t *testing.T) {
+	loader := runtime.NewLoader()
+	last := mathx.Pose{Pos: mathx.Vec3{X: 1.5, Y: -0.25, Z: 0.75}, Rot: mathx.QuatIdentity()}
+	loader.Context().Switchboard.GetTopic(runtime.TopicFastPose).Publish(runtime.Event{T: 3.2, Value: last})
+
+	p := &IntegratorPlugin{Initial: integrator.State{Pos: mathx.Vec3{X: 9, Y: 9, Z: 9}}}
+	if err := loader.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := loader.Shutdown(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if got := p.in.State().Pos; got != last.Pos {
+		t.Errorf("restarted integrator anchored at %v, want last published pose %v", got, last.Pos)
+	}
+}

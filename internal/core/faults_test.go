@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"illixr/internal/faults"
+	"illixr/internal/perfmodel"
+	"illixr/internal/render"
+)
+
+// faultRun executes one integrated run with the named fault scenario.
+func faultRun(t *testing.T, scenario string, seed int64, duration float64) *RunResult {
+	t.Helper()
+	cfg := DefaultRunConfig(render.AppPlatformer, perfmodel.Desktop)
+	cfg.Duration = duration
+	fc, err := faults.Scenario(scenario, seed, duration)
+	if err != nil {
+		t.Fatalf("scenario %q: %v", scenario, err)
+	}
+	cfg.Faults = faults.Generate(fc)
+	res := Run(cfg)
+	if res.Faults == nil {
+		t.Fatalf("run with fault schedule returned nil FaultReport")
+	}
+	return res
+}
+
+// TestVIOStallScenarioDeterministic is the headline acceptance test: a
+// seeded VIO stall (≥ 500 ms, mid-run) must be deterministic across runs —
+// identical fault schedule, identical restart counts — and the RunResult
+// must show bounded MTP degradation during the fault plus a measured
+// recovery time after it.
+func TestVIOStallScenarioDeterministic(t *testing.T) {
+	const seed, dur = 11, 8.0
+	a := faultRun(t, "vio-stall", seed, dur)
+	b := faultRun(t, "vio-stall", seed, dur)
+
+	// identical fault schedule
+	if fa, fb := a.Faults.Schedule.Fingerprint(), b.Faults.Schedule.Fingerprint(); fa != fb {
+		t.Fatalf("schedule fingerprints differ across runs: %x vs %x", fa, fb)
+	}
+	stalls := a.Faults.Schedule.ByKind(faults.VIOStall)
+	if len(stalls) != 1 {
+		t.Fatalf("vio-stall scenario produced %d stall windows, want 1", len(stalls))
+	}
+	w := stalls[0]
+	if w.Duration() < 0.5 {
+		t.Errorf("stall duration %.3fs, want >= 0.5s", w.Duration())
+	}
+	if w.Start < 0.1*dur || w.End > 0.9*dur {
+		t.Errorf("stall window [%.2f, %.2f) not mid-run for duration %.0fs", w.Start, w.End, dur)
+	}
+
+	// identical restart counts
+	if a.Faults.Restarts[CompVIO] != 1 || b.Faults.Restarts[CompVIO] != 1 {
+		t.Errorf("vio restarts = %d / %d, want 1 / 1",
+			a.Faults.Restarts[CompVIO], b.Faults.Restarts[CompVIO])
+	}
+
+	// identical window reports
+	if len(a.Faults.Windows) != len(b.Faults.Windows) {
+		t.Fatalf("window report counts differ: %d vs %d", len(a.Faults.Windows), len(b.Faults.Windows))
+	}
+	for i := range a.Faults.Windows {
+		wa, wb := a.Faults.Windows[i], b.Faults.Windows[i]
+		if wa.Window != wb.Window || wa.RecoverySec != wb.RecoverySec ||
+			wa.StalenessPeakMs != wb.StalenessPeakMs ||
+			wa.MTPDuring != wb.MTPDuring {
+			t.Errorf("window %d report differs across runs:\n  %+v\n  %+v", i, wa, wb)
+		}
+	}
+
+	rep := a.Faults.Windows[0]
+
+	// the display keeps refreshing through the stall (reprojection warps on
+	// stale poses instead of blanking), so MTP samples exist in the window
+	// and their degradation is bounded: the stall starves VIO, not the
+	// IMU→integrator fast-pose path that MTP's IMU-age term measures.
+	if rep.MTPDuring.N == 0 {
+		t.Fatal("no MTP samples during the stall window — display stalled with VIO")
+	}
+	if rep.MTPBefore.N == 0 || rep.MTPAfter.N == 0 {
+		t.Fatal("missing baseline MTP samples around the stall window")
+	}
+	if rep.MTPDuring.Mean > rep.MTPBefore.Mean+5 {
+		t.Errorf("MTP mean degraded unboundedly: %.2fms during vs %.2fms before",
+			rep.MTPDuring.Mean, rep.MTPBefore.Mean)
+	}
+
+	// the displayed-pose staleness must actually show the fault: the peak
+	// during the window should approach the stall length, far above the
+	// steady-state camera-period staleness.
+	if rep.StalenessPeakMs < w.Duration()*1000*0.8 {
+		t.Errorf("staleness peak %.0fms does not reflect a %.0fms stall",
+			rep.StalenessPeakMs, w.Duration()*1000)
+	}
+
+	// measured recovery: VIO produces again shortly after the window
+	if rep.RecoverySec <= 0 {
+		t.Fatalf("recovery time not measured: %.3f", rep.RecoverySec)
+	}
+	if rep.RecoverySec > 0.5 {
+		t.Errorf("VIO took %.3fs to recover after the stall, want < 0.5s", rep.RecoverySec)
+	}
+
+	// dead-reckoning uncertainty grows with staleness during the stall
+	peakSigma := 0.0
+	for i, ts := range a.Faults.UncertaintyM.T {
+		if ts >= w.Start && ts < w.End && a.Faults.UncertaintyM.Values[i] > peakSigma {
+			peakSigma = a.Faults.UncertaintyM.Values[i]
+		}
+	}
+	if peakSigma <= 0.01 {
+		t.Errorf("dead-reckoning uncertainty never grew above its floor during the stall: %.4f", peakSigma)
+	}
+}
+
+// TestCleanRunUnaffectedByNilSchedule guards the degradation hooks: a nil
+// fault schedule must leave the clean-run results bit-identical to a run
+// built before the fault subsystem existed (all hooks no-op on nil).
+func TestCleanRunUnaffectedByNilSchedule(t *testing.T) {
+	cfg := DefaultRunConfig(render.AppSponza, perfmodel.Desktop)
+	cfg.Duration = 3
+	a := Run(cfg)
+	if a.Faults != nil {
+		t.Fatal("clean run produced a FaultReport")
+	}
+	b := Run(cfg)
+	for _, comp := range Components {
+		if a.FrameRateHz[comp] != b.FrameRateHz[comp] {
+			t.Errorf("%s frame rate not deterministic: %v vs %v", comp, a.FrameRateHz[comp], b.FrameRateHz[comp])
+		}
+	}
+}
+
+// TestSensorDropoutDegradation checks the dropout policies on the "light"
+// scenario: suppressed sensor releases are counted, VIO skips camera gaps
+// cleanly (it still produces an estimate after every window), and the run
+// completes with sane metrics despite the faults.
+func TestSensorDropoutDegradation(t *testing.T) {
+	res := faultRun(t, "light", 7, 10)
+	rep := res.Faults
+
+	cams := rep.Schedule.ByKind(faults.CameraDrop)
+	imus := rep.Schedule.ByKind(faults.IMUDrop)
+	if len(cams) == 0 || len(imus) == 0 {
+		t.Fatalf("light scenario lacks dropout windows: %d camera, %d imu", len(cams), len(imus))
+	}
+	if rep.SensorDrops[CompCamera] == 0 {
+		t.Error("camera dropout window suppressed no releases")
+	}
+	if rep.SensorDrops[CompIMU] == 0 {
+		t.Error("imu dropout window suppressed no releases")
+	}
+
+	// every dropout recovers: the affected stream produces after each window
+	for _, wr := range rep.Windows {
+		switch wr.Window.Kind {
+		case faults.CameraDrop, faults.IMUDrop:
+			if wr.RecoverySec < 0 {
+				t.Errorf("%v: recovery not measured", wr.Window)
+			} else if wr.RecoverySec > 1 {
+				t.Errorf("%v: recovery took %.2fs, want < 1s", wr.Window, wr.RecoverySec)
+			}
+		}
+	}
+
+	// degradation is graceful: the run still renders and MTP stays finite
+	if res.FrameRateHz[CompReproj] < 0.8*res.TargetHz[CompReproj] {
+		t.Errorf("reprojection rate collapsed under light faults: %.1f Hz of %.1f Hz",
+			res.FrameRateHz[CompReproj], res.TargetHz[CompReproj])
+	}
+	for _, m := range res.MTP {
+		if math.IsNaN(m.Total()) || m.Total() < 0 {
+			t.Fatalf("invalid MTP sample %+v under faults", m)
+		}
+	}
+}
+
+// TestCostSpikeAbsorbedByFrameDropping checks the overload policy: a cost
+// spike inflates per-instance execution time of the target component, and
+// the latest-wins drop policy absorbs the overload without the pipeline
+// stalling after the window.
+func TestCostSpikeAbsorbedByFrameDropping(t *testing.T) {
+	res := faultRun(t, "stress", 5, 10)
+	rep := res.Faults
+	spikes := rep.Schedule.ByKind(faults.CostSpike)
+	if len(spikes) == 0 {
+		t.Fatal("stress scenario produced no cost spikes")
+	}
+	for _, wr := range rep.Windows {
+		if wr.Window.Kind != faults.CostSpike {
+			continue
+		}
+		if wr.RecoverySec < 0 {
+			t.Errorf("%v: no post-window execution observed", wr.Window)
+		}
+	}
+	// timeline shows the spike: some instance of a spiked component inside
+	// its window must run slower than that component's median
+	sawSpike := false
+	for _, w := range spikes {
+		series := res.Timeline[w.Component]
+		if series == nil {
+			continue
+		}
+		var inside, outside []float64
+		for i, ts := range series.T {
+			if ts >= w.Start && ts < w.End {
+				inside = append(inside, series.Values[i])
+			} else {
+				outside = append(outside, series.Values[i])
+			}
+		}
+		if len(inside) > 0 && len(outside) > 0 && maxOf(inside) > maxOf(outside) {
+			sawSpike = true
+		}
+	}
+	if !sawSpike {
+		t.Error("no spiked component showed elevated execution time inside its window")
+	}
+}
+
+func maxOf(vs []float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -4,11 +4,23 @@ import (
 	"fmt"
 
 	"illixr/internal/audio"
+	"illixr/internal/faults"
 	"illixr/internal/integrator"
 	"illixr/internal/mathx"
 	"illixr/internal/runtime"
 	"illixr/internal/sensors"
 )
+
+// injectorFrom fetches the fault injector, if the live runtime has one
+// registered (see faults.InjectorService).
+func injectorFrom(ctx *runtime.Context) *faults.Injector {
+	if v, ok := ctx.Phonebook.Lookup(faults.InjectorService); ok {
+		if in, ok2 := v.(*faults.Injector); ok2 {
+			return in
+		}
+	}
+	return nil
+}
 
 // This file implements live plugins: the same components wired onto the
 // runtime's event streams (§II-B), used by the examples and the live
@@ -83,21 +95,35 @@ func (p *IntegratorPlugin) Name() string { return "integrator.rk4" }
 // Start implements runtime.Plugin.
 func (p *IntegratorPlugin) Start(ctx *runtime.Context) error {
 	p.ctx = ctx
-	p.in = integrator.New(p.Initial)
+	init := p.Initial
+	// On a supervisor restart the fast-pose topic still holds the last pose
+	// the crashed instance published; resume from it rather than snapping
+	// back to the session origin (graceful degradation: a brief fast-pose
+	// gap, no teleport).
+	if ev, ok := ctx.Switchboard.GetTopic(runtime.TopicFastPose).Latest(); ok {
+		if pose, ok2 := ev.Value.(mathx.Pose); ok2 {
+			init.Pos, init.Rot = pose.Pos, pose.Rot
+		}
+	}
+	p.in = integrator.New(init)
 	p.sub = ctx.Switchboard.GetTopic(runtime.TopicIMU).Subscribe(4096)
 	p.done = make(chan struct{})
 	fastTopic := ctx.Switchboard.GetTopic(runtime.TopicFastPose)
-	go func() {
+	inj := injectorFrom(ctx)
+	ctx.Go(p.Name(), func() {
 		defer close(p.done)
 		for ev := range p.sub.C {
 			sample, ok := ev.Value.(sensors.IMUSample)
 			if !ok {
 				continue
 			}
+			if inj.ShouldPanic(p.Name(), sample.T) {
+				panic(fmt.Sprintf("injected fault at t=%.3f", sample.T))
+			}
 			p.in.Feed(sample)
 			fastTopic.Publish(runtime.Event{T: sample.T, Value: p.in.FastPose()})
 		}
-	}()
+	})
 	return nil
 }
 

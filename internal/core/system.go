@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"illixr/internal/faults"
 	"illixr/internal/perfmodel"
 	"illixr/internal/power"
 	"illixr/internal/simsched"
@@ -50,12 +51,30 @@ func Run(cfg RunConfig) *RunResult {
 		return cpuMs / 1000, gpuMs / 1000
 	}
 
+	// --- fault hooks ----------------------------------------------------
+	// The seeded schedule (cfg.Faults, nil for a clean run) drives three
+	// hook points: sensor dropout suppresses releases, VIO stall windows
+	// hang the estimator until its timeout-restart, and cost spikes
+	// multiply component compute. See faults.go for the degradation
+	// policies these exercise.
+	fs := cfg.Faults
+	spike := func(comp string, t float64) float64 { return fs.CostMultiplier(comp, t) }
+	dropSensor := func(comp string) func(int, float64) bool {
+		if fs == nil {
+			return nil
+		}
+		return func(k int, t float64) bool { return fs.SensorDropped(comp, t) }
+	}
+	faultRestarts := map[string]int{}
+	stallSeen := map[int]bool{}
+
 	// --- perception pipeline -------------------------------------------
 	sim.AddTask(&simsched.Task{
 		Name: CompIMU, Period: imuPeriod, Priority: 100,
+		SkipRelease: dropSensor("imu"),
 		Work: func(k int, t float64) (float64, float64) {
 			c, g := scale(perfmodel.IMUCost())
-			return c * (1 + 0.1*jitter(k)), g
+			return c * (1 + 0.1*jitter(k)) * spike(CompIMU, t), g
 		},
 		OnComplete: func(k int, rel, start, fin float64) {
 			lastIMUSample = rel
@@ -70,7 +89,7 @@ func Run(cfg RunConfig) *RunResult {
 			if k%211 == 0 {
 				c += 0.0025 // rare OS scheduling hiccup
 			}
-			return c, g
+			return c * spike(CompIntegrator, t), g
 		},
 		OnComplete: func(k int, rel, start, fin float64) {
 			poseLog = append(poseLog, poseStamp{available: fin, sampleT: lastIMUSample})
@@ -78,9 +97,10 @@ func Run(cfg RunConfig) *RunResult {
 	})
 	sim.AddTask(&simsched.Task{
 		Name: CompCamera, Period: camPeriod, Priority: 60,
+		SkipRelease: dropSensor("camera"),
 		Work: func(k int, t float64) (float64, float64) {
 			c, g := scale(perfmodel.CameraCost())
-			return c * (1 + 0.1*jitter(k*3+2)), g
+			return c * (1 + 0.1*jitter(k*3+2)) * spike(CompCamera, t), g
 		},
 		OnComplete: func(k int, rel, start, fin float64) {
 			pendingVIOFrame = k
@@ -93,7 +113,21 @@ func Run(cfg RunConfig) *RunResult {
 		Work: func(k int, t float64) (float64, float64) {
 			vioFrameOf[k] = pendingVIOFrame
 			c, g := scale(perc.vioCost(pendingVIOFrame))
-			return c * (1 + 0.06*jitter(k*5+3)), g
+			c *= (1 + 0.06*jitter(k*5+3)) * spike(CompVIO, t)
+			if i, ok := fs.ActiveIndex(faults.VIOStall, "", t); ok {
+				// the estimator hangs until the stall window ends, holding
+				// its core; the runtime's watchdog then restarts it —
+				// camera triggers meanwhile are dropped latest-wins, and
+				// the integrator dead-reckons on the last good estimate
+				if rem := fs.Windows[i].End - t; rem > 0 {
+					c += rem
+				}
+				if !stallSeen[i] {
+					stallSeen[i] = true
+					faultRestarts[CompVIO]++
+				}
+			}
+			return c, g
 		},
 		OnComplete: func(k int, rel, start, fin float64) {
 			vioDone = append(vioDone, vioCompletion{frame: vioFrameOf[k], finish: fin})
@@ -110,7 +144,9 @@ func Run(cfg RunConfig) *RunResult {
 		// a fixed-size command chunk takes longer on slower GPUs
 		GPUSlice: 0.0005 / plat.GPUSpeed,
 		Work: func(k int, t float64) (float64, float64) {
-			return scale(appProf.costAt(t, k))
+			c, g := scale(appProf.costAt(t, k))
+			m := spike(CompApp, t)
+			return c * m, g * m
 		},
 		OnComplete: func(k int, rel, start, fin float64) {
 			appDone = append(appDone, struct {
@@ -134,7 +170,8 @@ func Run(cfg RunConfig) *RunResult {
 		Name: CompReproj, Period: vsync, Offset: vsync - lead, Priority: 90,
 		DropIfBusy: true,
 		Work: func(k int, t float64) (float64, float64) {
-			return rc * (1 + 0.07*jitter(k*11+4)), rg * (1 + 0.07*jitter(k*13+5))
+			m := spike(CompReproj, t)
+			return rc * (1 + 0.07*jitter(k*11+4)) * m, rg * (1 + 0.07*jitter(k*13+5)) * m
 		},
 		OnComplete: func(k int, rel, start, fin float64) {
 			deadline := rel + lead
@@ -161,7 +198,7 @@ func Run(cfg RunConfig) *RunResult {
 		Name: CompAudioEnc, Period: audioPeriod, Priority: 70,
 		Work: func(k int, t float64) (float64, float64) {
 			c, g := scale(perfmodel.AudioEncodeCost(2))
-			return c * (1 + 0.08*jitter(k*17+6)), g
+			return c * (1 + 0.08*jitter(k*17+6)) * spike(CompAudioEnc, t), g
 		},
 		OnComplete: func(k int, rel, start, fin float64) {
 			sim.Trigger(CompAudioPlay)
@@ -171,7 +208,7 @@ func Run(cfg RunConfig) *RunResult {
 		Name: CompAudioPlay, Priority: 68, DropIfBusy: true,
 		Work: func(k int, t float64) (float64, float64) {
 			c, g := scale(perfmodel.AudioPlaybackCost(12))
-			return c * (1 + 0.08*jitter(k*19+7)), g
+			return c * (1 + 0.08*jitter(k*19+7)) * spike(CompAudioPlay, t), g
 		},
 	})
 
@@ -234,6 +271,9 @@ func Run(cfg RunConfig) *RunResult {
 	}
 	res.CPUUtil, res.GPUUtil = sim.Utilization()
 	res.Power = power.Estimate(plat, power.Utilization{CPU: res.CPUUtil, GPU: res.GPUUtil})
+	if fs != nil {
+		res.Faults = buildFaultReport(fs, sim, mtp, vioDone, poseLog, warpDone, faultRestarts)
+	}
 
 	if cfg.QualityFrames > 0 {
 		evaluateQuality(cfg, perc, appProf, vioDone, appDone, warpDone, res)

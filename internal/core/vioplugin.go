@@ -51,14 +51,18 @@ func (p *VIOPlugin) Start(ctx *runtime.Context) error {
 	p.imuSub = ctx.Switchboard.GetTopic(runtime.TopicIMU).Subscribe(8192)
 	p.done = make(chan struct{})
 	slowTopic := ctx.Switchboard.GetTopic(runtime.TopicSlowPose)
+	inj := injectorFrom(ctx)
 
-	go func() {
+	ctx.Go(p.Name(), func() {
 		defer close(p.done)
 		var imuBuf []sensors.IMUSample
 		for ev := range p.camSub.C {
 			frame, ok := ev.Value.(sensors.CameraFrame)
 			if !ok {
 				continue
+			}
+			if inj.ShouldPanic(p.Name(), frame.T) {
+				panic(fmt.Sprintf("injected fault at t=%.3f", frame.T))
 			}
 			// drain all IMU samples already delivered (published before
 			// this camera frame on the pumped, time-ordered streams)
@@ -94,7 +98,7 @@ func (p *VIOPlugin) Start(ctx *runtime.Context) error {
 			p.mu.Unlock()
 			slowTopic.Publish(runtime.Event{T: est.T, Value: est})
 		}
-	}()
+	})
 	return nil
 }
 

@@ -1,0 +1,142 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg, err := Scenario("stress", 7, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Generate(cfg), Generate(cfg)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same config produced different schedules")
+	}
+	if len(a.Windows) != len(b.Windows) || len(a.Windows) == 0 {
+		t.Fatalf("windows: %d vs %d", len(a.Windows), len(b.Windows))
+	}
+	for i := range a.Windows {
+		if a.Windows[i] != b.Windows[i] {
+			t.Fatalf("window %d differs: %v vs %v", i, a.Windows[i], b.Windows[i])
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 8
+	if Generate(cfg2).Fingerprint() == a.Fingerprint() {
+		t.Fatal("different seed produced identical schedule")
+	}
+}
+
+func TestWindowsLandInsideRun(t *testing.T) {
+	cfg, _ := Scenario("stress", 3, 20)
+	s := Generate(cfg)
+	for _, w := range s.Windows {
+		if w.Start < 0.05*cfg.Duration || w.End > 0.95*cfg.Duration+1e-9 {
+			t.Errorf("window outside middle band: %v", w)
+		}
+		if w.End < w.Start {
+			t.Errorf("inverted window: %v", w)
+		}
+	}
+	sorted := true
+	for i := 1; i < len(s.Windows); i++ {
+		if s.Windows[i].Start < s.Windows[i-1].Start {
+			sorted = false
+		}
+	}
+	if !sorted {
+		t.Error("windows not sorted by start time")
+	}
+}
+
+func TestVIOStallScenarioMeetsMinimumDuration(t *testing.T) {
+	// The acceptance scenario needs a stall of at least 500 ms; the
+	// preset draws from [0.7, 1.3] x 750 ms, so every seed qualifies.
+	for seed := int64(0); seed < 50; seed++ {
+		cfg, _ := Scenario("vio-stall", seed, 8)
+		s := Generate(cfg)
+		stalls := s.ByKind(VIOStall)
+		if len(stalls) != 1 {
+			t.Fatalf("seed %d: %d stalls", seed, len(stalls))
+		}
+		if stalls[0].Duration() < 0.5 {
+			t.Errorf("seed %d: stall %.3fs shorter than 500 ms", seed, stalls[0].Duration())
+		}
+	}
+}
+
+func TestScheduleQueries(t *testing.T) {
+	s := &Schedule{Windows: []Window{
+		{Kind: CameraDrop, Component: "camera", Start: 1, End: 2},
+		{Kind: IMUDrop, Component: "imu", Start: 3, End: 3.5},
+		{Kind: CostSpike, Component: "application", Start: 4, End: 5, Magnitude: 3},
+		{Kind: CostSpike, Component: "application", Start: 4.5, End: 6, Magnitude: 2},
+	}}
+	if !s.SensorDropped("camera", 1.5) || s.SensorDropped("camera", 2.5) {
+		t.Error("camera dropout window misdetected")
+	}
+	if s.SensorDropped("camera", 2) {
+		t.Error("window end must be exclusive")
+	}
+	if !s.SensorDropped("imu", 3.2) || s.SensorDropped("imu", 1.5) {
+		t.Error("imu dropout window misdetected")
+	}
+	if m := s.CostMultiplier("application", 4.7); math.Abs(m-6) > 1e-12 {
+		t.Errorf("overlapping spikes multiplier = %v, want 6", m)
+	}
+	if m := s.CostMultiplier("application", 3.9); m != 1 {
+		t.Errorf("idle multiplier = %v", m)
+	}
+	if m := s.CostMultiplier("vio", 4.7); m != 1 {
+		t.Errorf("wrong-component multiplier = %v", m)
+	}
+	if i, ok := s.ActiveIndex(CostSpike, "", 4.2); !ok || i != 2 {
+		t.Errorf("ActiveIndex = %d %v", i, ok)
+	}
+	var nilSched *Schedule
+	if nilSched.SensorDropped("camera", 1) || nilSched.CostMultiplier("x", 1) != 1 {
+		t.Error("nil schedule must be a no-op")
+	}
+}
+
+func TestInjectorFiresOncePerWindow(t *testing.T) {
+	s := &Schedule{Windows: []Window{
+		{Kind: PluginPanic, Component: "integrator.rk4", Start: 0.5, End: 0.5},
+		{Kind: PluginPanic, Component: "integrator.rk4", Start: 2.0, End: 2.0},
+	}}
+	in := NewInjector(s)
+	if in.ShouldPanic("integrator.rk4", 0.2) {
+		t.Error("fired before window")
+	}
+	if !in.ShouldPanic("integrator.rk4", 0.6) {
+		t.Error("did not fire at window")
+	}
+	if in.ShouldPanic("integrator.rk4", 0.7) {
+		t.Error("window re-fired")
+	}
+	if in.ShouldPanic("vio.msckf", 3) {
+		t.Error("fired for wrong plugin")
+	}
+	if !in.ShouldPanic("integrator.rk4", 2.5) {
+		t.Error("second window did not fire")
+	}
+	if in.Fired() != 2 {
+		t.Errorf("fired = %d", in.Fired())
+	}
+	if NewInjector(nil).ShouldPanic("x", 10) {
+		t.Error("nil schedule injector fired")
+	}
+}
+
+func TestScenarioUnknown(t *testing.T) {
+	if _, err := Scenario("bogus", 1, 10); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	for _, n := range ScenarioNames() {
+		if _, err := Scenario(n, 1, 10); err != nil {
+			t.Errorf("preset %q rejected: %v", n, err)
+		}
+	}
+}

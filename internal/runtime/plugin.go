@@ -1,16 +1,42 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 )
 
 // Context is handed to every plugin at start: the switchboard for event
-// streams and the phonebook for services.
+// streams, the phonebook for services, and the health board tracking
+// per-plugin and per-stream condition.
 type Context struct {
 	Switchboard *Switchboard
 	Phonebook   *Phonebook
+	Health      *HealthBoard
+
+	// crash routes a fatal plugin error to the owning supervisor. Nil for
+	// unsupervised plugins (a goroutine panic then propagates and crashes
+	// the process, as before supervision existed).
+	crash func(plugin string, err error)
+}
+
+// Go launches fn on a goroutine with panic recovery: a panic becomes a
+// crash report to the plugin's supervisor, which restarts the plugin with
+// backoff instead of taking the whole runtime down. Unsupervised plugins
+// re-panic, preserving fail-fast behaviour.
+func (c *Context) Go(plugin string, fn func()) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if c.crash == nil {
+					panic(r)
+				}
+				c.crash(plugin, fmt.Errorf("runtime: plugin %s panicked: %v", plugin, r))
+			}
+		}()
+		fn()
+	}()
 }
 
 // Plugin is a dynamically loadable ILLIXR component. In the original,
@@ -111,6 +137,7 @@ func NewLoader() *Loader {
 	return &Loader{ctx: &Context{
 		Switchboard: NewSwitchboard(),
 		Phonebook:   NewPhonebook(),
+		Health:      NewHealthBoard(),
 	}}
 }
 
@@ -127,15 +154,17 @@ func (l *Loader) Load(p Plugin) error {
 	return nil
 }
 
-// Shutdown stops all plugins in reverse start order, returning the first
-// error encountered.
+// Shutdown stops all plugins in reverse start order. Every plugin is
+// stopped even if earlier ones fail; all stop errors are aggregated with
+// errors.Join so a multi-plugin teardown failure is never truncated to
+// its first error.
 func (l *Loader) Shutdown() error {
-	var first error
+	var errs []error
 	for i := len(l.started) - 1; i >= 0; i-- {
-		if err := l.started[i].Stop(); err != nil && first == nil {
-			first = err
+		if err := l.started[i].Stop(); err != nil {
+			errs = append(errs, fmt.Errorf("stopping %s: %w", l.started[i].Name(), err))
 		}
 	}
 	l.started = nil
-	return first
+	return errors.Join(errs...)
 }

@@ -34,19 +34,20 @@ type Topic struct {
 // Subscription is a synchronous reader handle: every event published
 // after Subscribe is delivered on C in order.
 type Subscription struct {
-	C      chan Event
-	topic  *Topic
+	C     chan Event
+	topic *Topic
+
+	// life guards closed so Publish never sends on a channel Cancel has
+	// closed: delivery holds it for the duration of the send, Cancel takes
+	// it before closing. Always acquired after (never inside) topic.mu.
+	life   sync.Mutex
 	closed bool
 }
 
-// Cancel detaches the subscription and closes its channel.
+// Cancel detaches the subscription and closes its channel. Safe against
+// concurrent Publish and idempotent.
 func (s *Subscription) Cancel() {
 	s.topic.mu.Lock()
-	defer s.topic.mu.Unlock()
-	if s.closed {
-		return
-	}
-	s.closed = true
 	subs := s.topic.subs[:0]
 	for _, sub := range s.topic.subs {
 		if sub != s {
@@ -54,7 +55,38 @@ func (s *Subscription) Cancel() {
 		}
 	}
 	s.topic.subs = subs
+	s.topic.mu.Unlock()
+
+	s.life.Lock()
+	defer s.life.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
 	close(s.C)
+}
+
+// deliver sends one event with latest-wins backpressure, skipping the
+// send entirely if the subscription has been cancelled.
+func (s *Subscription) deliver(ev Event) {
+	s.life.Lock()
+	defer s.life.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.C <- ev:
+	default:
+		// drop one, retry once
+		select {
+		case <-s.C:
+		default:
+		}
+		select {
+		case s.C <- ev:
+		default:
+		}
+	}
 }
 
 // Publish writes an event to the topic. Synchronous subscribers with full
@@ -69,19 +101,7 @@ func (t *Topic) Publish(ev Event) {
 	copy(subs, t.subs)
 	t.mu.Unlock()
 	for _, s := range subs {
-		select {
-		case s.C <- ev:
-		default:
-			// drop one, retry once
-			select {
-			case <-s.C:
-			default:
-			}
-			select {
-			case s.C <- ev:
-			default:
-			}
-		}
+		s.deliver(ev)
 	}
 }
 

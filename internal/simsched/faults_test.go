@@ -1,0 +1,70 @@
+package simsched
+
+import "testing"
+
+// TestSkipReleaseSuppressesInstances verifies the fault hook: releases
+// inside the skip window never run, are counted as Faulted, and the task
+// resumes cleanly afterwards.
+func TestSkipReleaseSuppressesInstances(t *testing.T) {
+	s := New(2)
+	var completions []float64
+	s.AddTask(&Task{
+		Name: "sensor", Period: 0.1, Priority: 10,
+		Work: func(k int, at float64) (float64, float64) { return 0.01, 0 },
+		SkipRelease: func(k int, at float64) bool {
+			return at >= 0.35 && at < 0.65 // dropout window
+		},
+		OnComplete: func(k int, rel, start, fin float64) {
+			completions = append(completions, rel)
+		},
+	})
+	s.Run(1.0)
+	st := s.Stats("sensor")
+	if st.Faulted != 3 { // releases at 0.4, 0.5, 0.6
+		t.Errorf("faulted = %d, want 3", st.Faulted)
+	}
+	// all non-faulted releases complete, except at most the one still in
+	// flight at the horizon
+	if pending := st.Released - st.Faulted - st.Completed; pending < 0 || pending > 1 {
+		t.Errorf("completed %d + faulted %d vs released %d", st.Completed, st.Faulted, st.Released)
+	}
+	for _, rel := range completions {
+		if rel >= 0.35 && rel < 0.65 {
+			t.Errorf("instance released at %.2f ran inside the dropout window", rel)
+		}
+	}
+	// instances resume after the window
+	resumed := false
+	for _, rel := range completions {
+		if rel >= 0.65 {
+			resumed = true
+		}
+	}
+	if !resumed {
+		t.Error("task never resumed after the dropout window")
+	}
+}
+
+// TestSkipReleaseAdvancesInstanceIndex checks that suppressed instances
+// still consume an instance index, so downstream frame bookkeeping stays
+// aligned with the release count.
+func TestSkipReleaseAdvancesInstanceIndex(t *testing.T) {
+	s := New(1)
+	var ks []int
+	s.AddTask(&Task{
+		Name: "cam", Period: 0.1,
+		Work:        func(k int, at float64) (float64, float64) { return 0.001, 0 },
+		SkipRelease: func(k int, at float64) bool { return k == 1 },
+		OnComplete:  func(k int, rel, start, fin float64) { ks = append(ks, k) },
+	})
+	s.Run(0.45)
+	want := []int{0, 2, 3, 4}
+	if len(ks) != len(want) {
+		t.Fatalf("completed instances %v, want %v", ks, want)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("completed instances %v, want %v", ks, want)
+		}
+	}
+}

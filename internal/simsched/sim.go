@@ -33,6 +33,12 @@ type Task struct {
 	GPUSlice float64
 	// OnComplete is called when instance k finishes both phases.
 	OnComplete func(k int, release, start, finish float64)
+	// SkipRelease, when non-nil, is consulted at every release; returning
+	// true suppresses the instance before it is queued — the fault hook
+	// for sensor dropout or a hung upstream (the work never arrives).
+	// Suppressed releases are counted in Stats.Faulted and do not invoke
+	// Work or OnComplete.
+	SkipRelease func(k int, t float64) bool
 
 	// internal
 	next     float64
@@ -47,6 +53,8 @@ type TaskStats struct {
 	Released  int
 	Completed int
 	Dropped   int
+	// Faulted counts releases suppressed by the SkipRelease fault hook.
+	Faulted int
 	// Spans holds (release, start, finish) triples per completed instance.
 	Spans []Span
 	// BusySec is the total resource time consumed.
@@ -163,6 +171,11 @@ func (s *Sim) Trigger(name string) {
 
 func (s *Sim) release(t *Task, at float64) {
 	t.stats.Released++
+	if t.SkipRelease != nil && t.SkipRelease(t.k, at) {
+		t.stats.Faulted++
+		t.k++
+		return
+	}
 	if t.DropIfBusy && (t.queued != nil || t.inFlight > 0) {
 		if t.queued != nil {
 			// latest wins: replace the queued (not yet started) instance

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Full verification gate: vet, build, and the race-enabled test suite
+# (includes the switchboard concurrency stress test and the supervisor
+# restart tests). Run via `make check` or directly.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test -race ./..."
+# race instrumentation slows the heavy numeric packages ~10-20x, so the
+# per-package timeout must be far above go test's 10m default
+go test -race -timeout 60m ./...
+echo "check: OK"
