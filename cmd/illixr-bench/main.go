@@ -7,7 +7,7 @@
 //	illixr-bench -exp table5 -duration 10 -quality-frames 8
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
-// fig3 fig4 fig5 fig6 fig7 fig8 ablation-vio faults all
+// fig3 fig4 fig5 fig6 fig7 fig8 ablation-vio faults observability all
 package main
 
 import (
@@ -25,6 +25,8 @@ func main() {
 	qualityFrames := flag.Int("quality-frames", 8, "sampled frames for the Table V image-quality pipeline")
 	faultScenario := flag.String("fault-scenario", "light", "fault scenario for -exp faults (vio-stall|light|stress)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed for the fault schedule")
+	obsOut := flag.String("obs-out", "BENCH_observability.json",
+		"output file for -exp observability (empty to skip the file)")
 	flag.Parse()
 
 	w := os.Stdout
@@ -99,6 +101,13 @@ func main() {
 	}
 	if all || wants["faults"] {
 		if _, err := bench.FaultScenario(w, *faultScenario, *duration, *faultSeed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+	if all || wants["observability"] {
+		if _, err := bench.Observability(w, *duration, *obsOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -7,21 +7,28 @@
 //	illixr-run -app sponza -platform desktop -duration 30
 //	illixr-run -app platformer -platform jetson-lp -quality
 //	illixr-run -app platformer -fault-scenario vio-stall -fault-seed 11
+//	illixr-run -app sponza -trace-out trace.json -metrics-out metrics.txt
+//	illixr-run -app sponza -debug-addr :8080   # /metrics /health /spans /debug/pprof/
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"illixr/internal/bench"
 	"illixr/internal/config"
 	"illixr/internal/core"
+	"illixr/internal/debughttp"
 	"illixr/internal/faults"
 	"illixr/internal/perfmodel"
 	"illixr/internal/render"
+	"illixr/internal/runtime"
 	"illixr/internal/telemetry"
 )
 
@@ -34,6 +41,10 @@ func main() {
 	faultScenario := flag.String("fault-scenario", "none",
 		"inject a seeded fault schedule: "+strings.Join(faults.ScenarioNames(), "|"))
 	faultSeed := flag.Int64("fault-seed", 42, "seed for the fault schedule")
+	traceOut := flag.String("trace-out", "", "write causal spans as Chrome trace JSON to this file")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry as text to this file")
+	debugAddr := flag.String("debug-addr", "",
+		"serve /metrics /health /spans /debug/pprof/ on this address (e.g. :8080); keeps running after the run until interrupted")
 	flag.Parse()
 
 	plat, ok := perfmodel.PlatformByName(*platName)
@@ -63,6 +74,30 @@ func main() {
 		}
 		cfg.Faults = faults.Generate(fc)
 	}
+
+	// Observability: collectors are installed whenever any sink wants them,
+	// and the debug endpoint comes up before the run so it is live while
+	// the system executes.
+	wantObs := *traceOut != "" || *metricsOut != "" || *debugAddr != ""
+	if wantObs {
+		cfg.Metrics = telemetry.NewRegistry()
+		cfg.Spans = telemetry.NewSpanCollector(0)
+	}
+	var stopDebug func()
+	if *debugAddr != "" {
+		srv := &debughttp.Server{
+			Metrics: cfg.Metrics,
+			Spans:   cfg.Spans,
+			Health:  runtime.NewHealthBoard(),
+		}
+		addr, stop, err := srv.Serve(*debugAddr)
+		if err != nil {
+			log.Fatalf("debug endpoint: %v", err)
+		}
+		stopDebug = stop
+		fmt.Printf("debug endpoint listening on http://%s (metrics, health, spans, pprof)\n", addr)
+	}
+
 	res := core.Run(cfg)
 
 	fmt.Printf("ILLIXR-Go integrated run: app=%s platform=%s duration=%.0fs seed=%d\n\n",
@@ -100,4 +135,38 @@ func main() {
 			*faultScenario, *faultSeed, res.Faults.Schedule.Fingerprint())
 		bench.RenderFaultReport(os.Stdout, res)
 	}
+
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, cfg.Spans.WriteChromeTrace); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		fmt.Printf("\nWrote %d spans (%d dropped) to %s — open in chrome://tracing or Perfetto\n",
+			cfg.Spans.Len(), cfg.Spans.Dropped(), *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, cfg.Metrics.WriteText); err != nil {
+			log.Fatalf("metrics-out: %v", err)
+		}
+		fmt.Printf("Wrote metrics to %s\n", *metricsOut)
+	}
+	if stopDebug != nil {
+		fmt.Println("\nRun complete; debug endpoint stays up — Ctrl-C to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		stopDebug()
+	}
+}
+
+// writeFile streams write(w) into path.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -35,6 +35,17 @@ type RunConfig struct {
 	// execution ms) — the rosbag-style component trace of §V-G that can
 	// drive per-component architectural simulation.
 	Trace *telemetry.TraceRecorder
+	// Metrics, when non-nil, receives the run's counters, gauges and
+	// histograms (per-task scheduling stats, per-stage MTP attribution,
+	// fault counters) under the illixr_<component>_<name> naming scheme.
+	// Nil (the default) keeps every instrumented path a no-op.
+	Metrics *telemetry.Registry
+	// Spans, when non-nil, collects causal spans: every sensor sample
+	// starts a trace, and each downstream stage (VIO, integrator,
+	// reprojection, display) emits a span naming its parents, so a display
+	// frame can be walked back to the camera frame and IMU sample that
+	// produced it. Export with SpanCollector.WriteChromeTrace.
+	Spans *telemetry.SpanCollector
 	// QualityRes is the offline-render resolution per axis pair.
 	QualityW, QualityH int
 	// Faults, when non-nil, injects the deterministic fault schedule into

@@ -1,0 +1,80 @@
+package core
+
+// Observability wiring for the integrated run: the simsched observer that
+// mirrors per-task scheduling activity onto the metrics registry, and the
+// adapter that folds a FaultReport's counters into the same registry so
+// /metrics and the text dump expose fault data with no separate path.
+
+import (
+	"illixr/internal/simsched"
+	"illixr/internal/telemetry"
+)
+
+// taskInstruments are the pre-resolved metrics of one scheduled task, so
+// the per-event observer path is a map hit plus a few atomic ops.
+type taskInstruments struct {
+	released, completed, dropped, faulted *telemetry.Counter
+	execMs, responseMs                    *telemetry.Histogram
+}
+
+// installSchedMetrics registers a scheduler observer that maintains, per
+// task, illixr_sched_<task>_{released,completed,dropped,faulted}_total
+// counters and illixr_sched_<task>_{exec,response}_ms histograms.
+func installSchedMetrics(sim *simsched.Sim, reg *telemetry.Registry) {
+	cache := map[string]*taskInstruments{}
+	get := func(task string) *taskInstruments {
+		ti, ok := cache[task]
+		if !ok {
+			comp := "sched_" + task
+			ti = &taskInstruments{
+				released:   reg.Counter(telemetry.MetricName(comp, "released_total")),
+				completed:  reg.Counter(telemetry.MetricName(comp, "completed_total")),
+				dropped:    reg.Counter(telemetry.MetricName(comp, "dropped_total")),
+				faulted:    reg.Counter(telemetry.MetricName(comp, "faulted_total")),
+				execMs:     reg.Histogram(telemetry.MetricName(comp, "exec_ms")),
+				responseMs: reg.Histogram(telemetry.MetricName(comp, "response_ms")),
+			}
+			cache[task] = ti
+		}
+		return ti
+	}
+	sim.SetObserver(func(ev simsched.TaskEvent) {
+		ti := get(ev.Task)
+		switch ev.Kind {
+		case simsched.TaskReleased:
+			ti.released.Inc()
+		case simsched.TaskFaulted:
+			ti.faulted.Inc()
+		case simsched.TaskDropped:
+			ti.dropped.Inc()
+		case simsched.TaskCompleted:
+			ti.completed.Inc()
+			ti.execMs.Observe((ev.CPU + ev.GPU) * 1000)
+			ti.responseMs.Observe((ev.Finish - ev.Release) * 1000)
+		}
+	})
+}
+
+// wireFaultMetrics folds the run's FaultReport into the registry:
+// suppressed sensor releases, component restarts, window count, recovery
+// times, and the peak displayed-pose staleness.
+func wireFaultMetrics(reg *telemetry.Registry, rep *FaultReport) {
+	for comp, n := range rep.SensorDrops {
+		reg.Counter(telemetry.MetricName("faults", comp+"_suppressed_releases_total")).Add(n)
+	}
+	for comp, n := range rep.Restarts {
+		reg.Counter(telemetry.MetricName("faults", comp+"_restarts_total")).Add(n)
+	}
+	reg.Counter(telemetry.MetricName("faults", "windows_total")).Add(len(rep.Windows))
+	recovery := reg.Histogram(telemetry.MetricName("faults", "recovery_sec"))
+	peak := 0.0
+	for _, w := range rep.Windows {
+		if w.RecoverySec >= 0 {
+			recovery.Observe(w.RecoverySec)
+		}
+		if w.StalenessPeakMs > peak {
+			peak = w.StalenessPeakMs
+		}
+	}
+	reg.Gauge(telemetry.MetricName("faults", "staleness_peak_ms")).Set(peak)
+}

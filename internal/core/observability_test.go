@@ -1,0 +1,184 @@
+package core
+
+// Acceptance tests for the observability tentpole: a display frame's span
+// chain walks back through reprojection → integrator → VIO → camera and
+// IMU roots, per-stage MTP attribution recovered from the spans alone
+// agrees with the run's MTPSample records, and the metrics registry picks
+// up scheduling stats, MTP histograms, and fault counters.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"illixr/internal/faults"
+	"illixr/internal/perfmodel"
+	"illixr/internal/render"
+	"illixr/internal/telemetry"
+)
+
+// observedRun executes a short instrumented run.
+func observedRun(t *testing.T, dur float64) (*RunResult, *telemetry.Registry, *telemetry.SpanCollector) {
+	t.Helper()
+	cfg := DefaultRunConfig(render.AppPlatformer, perfmodel.Desktop)
+	cfg.Duration = dur
+	cfg.Metrics = telemetry.NewRegistry()
+	cfg.Spans = telemetry.NewSpanCollector(0)
+	res := Run(cfg)
+	return res, cfg.Metrics, cfg.Spans
+}
+
+// lineageOf maps stage name → span for one display frame's ancestry.
+func lineageOf(spans *telemetry.SpanCollector, display telemetry.Span) map[string]telemetry.Span {
+	byName := map[string]telemetry.Span{}
+	for _, sp := range spans.Lineage(display.ID) {
+		if _, seen := byName[sp.Name]; !seen {
+			byName[sp.Name] = sp // BFS order: nearest ancestor of each stage wins
+		}
+	}
+	return byName
+}
+
+func TestDisplaySpanWalksBackToSensors(t *testing.T) {
+	_, _, spans := observedRun(t, 4)
+	displays := spans.Find("display")
+	if len(displays) == 0 {
+		t.Fatal("no display spans collected")
+	}
+	// Late frames have a fully-warmed pipeline (VIO has completed at least
+	// one frame, so the integrator span carries both sensor parents).
+	last := displays[len(displays)-1]
+	byName := lineageOf(spans, last)
+	for _, stage := range []string{"display", CompReproj, CompIntegrator, CompVIO, CompCamera, CompIMU} {
+		if _, ok := byName[stage]; !ok {
+			t.Errorf("lineage of display frame missing %s span", stage)
+		}
+	}
+	// Causality: each stage must end no later than its dependent starts…
+	if r := byName[CompReproj]; r.End > last.Start+1e-9 {
+		t.Errorf("reprojection ends at %.6f after display starts at %.6f", r.End, last.Start)
+	}
+	if integ, r := byName[CompIntegrator], byName[CompReproj]; integ.End > r.Start+1e-9 {
+		t.Errorf("integrator ends at %.6f after reprojection starts at %.6f", integ.End, r.Start)
+	}
+	// …and the roots are sensor samples on their own traces.
+	imu := byName[CompIMU]
+	if len(imu.Parents) != 0 {
+		t.Errorf("imu span has parents %v, want none (root)", imu.Parents)
+	}
+	cam := byName[CompCamera]
+	if len(cam.Parents) != 0 {
+		t.Errorf("camera span has parents %v, want none (root)", cam.Parents)
+	}
+	if imu.Trace == cam.Trace {
+		t.Errorf("imu and camera roots share trace %d, want distinct traces", imu.Trace)
+	}
+}
+
+func TestSpanMTPAttributionMatchesSamples(t *testing.T) {
+	res, _, spans := observedRun(t, 4)
+	displays := spans.Find("display")
+	if len(displays) < 10 {
+		t.Fatalf("only %d display spans, need at least 10", len(displays))
+	}
+	// Index MTP samples by display time (sample.T == display span End).
+	sampleAt := map[float64]telemetry.MTPSample{}
+	for _, m := range res.MTP {
+		sampleAt[m.T] = m
+	}
+	checked := 0
+	for _, d := range displays[5:] { // skip the cold-start frames
+		byName := lineageOf(spans, d)
+		imu, okI := byName[CompIMU]
+		r, okR := byName[CompReproj]
+		if !okI || !okR {
+			continue
+		}
+		m, ok := sampleAt[d.End]
+		if !ok {
+			t.Fatalf("no MTP sample at display time %.6f", d.End)
+		}
+		// Per-stage attribution reconstructed purely from the span chain.
+		imuAge := (r.Start - imu.Start) * 1000
+		reproj := (r.End - r.Start) * 1000
+		swap := (d.End - r.End) * 1000
+		total := imuAge + reproj + swap
+		if math.Abs(imuAge-m.IMUAge) > 1 || math.Abs(reproj-m.Reproj) > 1 ||
+			math.Abs(swap-m.Swap) > 1 || math.Abs(total-m.Total()) > 1 {
+			t.Fatalf("span MTP attribution (age %.3f reproj %.3f swap %.3f) differs from sample (%.3f %.3f %.3f) by > 1 ms",
+				imuAge, reproj, swap, m.IMUAge, m.Reproj, m.Swap)
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("only %d display frames had a full lineage, need at least 5", checked)
+	}
+}
+
+func TestRunPopulatesRegistry(t *testing.T) {
+	res, reg, _ := observedRun(t, 4)
+	if got := reg.Histogram("illixr_reprojection_mtp_total_ms").Count(); got != uint64(len(res.MTP)) {
+		t.Errorf("mtp histogram count = %d, want %d samples", got, len(res.MTP))
+	}
+	for _, comp := range Components {
+		name := telemetry.MetricName("sched_"+comp, "completed_total")
+		if got := reg.Counter(name).Value(); got == 0 {
+			t.Errorf("%s = 0, want > 0", name)
+		}
+	}
+	if got := reg.Gauge("illixr_run_cpu_util").Value(); got <= 0 || got > 1 {
+		t.Errorf("cpu util gauge = %g, want in (0, 1]", got)
+	}
+	if got := reg.Gauge("illixr_run_power_w").Value(); got <= 0 {
+		t.Errorf("power gauge = %g, want > 0", got)
+	}
+	// The MTP histogram quantile should approximate the sample summary
+	// (log-bucketed: ≤ ~12% relative error).
+	sum := res.MTPSummary()
+	if p99 := reg.Histogram("illixr_reprojection_mtp_total_ms").Quantile(0.99); math.Abs(p99-sum.P99) > 0.15*sum.P99 {
+		t.Errorf("histogram p99 = %.3f, summary p99 = %.3f (> 15%% apart)", p99, sum.P99)
+	}
+}
+
+func TestFaultCountersReachRegistry(t *testing.T) {
+	cfg := DefaultRunConfig(render.AppPlatformer, perfmodel.Desktop)
+	cfg.Duration = 8
+	fc, err := faults.Scenario("vio-stall", 11, cfg.Duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = faults.Generate(fc)
+	cfg.Metrics = telemetry.NewRegistry()
+	res := Run(cfg)
+	if res.Faults == nil {
+		t.Fatal("no fault report")
+	}
+	reg := cfg.Metrics
+	if got := reg.Counter("illixr_faults_vio_restarts_total").Value(); got != uint64(res.Faults.Restarts[CompVIO]) {
+		t.Errorf("vio restart counter = %d, report says %d", got, res.Faults.Restarts[CompVIO])
+	}
+	if got := reg.Counter("illixr_faults_windows_total").Value(); got != uint64(len(res.Faults.Windows)) {
+		t.Errorf("windows counter = %d, report has %d", got, len(res.Faults.Windows))
+	}
+	if got := reg.Counter("illixr_faults_camera_suppressed_releases_total").Value(); got != uint64(res.Faults.SensorDrops[CompCamera]) {
+		t.Errorf("camera suppressed counter = %d, report says %d", got, res.Faults.SensorDrops[CompCamera])
+	}
+}
+
+func TestChromeTraceExportFromRun(t *testing.T) {
+	_, _, spans := observedRun(t, 2)
+	var buf bytes.Buffer
+	if err := spans.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace export has no events")
+	}
+}

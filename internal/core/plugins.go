@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"illixr/internal/audio"
 	"illixr/internal/faults"
@@ -9,6 +10,7 @@ import (
 	"illixr/internal/mathx"
 	"illixr/internal/runtime"
 	"illixr/internal/sensors"
+	"illixr/internal/telemetry"
 )
 
 // injectorFrom fetches the fault injector, if the live runtime has one
@@ -17,6 +19,29 @@ func injectorFrom(ctx *runtime.Context) *faults.Injector {
 	if v, ok := ctx.Phonebook.Lookup(faults.InjectorService); ok {
 		if in, ok2 := v.(*faults.Injector); ok2 {
 			return in
+		}
+	}
+	return nil
+}
+
+// metricsFrom fetches the metrics registry the host registered on the
+// phonebook (telemetry.RegistryService); nil — and therefore no-op
+// instruments — when the run is uninstrumented.
+func metricsFrom(ctx *runtime.Context) *telemetry.Registry {
+	if v, ok := ctx.Phonebook.Lookup(telemetry.RegistryService); ok {
+		if r, ok2 := v.(*telemetry.Registry); ok2 {
+			return r
+		}
+	}
+	return nil
+}
+
+// tracerFrom fetches the span collector the host registered on the
+// phonebook (telemetry.TracerService).
+func tracerFrom(ctx *runtime.Context) *telemetry.SpanCollector {
+	if v, ok := ctx.Phonebook.Lookup(telemetry.TracerService); ok {
+		if c, ok2 := v.(*telemetry.SpanCollector); ok2 {
+			return c
 		}
 	}
 	return nil
@@ -35,6 +60,7 @@ type DatasetPlayerPlugin struct {
 	ctx     *runtime.Context
 	imuIdx  int
 	camIdx  int
+	tracer  *telemetry.SpanCollector
 }
 
 // Name implements runtime.Plugin.
@@ -46,6 +72,7 @@ func (p *DatasetPlayerPlugin) Start(ctx *runtime.Context) error {
 		return fmt.Errorf("dataset player: no dataset")
 	}
 	p.ctx = ctx
+	p.tracer = tracerFrom(ctx)
 	return nil
 }
 
@@ -61,13 +88,17 @@ func (p *DatasetPlayerPlugin) PumpUntil(t float64) int {
 	n := 0
 	for p.imuIdx < len(p.Dataset.IMU) && p.Dataset.IMU[p.imuIdx].T <= t {
 		s := p.Dataset.IMU[p.imuIdx]
-		imuTopic.Publish(runtime.Event{T: s.T, Value: s})
+		// each sensor sample roots a trace; downstream plugins parent the
+		// event's span so lineage survives topic hops
+		ref := p.tracer.Emit(CompIMU, 0, s.T, s.T)
+		imuTopic.Publish(runtime.Event{T: s.T, Value: s, Trace: ref})
 		p.imuIdx++
 		n++
 	}
 	for p.camIdx < len(p.Dataset.Frames) && p.Dataset.Frames[p.camIdx].T <= t {
 		f := p.Dataset.Frames[p.camIdx]
-		camTopic.Publish(runtime.Event{T: f.T, Value: f})
+		ref := p.tracer.Emit(CompCamera, 0, f.T, f.T)
+		camTopic.Publish(runtime.Event{T: f.T, Value: f, Trace: ref})
 		p.camIdx++
 		n++
 	}
@@ -110,6 +141,9 @@ func (p *IntegratorPlugin) Start(ctx *runtime.Context) error {
 	p.done = make(chan struct{})
 	fastTopic := ctx.Switchboard.GetTopic(runtime.TopicFastPose)
 	inj := injectorFrom(ctx)
+	tracer := tracerFrom(ctx)
+	samples := metricsFrom(ctx).Counter(telemetry.MetricName(CompIntegrator, "samples_total"))
+	feedNs := metricsFrom(ctx).Histogram(telemetry.MetricName(CompIntegrator, "feed_ns"))
 	ctx.Go(p.Name(), func() {
 		defer close(p.done)
 		for ev := range p.sub.C {
@@ -120,8 +154,13 @@ func (p *IntegratorPlugin) Start(ctx *runtime.Context) error {
 			if inj.ShouldPanic(p.Name(), sample.T) {
 				panic(fmt.Sprintf("injected fault at t=%.3f", sample.T))
 			}
+			wall := time.Now()
 			p.in.Feed(sample)
-			fastTopic.Publish(runtime.Event{T: sample.T, Value: p.in.FastPose()})
+			pose := p.in.FastPose()
+			feedNs.Observe(float64(time.Since(wall).Nanoseconds()))
+			samples.Inc()
+			ref := tracer.Emit(CompIntegrator, ev.Trace.Trace, sample.T, sample.T, ev.Trace.Span)
+			fastTopic.Publish(runtime.Event{T: sample.T, Value: pose, Trace: ref})
 		}
 	})
 	return nil
@@ -144,9 +183,12 @@ type AudioPlugin struct {
 	SampleRate float64
 	Sources    []audio.Source
 
-	enc  *audio.Encoder
-	play *audio.Playback
-	ctx  *runtime.Context
+	enc     *audio.Encoder
+	play    *audio.Playback
+	ctx     *runtime.Context
+	tracer  *telemetry.SpanCollector
+	blocks  *telemetry.Counter
+	blockNs *telemetry.Histogram
 }
 
 // Name implements runtime.Plugin.
@@ -166,6 +208,10 @@ func (p *AudioPlugin) Start(ctx *runtime.Context) error {
 	p.ctx = ctx
 	p.enc = audio.NewEncoder(p.Order, p.BlockSize, p.Sources)
 	p.play = audio.NewPlayback(p.Order, p.BlockSize, p.SampleRate)
+	p.tracer = tracerFrom(ctx)
+	reg := metricsFrom(ctx)
+	p.blocks = reg.Counter(telemetry.MetricName("audio", "blocks_total"))
+	p.blockNs = reg.Histogram(telemetry.MetricName("audio", "block_ns"))
 	return nil
 }
 
@@ -175,17 +221,24 @@ func (p *AudioPlugin) Stop() error { return nil }
 // ProcessBlock encodes and binauralizes one block at session time t,
 // publishing to the binaural topic and returning the stereo pair.
 func (p *AudioPlugin) ProcessBlock(t float64) (left, right []float64) {
+	wall := time.Now()
 	pose := mathx.PoseIdentity()
+	var poseRef telemetry.SpanRef
 	if ev, ok := p.ctx.Switchboard.GetTopic(runtime.TopicFastPose).Latest(); ok {
 		if fp, ok2 := ev.Value.(mathx.Pose); ok2 {
 			pose = fp
+			poseRef = ev.Trace
 		}
 	}
 	field := p.enc.EncodeBlock()
 	left, right = p.play.Process(field, pose)
+	// the binaural block descends from the fast pose it was rotated by
+	ref := p.tracer.Emit(CompAudioPlay, poseRef.Trace, t, t, poseRef.Span)
 	p.ctx.Switchboard.GetTopic(runtime.TopicBinaural).Publish(runtime.Event{
-		T: t, Value: [2][]float64{left, right},
+		T: t, Value: [2][]float64{left, right}, Trace: ref,
 	})
+	p.blockNs.Observe(float64(time.Since(wall).Nanoseconds()))
+	p.blocks.Inc()
 	return left, right
 }
 

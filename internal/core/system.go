@@ -16,6 +16,10 @@ import (
 type poseStamp struct {
 	available float64 // integrator completion time
 	sampleT   float64 // IMU sample timestamp the pose is based on
+	// span is the integrator span that produced this pose (zero when span
+	// collection is off) — the causal link that lets a display frame walk
+	// back to the IMU sample and camera frame behind its pose.
+	span telemetry.SpanRef
 }
 
 // vioCompletion records a finished VIO frame for the QoE pipeline.
@@ -45,6 +49,24 @@ func Run(cfg RunConfig) *RunResult {
 	var lastIMUSample float64
 	var vioDone []vioCompletion
 	pendingVIOFrame := 0
+
+	// --- observability ---------------------------------------------------
+	// Both collectors default to nil, which keeps every instrumented path
+	// below a no-op; the sim's schedule is identical either way.
+	reg := cfg.Metrics
+	spans := cfg.Spans
+	if reg != nil {
+		installSchedMetrics(sim, reg)
+	}
+	mtpTotalH := reg.Histogram(telemetry.MetricName(CompReproj, "mtp_total_ms"))
+	mtpAgeH := reg.Histogram(telemetry.MetricName(CompReproj, "mtp_imu_age_ms"))
+	mtpReprojH := reg.Histogram(telemetry.MetricName(CompReproj, "mtp_reproj_ms"))
+	mtpSwapH := reg.Histogram(telemetry.MetricName(CompReproj, "mtp_swap_ms"))
+	// Span lineage state: each IMU sample and camera frame roots a trace;
+	// downstream stages name their parents so a display frame is walkable
+	// back to the sensor samples that produced it.
+	var lastIMUSpan, lastVIOSpan, lastAudioSpan telemetry.SpanRef
+	camSpanByFrame := map[int]telemetry.SpanRef{}
 
 	scale := func(c perfmodel.Cost) (float64, float64) {
 		cpuMs, gpuMs := c.OnPlatform(plat)
@@ -78,6 +100,11 @@ func Run(cfg RunConfig) *RunResult {
 		},
 		OnComplete: func(k int, rel, start, fin float64) {
 			lastIMUSample = rel
+			if spans != nil {
+				// root span: the sample time is the span start, so IMU age
+				// is recoverable from the spans alone
+				lastIMUSpan = spans.Emit(CompIMU, 0, rel, fin)
+			}
 			sim.Trigger(CompIntegrator)
 		},
 	})
@@ -92,7 +119,15 @@ func Run(cfg RunConfig) *RunResult {
 			return c * spike(CompIntegrator, t), g
 		},
 		OnComplete: func(k int, rel, start, fin float64) {
-			poseLog = append(poseLog, poseStamp{available: fin, sampleT: lastIMUSample})
+			ps := poseStamp{available: fin, sampleT: lastIMUSample}
+			if spans != nil {
+				// the fast pose joins the latest IMU sample with the latest
+				// VIO estimate (dead reckoning), so it has both as parents;
+				// it continues the IMU sample's trace
+				ps.span = spans.Emit(CompIntegrator, lastIMUSpan.Trace, start, fin,
+					lastIMUSpan.Span, lastVIOSpan.Span)
+			}
+			poseLog = append(poseLog, ps)
 		},
 	})
 	sim.AddTask(&simsched.Task{
@@ -104,6 +139,9 @@ func Run(cfg RunConfig) *RunResult {
 		},
 		OnComplete: func(k int, rel, start, fin float64) {
 			pendingVIOFrame = k
+			if spans != nil {
+				camSpanByFrame[k] = spans.Emit(CompCamera, 0, rel, fin)
+			}
 			sim.Trigger(CompVIO)
 		},
 	})
@@ -131,6 +169,10 @@ func Run(cfg RunConfig) *RunResult {
 		},
 		OnComplete: func(k int, rel, start, fin float64) {
 			vioDone = append(vioDone, vioCompletion{frame: vioFrameOf[k], finish: fin})
+			if spans != nil {
+				cam := camSpanByFrame[vioFrameOf[k]]
+				lastVIOSpan = spans.Emit(CompVIO, cam.Trace, start, fin, cam.Span)
+			}
 		},
 	})
 
@@ -180,13 +222,24 @@ func Run(cfg RunConfig) *RunResult {
 				misses := math.Ceil((fin - deadline) / vsync)
 				accepted = deadline + misses*vsync
 			}
-			poseT := poseAt(poseLog, start)
-			mtp = append(mtp, telemetry.MTPSample{
+			stamp := poseAt(poseLog, start)
+			sample := telemetry.MTPSample{
 				T:      accepted,
-				IMUAge: (start - poseT) * 1000,
+				IMUAge: (start - stamp.sampleT) * 1000,
 				Reproj: (fin - start) * 1000,
 				Swap:   (accepted - fin) * 1000,
-			})
+			}
+			mtp = append(mtp, sample)
+			mtpTotalH.Observe(sample.Total())
+			mtpAgeH.Observe(sample.IMUAge)
+			mtpReprojH.Observe(sample.Reproj)
+			mtpSwapH.Observe(sample.Swap)
+			if spans != nil {
+				// continue the trace of the pose this warp consumed, then
+				// close the chain with a display span spanning the swap wait
+				rs := spans.Emit(CompReproj, stamp.span.Trace, start, fin, stamp.span.Span)
+				spans.Emit("display", rs.Trace, fin, accepted, rs.Span)
+			}
 			warpDone = append(warpDone, struct {
 				start, finish, display float64
 			}{start, fin, accepted})
@@ -201,6 +254,9 @@ func Run(cfg RunConfig) *RunResult {
 			return c * (1 + 0.08*jitter(k*17+6)) * spike(CompAudioEnc, t), g
 		},
 		OnComplete: func(k int, rel, start, fin float64) {
+			if spans != nil {
+				lastAudioSpan = spans.Emit(CompAudioEnc, 0, rel, fin)
+			}
 			sim.Trigger(CompAudioPlay)
 		},
 	})
@@ -209,6 +265,11 @@ func Run(cfg RunConfig) *RunResult {
 		Work: func(k int, t float64) (float64, float64) {
 			c, g := scale(perfmodel.AudioPlaybackCost(12))
 			return c * (1 + 0.08*jitter(k*19+7)) * spike(CompAudioPlay, t), g
+		},
+		OnComplete: func(k int, rel, start, fin float64) {
+			if spans != nil {
+				spans.Emit(CompAudioPlay, lastAudioSpan.Trace, start, fin, lastAudioSpan.Span)
+			}
 		},
 	})
 
@@ -274,6 +335,14 @@ func Run(cfg RunConfig) *RunResult {
 	if fs != nil {
 		res.Faults = buildFaultReport(fs, sim, mtp, vioDone, poseLog, warpDone, faultRestarts)
 	}
+	if reg != nil {
+		reg.Gauge(telemetry.MetricName("run", "cpu_util")).Set(res.CPUUtil)
+		reg.Gauge(telemetry.MetricName("run", "gpu_util")).Set(res.GPUUtil)
+		reg.Gauge(telemetry.MetricName("run", "power_w")).Set(res.Power.Total())
+		if res.Faults != nil {
+			wireFaultMetrics(reg, res.Faults)
+		}
+	}
 
 	if cfg.QualityFrames > 0 {
 		evaluateQuality(cfg, perc, appProf, vioDone, appDone, warpDone, res)
@@ -281,12 +350,12 @@ func Run(cfg RunConfig) *RunResult {
 	return res
 }
 
-// poseAt returns the IMU sample time of the freshest pose available at
-// query time t (binary search over the pose log).
-func poseAt(log []poseStamp, t float64) float64 {
+// poseAt returns the freshest pose stamp available at query time t
+// (binary search over the pose log); the zero stamp when none exists yet.
+func poseAt(log []poseStamp, t float64) poseStamp {
 	i := sort.Search(len(log), func(i int) bool { return log[i].available > t })
 	if i == 0 {
-		return 0
+		return poseStamp{}
 	}
-	return log[i-1].sampleT
+	return log[i-1]
 }

@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"illixr/internal/integrator"
 	"illixr/internal/runtime"
 	"illixr/internal/sensors"
+	"illixr/internal/telemetry"
 	"illixr/internal/vio"
 )
 
@@ -52,6 +54,10 @@ func (p *VIOPlugin) Start(ctx *runtime.Context) error {
 	p.done = make(chan struct{})
 	slowTopic := ctx.Switchboard.GetTopic(runtime.TopicSlowPose)
 	inj := injectorFrom(ctx)
+	tracer := tracerFrom(ctx)
+	reg := metricsFrom(ctx)
+	frames := reg.Counter(telemetry.MetricName(CompVIO, "frames_total"))
+	frameMs := reg.Histogram(telemetry.MetricName(CompVIO, "frame_ms"))
 
 	ctx.Go(p.Name(), func() {
 		defer close(p.done)
@@ -64,6 +70,7 @@ func (p *VIOPlugin) Start(ctx *runtime.Context) error {
 			if inj.ShouldPanic(p.Name(), frame.T) {
 				panic(fmt.Sprintf("injected fault at t=%.3f", frame.T))
 			}
+			wall := time.Now()
 			// drain all IMU samples already delivered (published before
 			// this camera frame on the pumped, time-ordered streams)
 		drain:
@@ -96,7 +103,10 @@ func (p *VIOPlugin) Start(ctx *runtime.Context) error {
 			p.mu.Lock()
 			p.estimates = append(p.estimates, est)
 			p.mu.Unlock()
-			slowTopic.Publish(runtime.Event{T: est.T, Value: est})
+			frameMs.Observe(float64(time.Since(wall).Nanoseconds()) / 1e6)
+			frames.Inc()
+			ref := tracer.Emit(CompVIO, ev.Trace.Trace, frame.T, est.T, ev.Trace.Span)
+			slowTopic.Publish(runtime.Event{T: est.T, Value: est, Trace: ref})
 		}
 	})
 	return nil

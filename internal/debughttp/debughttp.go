@@ -1,0 +1,120 @@
+// Package debughttp serves live runtime introspection over HTTP: the
+// metrics registry as plain text, the health board and restart counts as
+// JSON, collected causal spans as Chrome trace_event JSON (load in
+// chrome://tracing or Perfetto), and the stdlib pprof profiles. The
+// endpoint is opt-in (illixr-run -debug-addr) and read-only; every data
+// source is optional and reported as 404 when absent so a partially
+// instrumented run still serves what it has.
+package debughttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+
+	"illixr/internal/runtime"
+	"illixr/internal/telemetry"
+)
+
+// Server exposes one run's observability surfaces. Zero-value fields are
+// simply not served.
+type Server struct {
+	Metrics *telemetry.Registry
+	Spans   *telemetry.SpanCollector
+	Health  *runtime.HealthBoard
+}
+
+// Handler returns the route table: /metrics, /health, /spans,
+// /debug/pprof/*, and an index at /.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.index)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/health", s.health)
+	mux.HandleFunc("/spans", s.spans)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves until the listener is closed; it
+// returns the bound address (useful with ":0") and a stop function.
+func (s *Server) Serve(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, "illixr debug endpoint\n\n/metrics\n/health\n/spans\n/debug/pprof/\n")
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	if s.Metrics == nil {
+		http.Error(w, "no metrics registry installed", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.Metrics.WriteText(w)
+}
+
+// healthDoc is the /health JSON shape.
+type healthDoc struct {
+	Plugins  map[string]string `json:"plugins"`
+	Restarts map[string]int    `json:"restarts"`
+	Worst    string            `json:"worst"`
+}
+
+func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
+	if s.Health == nil {
+		http.Error(w, "no health board installed", http.StatusNotFound)
+		return
+	}
+	doc := healthDoc{
+		Plugins:  map[string]string{},
+		Restarts: s.Health.RestartCounts(),
+		Worst:    runtime.Healthy.String(),
+	}
+	worst := runtime.Healthy
+	names := make([]string, 0)
+	snap := s.Health.Snapshot()
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap[name]
+		doc.Plugins[name] = h.String()
+		if h > worst {
+			worst = h
+		}
+	}
+	doc.Worst = worst.String()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+func (s *Server) spans(w http.ResponseWriter, _ *http.Request) {
+	if s.Spans == nil {
+		http.Error(w, "no span collector installed", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.Spans.WriteChromeTrace(w)
+}

@@ -1,0 +1,123 @@
+package debughttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"illixr/internal/runtime"
+	"illixr/internal/telemetry"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Counter("illixr_test_hits_total").Add(3)
+	reg.Gauge("illixr_test_depth").Set(2)
+	spans := telemetry.NewSpanCollector(0)
+	root := spans.Emit("imu", 0, 0, 0.001)
+	spans.Emit("integrator", root.Trace, 0.001, 0.002, root.Span)
+	board := runtime.NewHealthBoard()
+	board.Set("vio.msckf", runtime.Degraded)
+	board.IncrementRestart("vio.msckf")
+	s := &Server{Metrics: reg, Spans: spans, Health: board}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "illixr_test_hits_total") || !strings.Contains(body, "3") {
+		t.Errorf("metrics output missing counter: %q", body)
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/health")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var doc struct {
+		Plugins  map[string]string `json:"plugins"`
+		Restarts map[string]int    `json:"restarts"`
+		Worst    string            `json:"worst"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("health is not JSON: %v", err)
+	}
+	if doc.Plugins["vio.msckf"] != "degraded" || doc.Worst != "degraded" {
+		t.Errorf("health doc = %+v", doc)
+	}
+	if doc.Restarts["vio.msckf"] != 1 {
+		t.Errorf("restarts = %v, want vio.msckf: 1", doc.Restarts)
+	}
+}
+
+func TestSpansEndpointIsChromeTrace(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/spans")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("spans are not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("no trace events")
+	}
+}
+
+func TestPprofIndexServed(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, _ := get(t, ts.URL+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("pprof index status %d", code)
+	}
+}
+
+func TestMissingSourcesReturn404(t *testing.T) {
+	s := &Server{}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/metrics", "/health", "/spans"} {
+		if code, _ := get(t, ts.URL+path); code != http.StatusNotFound {
+			t.Errorf("%s with no source: status %d, want 404", path, code)
+		}
+	}
+}
+
+func TestServeBindsAndStops(t *testing.T) {
+	s, _ := newTestServer(t)
+	addr, stop, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ := get(t, "http://"+addr+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("served metrics status %d", code)
+	}
+	stop()
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"illixr/internal/telemetry"
 )
 
 // Health is one plugin or stream condition.
@@ -50,11 +52,36 @@ type HealthBoard struct {
 	mu       sync.Mutex
 	states   map[string]Health
 	restarts map[string]int
+	metrics  *telemetry.Registry
 }
 
 // NewHealthBoard creates an empty board.
 func NewHealthBoard() *HealthBoard {
 	return &HealthBoard{states: map[string]Health{}, restarts: map[string]int{}}
+}
+
+// SetMetrics mirrors every health transition and restart onto a metrics
+// registry: a gauge illixr_health_<name> holding the numeric state and a
+// counter illixr_supervisor_<name>_restarts_total. The supervision and
+// watchdog code paths need no separate wiring — the board is the single
+// observability chokepoint for plugin and stream condition.
+func (b *HealthBoard) SetMetrics(reg *telemetry.Registry) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.metrics = reg
+	b.mu.Unlock()
+}
+
+// registry returns the installed metrics registry (nil-safe).
+func (b *HealthBoard) registry() *telemetry.Registry {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.metrics
 }
 
 // Set records the health of a named plugin or stream.
@@ -64,7 +91,9 @@ func (b *HealthBoard) Set(name string, h Health) {
 	}
 	b.mu.Lock()
 	b.states[name] = h
+	reg := b.metrics
 	b.mu.Unlock()
+	reg.Gauge(telemetry.MetricName("health", name)).Set(float64(h))
 }
 
 // Get returns the recorded health; unknown names report Healthy.
@@ -83,9 +112,26 @@ func (b *HealthBoard) IncrementRestart(name string) int {
 		return 0
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.restarts[name]++
-	return b.restarts[name]
+	n := b.restarts[name]
+	reg := b.metrics
+	b.mu.Unlock()
+	reg.Counter(telemetry.MetricName("supervisor", name+"_restarts_total")).Inc()
+	return n
+}
+
+// RestartCounts returns a copy of the per-plugin restart counters.
+func (b *HealthBoard) RestartCounts() map[string]int {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int, len(b.restarts))
+	for k, v := range b.restarts {
+		out[k] = v
+	}
+	return out
 }
 
 // Restarts returns the restart count for a plugin.
@@ -389,6 +435,7 @@ type watch struct {
 	lastSeq    uint64
 	lastChange float64
 	primed     bool
+	tripped    bool // currently degraded (to count trips, not checks)
 }
 
 // NewWatchdog creates a watchdog over a switchboard, reporting to board.
@@ -421,11 +468,16 @@ func (w *Watchdog) Check(now float64) []string {
 			wa.primed = true
 			wa.lastSeq = seq
 			wa.lastChange = now
+			wa.tripped = false
 			w.board.Set("topic:"+wa.topic, Healthy)
 			continue
 		}
 		if now-wa.lastChange > wa.grace*wa.period {
 			stale = append(stale, wa.topic)
+			if !wa.tripped {
+				wa.tripped = true
+				w.board.registry().Counter(telemetry.MetricName("watchdog", wa.topic+"_trips_total")).Inc()
+			}
 			w.board.Set("topic:"+wa.topic, Degraded)
 		}
 	}

@@ -10,6 +10,9 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"illixr/internal/telemetry"
 )
 
 // Event is a timestamped value on a topic. T is in seconds of session
@@ -17,6 +20,31 @@ import (
 type Event struct {
 	T     float64
 	Value any
+	// Trace is the causal-lineage tag: the span that produced this event
+	// and the trace (root sensor event) it descends from. Zero when
+	// tracing is off; consumers propagate it into the spans they emit so a
+	// display frame can be walked back to the IMU sample and camera frame
+	// that produced it.
+	Trace telemetry.SpanRef
+}
+
+// topicMetrics holds a topic's pre-resolved instruments so the publish
+// hot path is a few atomic ops; nil when no collector is installed.
+type topicMetrics struct {
+	published *telemetry.Counter   // events published
+	dropped   *telemetry.Counter   // events displaced by backpressure
+	depth     *telemetry.Gauge     // max subscriber queue depth after publish
+	deliverNs *telemetry.Histogram // wall time of the fan-out, nanoseconds
+}
+
+func newTopicMetrics(reg *telemetry.Registry, topic string) *topicMetrics {
+	comp := "topic_" + topic
+	return &topicMetrics{
+		published: reg.Counter(telemetry.MetricName(comp, "published_total")),
+		dropped:   reg.Counter(telemetry.MetricName(comp, "dropped_total")),
+		depth:     reg.Gauge(telemetry.MetricName(comp, "queue_depth")),
+		deliverNs: reg.Histogram(telemetry.MetricName(comp, "publish_ns")),
+	}
 }
 
 // Topic is one event stream. Writers publish; asynchronous readers poll
@@ -28,7 +56,11 @@ type Topic struct {
 	latest Event
 	hasAny bool
 	seq    uint64
-	subs   []*Subscription
+	// subs is an immutable snapshot: Subscribe/Cancel replace the slice
+	// wholesale, so Publish can fan out over it outside the lock without
+	// copying — keeping the uninstrumented publish path allocation-free.
+	subs []*Subscription
+	m    *topicMetrics
 }
 
 // Subscription is a synchronous reader handle: every event published
@@ -48,7 +80,7 @@ type Subscription struct {
 // concurrent Publish and idempotent.
 func (s *Subscription) Cancel() {
 	s.topic.mu.Lock()
-	subs := s.topic.subs[:0]
+	subs := make([]*Subscription, 0, len(s.topic.subs))
 	for _, sub := range s.topic.subs {
 		if sub != s {
 			subs = append(subs, sub)
@@ -67,12 +99,13 @@ func (s *Subscription) Cancel() {
 }
 
 // deliver sends one event with latest-wins backpressure, skipping the
-// send entirely if the subscription has been cancelled.
-func (s *Subscription) deliver(ev Event) {
+// send entirely if the subscription has been cancelled. Reports whether
+// an older event was displaced to make room.
+func (s *Subscription) deliver(ev Event) (displaced bool) {
 	s.life.Lock()
 	defer s.life.Unlock()
 	if s.closed {
-		return
+		return false
 	}
 	select {
 	case s.C <- ev:
@@ -80,6 +113,7 @@ func (s *Subscription) deliver(ev Event) {
 		// drop one, retry once
 		select {
 		case <-s.C:
+			displaced = true
 		default:
 		}
 		select {
@@ -87,21 +121,42 @@ func (s *Subscription) deliver(ev Event) {
 		default:
 		}
 	}
+	return displaced
 }
 
 // Publish writes an event to the topic. Synchronous subscribers with full
 // buffers drop the oldest event (latest-wins backpressure, matching an XR
-// runtime where stale sensor data is worthless).
+// runtime where stale sensor data is worthless). With no metrics
+// collector installed the publish path performs no allocations.
 func (t *Topic) Publish(ev Event) {
 	t.mu.Lock()
 	t.latest = ev
 	t.hasAny = true
 	t.seq++
-	subs := make([]*Subscription, len(t.subs))
-	copy(subs, t.subs)
+	subs := t.subs
+	m := t.m
 	t.mu.Unlock()
+	var begin time.Time
+	if m != nil {
+		begin = time.Now()
+	}
+	displaced := 0
 	for _, s := range subs {
-		s.deliver(ev)
+		if s.deliver(ev) {
+			displaced++
+		}
+	}
+	if m != nil {
+		m.deliverNs.Observe(float64(time.Since(begin).Nanoseconds()))
+		m.published.Inc()
+		m.dropped.Add(displaced)
+		maxDepth := 0
+		for _, s := range subs {
+			if d := len(s.C); d > maxDepth {
+				maxDepth = d
+			}
+		}
+		m.depth.Set(float64(maxDepth))
 	}
 }
 
@@ -127,7 +182,10 @@ func (t *Topic) Subscribe(buffer int) *Subscription {
 	}
 	s := &Subscription{C: make(chan Event, buffer), topic: t}
 	t.mu.Lock()
-	t.subs = append(t.subs, s)
+	subs := make([]*Subscription, len(t.subs)+1)
+	copy(subs, t.subs)
+	subs[len(t.subs)] = s
+	t.subs = subs
 	t.mu.Unlock()
 	return s
 }
@@ -137,13 +195,33 @@ func (t *Topic) Name() string { return t.name }
 
 // Switchboard is the topic directory.
 type Switchboard struct {
-	mu     sync.Mutex
-	topics map[string]*Topic
+	mu      sync.Mutex
+	topics  map[string]*Topic
+	metrics *telemetry.Registry
 }
 
 // NewSwitchboard creates an empty switchboard.
 func NewSwitchboard() *Switchboard {
 	return &Switchboard{topics: map[string]*Topic{}}
+}
+
+// SetMetrics installs a metrics collector: every topic (existing and
+// future) gets publish/drop counters, a queue-depth gauge, and a publish
+// fan-out latency histogram under illixr_topic_<name>_*. A nil registry
+// uninstalls instrumentation.
+func (sb *Switchboard) SetMetrics(reg *telemetry.Registry) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	sb.metrics = reg
+	for name, t := range sb.topics {
+		var m *topicMetrics
+		if reg != nil {
+			m = newTopicMetrics(reg, name)
+		}
+		t.mu.Lock()
+		t.m = m
+		t.mu.Unlock()
+	}
 }
 
 // GetTopic returns the named topic, creating it on first use.
@@ -153,6 +231,9 @@ func (sb *Switchboard) GetTopic(name string) *Topic {
 	t, ok := sb.topics[name]
 	if !ok {
 		t = &Topic{name: name}
+		if sb.metrics != nil {
+			t.m = newTopicMetrics(sb.metrics, name)
+		}
 		sb.topics[name] = t
 	}
 	return t

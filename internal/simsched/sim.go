@@ -48,6 +48,43 @@ type Task struct {
 	stats    TaskStats
 }
 
+// TaskEventKind discriminates scheduler observer callbacks.
+type TaskEventKind int
+
+// Observer event kinds: a release entering the queue, a release
+// suppressed by a fault hook, an instance dropped latest-wins, an
+// instance starting on a resource, and an instance completing.
+const (
+	TaskReleased TaskEventKind = iota
+	TaskFaulted
+	TaskDropped
+	TaskStarted
+	TaskCompleted
+)
+
+// TaskEvent is one scheduler observation delivered to the observer.
+type TaskEvent struct {
+	Task string
+	Kind TaskEventKind
+	K    int     // instance number
+	T    float64 // virtual time of the event
+	// Completed instances also carry the full span.
+	Release, Start, Finish float64
+	CPU, GPU               float64 // seconds
+}
+
+// SetObserver installs a callback invoked synchronously for every
+// release, fault suppression, drop, start, and completion — the
+// observability tap the metrics and tracing layers hang off. A nil
+// observer (the default) costs one predicted branch per event.
+func (s *Sim) SetObserver(fn func(TaskEvent)) { s.observer = fn }
+
+func (s *Sim) observe(ev TaskEvent) {
+	if s.observer != nil {
+		s.observer(ev)
+	}
+}
+
 // TaskStats summarizes a task's scheduling history.
 type TaskStats struct {
 	Released  int
@@ -115,6 +152,8 @@ type Sim struct {
 
 	cpuBusy float64 // core-seconds consumed
 	gpuBusy float64
+
+	observer func(TaskEvent)
 }
 
 // New creates a simulator with the given CPU core count.
@@ -171,8 +210,10 @@ func (s *Sim) Trigger(name string) {
 
 func (s *Sim) release(t *Task, at float64) {
 	t.stats.Released++
+	s.observe(TaskEvent{Task: t.Name, Kind: TaskReleased, K: t.k, T: at})
 	if t.SkipRelease != nil && t.SkipRelease(t.k, at) {
 		t.stats.Faulted++
+		s.observe(TaskEvent{Task: t.Name, Kind: TaskFaulted, K: t.k, T: at})
 		t.k++
 		return
 	}
@@ -182,8 +223,10 @@ func (s *Sim) release(t *Task, at float64) {
 			old := t.queued
 			s.removeWaiting(old)
 			t.stats.Dropped++
+			s.observe(TaskEvent{Task: t.Name, Kind: TaskDropped, K: old.k, T: at})
 		} else {
 			t.stats.Dropped++
+			s.observe(TaskEvent{Task: t.Name, Kind: TaskDropped, K: t.k, T: at})
 			return
 		}
 	}
@@ -231,6 +274,7 @@ func (s *Sim) dispatch() {
 		inst.task.queued = nil
 		inst.task.inFlight++
 		inst.start = s.now
+		s.observe(TaskEvent{Task: inst.task.Name, Kind: TaskStarted, K: inst.k, T: s.now})
 		if inst.cpu <= 0 {
 			// skip straight to the GPU phase
 			inst.phase = 2
@@ -271,6 +315,11 @@ func (s *Sim) complete(inst *instance) {
 	t.stats.Spans = append(t.stats.Spans, Span{
 		K: inst.k, Release: inst.release, Start: inst.start, Finish: s.now,
 		CPUDuration: inst.cpu, GPUDuration: inst.gpu,
+	})
+	s.observe(TaskEvent{
+		Task: t.Name, Kind: TaskCompleted, K: inst.k, T: s.now,
+		Release: inst.release, Start: inst.start, Finish: s.now,
+		CPU: inst.cpu, GPU: inst.gpu,
 	})
 	if t.OnComplete != nil {
 		t.OnComplete(inst.k, inst.release, inst.start, s.now)

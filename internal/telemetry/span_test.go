@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestSpanLineageWalkBack(t *testing.T) {
+	c := NewSpanCollector(0)
+	imu := c.Emit("imu", 0, 0.000, 0.001)
+	cam := c.Emit("camera", 0, 0.010, 0.012)
+	vio := c.Emit("vio", cam.Trace, 0.012, 0.030, cam.Span)
+	pose := c.Emit("integrator", imu.Trace, 0.031, 0.032, imu.Span, vio.Span)
+	warp := c.Emit("reprojection", pose.Trace, 0.040, 0.041, pose.Span)
+	disp := c.Emit("display", warp.Trace, 0.041, 0.0416, warp.Span)
+
+	if imu.Trace == 0 || imu.Trace == cam.Trace {
+		t.Fatal("roots must start distinct traces")
+	}
+	if vio.Trace != cam.Trace {
+		t.Fatal("children must inherit the parent trace")
+	}
+
+	lin := c.Lineage(disp.Span)
+	names := map[string]bool{}
+	for _, s := range lin {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"display", "reprojection", "integrator", "vio", "camera", "imu"} {
+		if !names[want] {
+			t.Errorf("lineage missing %q: %v", want, names)
+		}
+	}
+	if lin[0].Name != "display" {
+		t.Errorf("lineage must start at the queried span, got %q", lin[0].Name)
+	}
+}
+
+func TestSpanCollectorCap(t *testing.T) {
+	c := NewSpanCollector(3)
+	for i := 0; i < 5; i++ {
+		c.Emit("s", 0, float64(i), float64(i)+0.5)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if c.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", c.Dropped())
+	}
+}
+
+func TestSpanEmitSkipsZeroParents(t *testing.T) {
+	c := NewSpanCollector(0)
+	ref := c.Emit("x", 0, 0, 1, 0, 0)
+	sp, ok := c.Get(ref.Span)
+	if !ok {
+		t.Fatal("span not retained")
+	}
+	if len(sp.Parents) != 0 {
+		t.Fatalf("zero parents must be skipped, got %v", sp.Parents)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	c := NewSpanCollector(0)
+	cam := c.Emit("camera", 0, 0.010, 0.012)
+	c.Emit("vio", cam.Trace, 0.012, 0.030, cam.Span)
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	var complete, flowStart, flowEnd int
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+		case "s":
+			flowStart++
+		case "f":
+			flowEnd++
+		}
+	}
+	if complete != 2 {
+		t.Errorf("complete events = %d, want 2", complete)
+	}
+	if flowStart != 1 || flowEnd != 1 {
+		t.Errorf("flow events = %d/%d, want 1/1 (one causal edge)", flowStart, flowEnd)
+	}
+}

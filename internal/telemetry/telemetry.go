@@ -8,6 +8,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,15 +51,33 @@ type Summary struct {
 	N                        int
 }
 
-// Summarize computes a Summary of values.
+// Summarize computes a Summary of values. An empty slice yields the zero
+// Summary, and non-finite values (NaN/±Inf) are skipped, so empty or
+// partially corrupt measurement windows can never leak NaN/Inf into
+// tables and CSVs.
 func Summarize(values []float64) Summary {
+	finite := values
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			finite = make([]float64, 0, len(values))
+			for _, x := range values {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) {
+					finite = append(finite, x)
+				}
+			}
+			break
+		}
+	}
+	if len(finite) == 0 {
+		return Summary{}
+	}
 	return Summary{
-		Mean: mathx.Mean(values),
-		Std:  mathx.StdDev(values),
-		Min:  mathx.Min(values),
-		Max:  mathx.Max(values),
-		P99:  mathx.Percentile(values, 99),
-		N:    len(values),
+		Mean: mathx.Mean(finite),
+		Std:  mathx.StdDev(finite),
+		Min:  mathx.Min(finite),
+		Max:  mathx.Max(finite),
+		P99:  mathx.Percentile(finite, 99),
+		N:    len(finite),
 	}
 }
 

@@ -16,8 +16,10 @@ import (
 // summaries supplied by the caller), sufficient to replay arrival
 // processes into a simulator.
 type TraceRecorder struct {
-	mu     sync.Mutex
-	traces map[string][]TraceEvent
+	mu       sync.Mutex
+	traces   map[string][]TraceEvent
+	capacity int // per-topic event cap; 0 = unbounded
+	overflow map[string]int
 }
 
 // TraceEvent is one recorded event.
@@ -28,14 +30,47 @@ type TraceEvent struct {
 
 // NewTraceRecorder creates an empty recorder.
 func NewTraceRecorder() *TraceRecorder {
-	return &TraceRecorder{traces: map[string][]TraceEvent{}}
+	return &TraceRecorder{traces: map[string][]TraceEvent{}, overflow: map[string]int{}}
 }
 
-// Record appends one event to a topic's trace.
+// SetCap bounds every topic's trace to at most n events; events recorded
+// beyond the cap are dropped and counted per topic in Overflow, so a
+// long-running traced session degrades to a truncated bag instead of
+// growing without bound. n <= 0 restores unbounded recording. Events
+// already retained are kept even if they exceed a newly lowered cap.
+func (tr *TraceRecorder) SetCap(n int) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	tr.capacity = n
+}
+
+// Record appends one event to a topic's trace (dropped and counted in
+// Overflow once the topic is at its cap).
 func (tr *TraceRecorder) Record(topic string, t, value float64) {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
+	if tr.capacity > 0 && len(tr.traces[topic]) >= tr.capacity {
+		tr.overflow[topic]++
+		return
+	}
 	tr.traces[topic] = append(tr.traces[topic], TraceEvent{T: t, Value: value})
+}
+
+// Len returns the number of retained events for a topic.
+func (tr *TraceRecorder) Len(topic string) int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.traces[topic])
+}
+
+// Overflow returns how many events were dropped at the cap for a topic.
+func (tr *TraceRecorder) Overflow(topic string) int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.overflow[topic]
 }
 
 // Topics lists recorded topic names, sorted.

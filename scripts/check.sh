@@ -13,4 +13,17 @@ echo "== go test -race ./..."
 # race instrumentation slows the heavy numeric packages ~10-20x, so the
 # per-package timeout must be far above go test's 10m default
 go test -race -timeout 60m ./...
+
+echo "== observability smoke test"
+# a one-second instrumented run must export a well-formed Chrome trace
+# and a non-empty metrics dump
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+go run ./cmd/illixr-run -app platformer -duration 1 \
+	-trace-out "$TMP/trace.json" -metrics-out "$TMP/metrics.txt" >/dev/null
+go run ./scripts/tracecheck "$TMP/trace.json"
+grep -q '^illixr_' "$TMP/metrics.txt" || {
+	echo "metrics dump has no illixr_ metrics" >&2
+	exit 1
+}
 echo "check: OK"

@@ -1,0 +1,71 @@
+// Command tracecheck validates a Chrome trace_event JSON file: it must
+// parse, contain at least one event, and every event must carry the
+// required ph/name/pid fields with non-negative timestamps. Used by
+// scripts/check.sh to smoke-test illixr-run's -trace-out exporter.
+//
+// Usage: go run ./scripts/tracecheck <trace.json>
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Dur  float64  `json:"dur"`
+	Pid  *int     `json:"pid"`
+	Tid  *int     `json:"tid"`
+}
+
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: tracecheck <trace.json>")
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fail("%s is not valid JSON: %v", os.Args[1], err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		fail("%s has no traceEvents", os.Args[1])
+	}
+	complete, flows := 0, 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == "" || ev.Name == "" {
+			fail("event %d missing ph or name: %+v", i, ev)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			fail("event %d missing pid/tid", i)
+		}
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Ts == nil || *ev.Ts < 0 || ev.Dur < 0 {
+				fail("complete event %d has bad ts/dur", i)
+			}
+		case "s", "f":
+			flows++
+		}
+	}
+	if complete == 0 {
+		fail("%s has no complete (ph=X) events", os.Args[1])
+	}
+	fmt.Printf("tracecheck: %s OK — %d events (%d complete, %d flow)\n",
+		os.Args[1], len(doc.TraceEvents), complete, flows)
+}
