@@ -20,13 +20,17 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table7, fig3..fig8, ablation-vio, faults, all)")
+	exp := flag.String("exp", "all", "experiment id (table1..table7, fig3..fig8, ablation-vio, faults, parallel, all)")
 	duration := flag.Float64("duration", 30, "virtual seconds per integrated run (the paper uses ~30)")
 	qualityFrames := flag.Int("quality-frames", 8, "sampled frames for the Table V image-quality pipeline")
 	faultScenario := flag.String("fault-scenario", "light", "fault scenario for -exp faults (vio-stall|light|stress)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed for the fault schedule")
 	obsOut := flag.String("obs-out", "BENCH_observability.json",
 		"output file for -exp observability (empty to skip the file)")
+	workers := flag.Int("workers", 4, "worker count for -exp parallel")
+	parallelIters := flag.Int("parallel-iters", 5, "iterations per kernel for -exp parallel")
+	parallelOut := flag.String("parallel-out", "BENCH_parallel.json",
+		"output file for -exp parallel (empty to skip the file)")
 	flag.Parse()
 
 	w := os.Stdout
@@ -108,6 +112,13 @@ func main() {
 	}
 	if all || wants["observability"] {
 		if _, err := bench.Observability(w, *duration, *obsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+	if all || wants["parallel"] {
+		if _, err := bench.ParallelExperiment(w, *workers, *parallelIters, *parallelOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -37,6 +37,8 @@ func main() {
 	platName := flag.String("platform", "desktop", "platform: desktop|jetson-hp|jetson-lp")
 	duration := flag.Float64("duration", 30, "virtual seconds")
 	quality := flag.Bool("quality", false, "run the offline SSIM/FLIP pipeline too")
+	workers := flag.Int("workers", 1,
+		"data-parallel workers for the visual/quality/audio kernels (1 = serial; results are bitwise identical)")
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	faultScenario := flag.String("fault-scenario", "none",
 		"inject a seeded fault schedule: "+strings.Join(faults.ScenarioNames(), "|"))
@@ -64,6 +66,7 @@ func main() {
 	cfg := core.DefaultRunConfig(render.AppName(*appName), plat)
 	cfg.Duration = *duration
 	cfg.Seed = *seed
+	cfg.System.Workers = *workers
 	if *quality {
 		cfg.QualityFrames = 8
 	}

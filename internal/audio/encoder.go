@@ -1,6 +1,13 @@
 package audio
 
-import "math"
+import (
+	"math"
+
+	"illixr/internal/parallel"
+)
+
+// audioTile is the fixed sample-tile size for the parallel audio stages.
+const audioTile = 256
 
 // Source is one monophonic sound source to be spatialized.
 type Source struct {
@@ -21,9 +28,16 @@ type Encoder struct {
 	BlockSize int
 	Sources   []Source
 	cursor    int
+	pool      *parallel.Pool
 	// Stats for the performance model
 	SamplesEncoded int
 }
+
+// SetPool sets the worker pool for the encode stages (nil = serial). The
+// soundfield is bitwise identical for every worker count: normalization
+// writes disjoint sample tiles, and each channel accumulates its sources
+// in declaration order exactly as the serial path does (DESIGN.md §8).
+func (e *Encoder) SetPool(p *parallel.Pool) { e.pool = p }
 
 // NewEncoder builds an encoder at the paper's tuned configuration
 // (Table III: 48 Hz block rate → 1024-sample blocks at 48 kHz, order 2).
@@ -46,33 +60,51 @@ func (e *Encoder) EncodeBlock() [][]float64 {
 	for c := range field {
 		field[c] = make([]float64, e.BlockSize)
 	}
-	mono := make([]float64, e.BlockSize)
-	pcmBlock := make([]int16, e.BlockSize)
+	// Task 1 + 2 per source: normalization (INT16 -> FP64) over disjoint
+	// sample tiles, and the SH encoding coefficients Y[j][i] = D × X[j].
+	type encoded struct {
+		mono   []float64
+		coeffs []float64
+		gain   float64
+	}
+	var active []encoded
 	for _, src := range e.Sources {
 		if len(src.PCM) == 0 {
 			continue
 		}
-		// Task 1: normalization (INT16 -> FP64)
-		for i := 0; i < e.BlockSize; i++ {
-			pcmBlock[i] = src.PCM[(e.cursor+i)%len(src.PCM)]
-		}
-		NormalizeInt16(pcmBlock, mono)
-		// Task 2: encoding — sample-to-soundfield mapping Y[j][i] = D × X[j]
-		coeffs := EncodeSH(e.Order, src.Dir.Normalized())
+		mono := make([]float64, e.BlockSize)
+		pcm := src.PCM
+		cur := e.cursor
+		e.pool.ForTiles("audio_normalize", e.BlockSize, audioTile, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				mono[i] = float64(pcm[(cur+i)%len(pcm)]) / 32768.0
+			}
+		})
 		gain := src.Gain
 		if gain == 0 {
 			gain = 1
 		}
-		// Task 3: HOA soundfield summation Y[i][j] += Xk[i][j] ∀k
-		for c := 0; c < nCh; c++ {
-			g := coeffs[c] * gain
-			row := field[c]
-			for i := 0; i < e.BlockSize; i++ {
-				row[i] += g * mono[i]
-			}
-		}
+		active = append(active, encoded{
+			mono:   mono,
+			coeffs: EncodeSH(e.Order, src.Dir.Normalized()),
+			gain:   gain,
+		})
 		e.SamplesEncoded += e.BlockSize
 	}
+	// Task 3: HOA soundfield summation Y[i][j] += Xk[i][j] ∀k. Channels are
+	// disjoint rows; each row sums its sources in declaration order, the
+	// same order as the serial loop, so the field is bitwise identical.
+	e.pool.ForTiles("audio_encode", nCh, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			row := field[c]
+			for _, src := range active {
+				g := src.coeffs[c] * src.gain
+				for i := 0; i < e.BlockSize; i++ {
+					row[i] += g * src.mono[i]
+				}
+			}
+		}
+	})
 	e.cursor += e.BlockSize
 	return field
 }

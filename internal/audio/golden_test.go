@@ -1,0 +1,72 @@
+package audio
+
+import (
+	"math"
+	"testing"
+
+	"illixr/internal/mathx"
+	"illixr/internal/parallel"
+	"illixr/internal/testutil"
+)
+
+func testChain(pool *parallel.Pool) (*Encoder, *Playback) {
+	sources := []Source{
+		SpeechLikeSource("lecturer", 48000, 0.5, DirectionFromAzEl(0.5, 0), 7),
+		SineSource("radio", 440, 48000, 0.5, DirectionFromAzEl(-1.2, 0.2)),
+	}
+	enc := NewEncoder(2, 512, sources)
+	play := NewPlayback(2, 512, 48000)
+	enc.SetPool(pool)
+	play.SetPool(pool)
+	return enc, play
+}
+
+func testListener(block int) mathx.Pose {
+	return mathx.Pose{
+		Rot: mathx.QuatFromAxisAngle(
+			mathx.Vec3{X: 0, Y: 0, Z: 1}, 0.1*float64(block+1)),
+	}
+}
+
+// renderBlocks runs the full encode→playback chain for nBlocks and returns
+// the concatenated stereo output.
+func renderBlocks(pool *parallel.Pool, nBlocks int) (left, right []float64) {
+	enc, play := testChain(pool)
+	for b := 0; b < nBlocks; b++ {
+		field := enc.EncodeBlock()
+		l, r := play.Process(field, testListener(b))
+		left = append(left, l...)
+		right = append(right, r...)
+	}
+	return left, right
+}
+
+func TestGoldenEncodePlayback(t *testing.T) {
+	left, right := renderBlocks(nil, 3)
+	var vals []float64
+	stride := len(left)/128 + 1
+	for i := 0; i < len(left); i += stride {
+		vals = append(vals, left[i], right[i])
+	}
+	sumL, sumR := 0.0, 0.0
+	for i := range left {
+		sumL += left[i]
+		sumR += right[i]
+	}
+	vals = append(vals, sumL, sumR)
+	testutil.CheckGolden(t, "testdata/encode_playback.golden", vals, 0)
+}
+
+func TestDeterminismAudioChain(t *testing.T) {
+	refL, refR := renderBlocks(nil, 3)
+	for _, workers := range []int{2, 4, 7} {
+		gotL, gotR := renderBlocks(parallel.New(workers), 3)
+		for i := range refL {
+			if math.Float64bits(gotL[i]) != math.Float64bits(refL[i]) ||
+				math.Float64bits(gotR[i]) != math.Float64bits(refR[i]) {
+				t.Fatalf("workers=%d: sample %d differs: (%v,%v) vs (%v,%v)",
+					workers, i, gotL[i], gotR[i], refL[i], refR[i])
+			}
+		}
+	}
+}

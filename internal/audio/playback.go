@@ -5,6 +5,7 @@ import (
 
 	"illixr/internal/dsp"
 	"illixr/internal/mathx"
+	"illixr/internal/parallel"
 )
 
 // Playback renders an ambisonic soundfield to binaural stereo following
@@ -25,9 +26,18 @@ type Playback struct {
 	// ZoomStrength in [0,1): 0 disables the zoom stage.
 	ZoomStrength float64
 
+	pool *parallel.Pool
+
 	// Stats for the performance model
 	BlocksProcessed int
 }
+
+// SetPool sets the worker pool for the playback stages (nil = serial).
+// Output is bitwise identical for every worker count: the per-channel
+// filters and per-speaker HRTF convolvers each own their overlap state, the
+// rotation and zoom write disjoint sample tiles, and the final mixdown sums
+// speakers in ascending order exactly as the serial path (DESIGN.md §8).
+func (p *Playback) SetPool(pl *parallel.Pool) { p.pool = pl }
 
 // NewPlayback builds the playback chain.
 func NewPlayback(order, blockSize int, sampleRate float64) *Playback {
@@ -195,44 +205,57 @@ func (p *Playback) Process(field [][]float64, listener mathx.Pose) (left, right 
 	if len(field) < nCh {
 		panic("audio: field channel count below playback order")
 	}
-	// 1) psychoacoustic filter per channel
-	for c := 0; c < nCh; c++ {
-		field[c] = p.psychoFilters[c].Process(field[c])
-	}
+	// 1) psychoacoustic filter per channel: each channel owns its
+	// OverlapAdd state, so channels parallelize with disjoint writes.
+	p.pool.ForTiles("audio_psycho", nCh, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			field[c] = p.psychoFilters[c].Process(field[c])
+		}
+	})
 	// 2) rotation: counter-rotate the field by the listener orientation
 	rot := NewSHRotation(p.Order, listener.Rot.Inverse())
-	rot.ApplyBlock(field)
+	rot.ApplyBlockPool(p.pool, field)
 	// 3) zoom: forward emphasis mixing W with X (ACN 3)
 	if p.ZoomStrength > 0 && p.Order >= 1 {
 		z := p.ZoomStrength
 		g := 1 / math.Sqrt(1+z*z)
-		for i := 0; i < p.BlockSize; i++ {
-			w := field[0][i]
-			x := field[3][i]
-			field[0][i] = g * (w + z*x)
-			field[3][i] = g * (x + z*w)
-		}
+		p.pool.ForTiles("audio_zoom", p.BlockSize, audioTile, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				w := field[0][i]
+				x := field[3][i]
+				field[0][i] = g * (w + z*x)
+				field[3][i] = g * (x + z*w)
+			}
+		})
 	}
-	// 4) binauralization: decode to virtual speakers, convolve HRTFs
+	// 4) binauralization: decode to virtual speakers, convolve HRTFs.
+	// Speakers parallelize (each owns its HRTF convolver pair and scratch
+	// buffer); the stereo mixdown then sums speakers in ascending order,
+	// matching the serial accumulation order bit for bit.
+	nSpk := len(p.speakers)
+	ls := make([][]float64, nSpk)
+	rs := make([][]float64, nSpk)
+	p.pool.ForTiles("audio_binaural", nSpk, 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			spk := make([]float64, p.BlockSize)
+			for c := 0; c < nCh; c++ {
+				g := p.decode.At(s, c)
+				if g == 0 {
+					continue
+				}
+				row := field[c]
+				for i := 0; i < p.BlockSize; i++ {
+					spk[i] += g * row[i]
+				}
+			}
+			ls[s] = p.hrtfL[s].Process(spk)
+			rs[s] = p.hrtfR[s].Process(spk)
+		}
+	})
 	left = make([]float64, p.BlockSize)
 	right = make([]float64, p.BlockSize)
-	spk := make([]float64, p.BlockSize)
-	for s := 0; s < len(p.speakers); s++ {
-		for i := range spk {
-			spk[i] = 0
-		}
-		for c := 0; c < nCh; c++ {
-			g := p.decode.At(s, c)
-			if g == 0 {
-				continue
-			}
-			row := field[c]
-			for i := 0; i < p.BlockSize; i++ {
-				spk[i] += g * row[i]
-			}
-		}
-		l := p.hrtfL[s].Process(spk)
-		r := p.hrtfR[s].Process(spk)
+	for s := 0; s < nSpk; s++ {
+		l, r := ls[s], rs[s]
 		for i := 0; i < p.BlockSize; i++ {
 			left[i] += l[i]
 			right[i] += r[i]

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"illixr/internal/mathx"
+	"illixr/internal/parallel"
 )
 
 // ACN channel count for a given ambisonic order.
@@ -190,20 +191,28 @@ func (r *SHRotation) Apply(coeffs []float64) {
 
 // ApplyBlock rotates every sample of a multichannel block (channels ×
 // samples) in place.
-func (r *SHRotation) ApplyBlock(block [][]float64) {
+func (r *SHRotation) ApplyBlock(block [][]float64) { r.ApplyBlockPool(nil, block) }
+
+// ApplyBlockPool is ApplyBlock with samples tiled over a worker pool. Each
+// tile uses its own coefficient scratch vector and every sample column is
+// independent, so the rotated block is bitwise identical for every worker
+// count.
+func (r *SHRotation) ApplyBlockPool(pool *parallel.Pool, block [][]float64) {
 	nCh := ChannelCount(r.Order)
 	if len(block) < nCh {
 		panic("audio: block has too few channels for rotation order")
 	}
 	n := len(block[0])
-	coeffs := make([]float64, nCh)
-	for s := 0; s < n; s++ {
-		for c := 0; c < nCh; c++ {
-			coeffs[c] = block[c][s]
+	pool.ForTiles("audio_rotate", n, audioTile, func(lo, hi int) {
+		coeffs := make([]float64, nCh)
+		for s := lo; s < hi; s++ {
+			for c := 0; c < nCh; c++ {
+				coeffs[c] = block[c][s]
+			}
+			r.Apply(coeffs)
+			for c := 0; c < nCh; c++ {
+				block[c][s] = coeffs[c]
+			}
 		}
-		r.Apply(coeffs)
-		for c := 0; c < nCh; c++ {
-			block[c][s] = coeffs[c]
-		}
-	}
+	})
 }

@@ -1,0 +1,280 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"illixr/internal/audio"
+	"illixr/internal/hologram"
+	"illixr/internal/imgproc"
+	"illixr/internal/mathx"
+	"illixr/internal/parallel"
+	"illixr/internal/quality"
+	"illixr/internal/reprojection"
+	"illixr/internal/telemetry"
+)
+
+// ParallelKernelResult is one kernel's row of BENCH_parallel.json.
+type ParallelKernelResult struct {
+	Name string `json:"name"`
+	// TilesPerIter is the total tile count one kernel invocation schedules.
+	TilesPerIter int `json:"tiles_per_iter"`
+	// Serial wall time (Workers=1, the same tiled code path).
+	SerialMsMean float64 `json:"serial_ms_mean"`
+	SerialMsP99  float64 `json:"serial_ms_p99"`
+	// ModeledParallelMs applies the pool's tile-order list-scheduling model
+	// (work-span) over per-tile durations measured on the serial path: each
+	// pool call's tiles are assigned to the N workers in tile order and the
+	// call costs its makespan.
+	ModeledParallelMs float64 `json:"modeled_parallel_ms"`
+	ModeledMsP99      float64 `json:"modeled_ms_p99"`
+	// Speedup = SerialMsMean / ModeledParallelMs.
+	Speedup float64 `json:"speedup"`
+	// Wall times of the actual N-worker run on this host.
+	WallParallelMsMean float64 `json:"wall_parallel_ms_mean"`
+	WallParallelMsP99  float64 `json:"wall_parallel_ms_p99"`
+	WallSpeedup        float64 `json:"wall_speedup"`
+}
+
+// ParallelReport is the BENCH_parallel.json document.
+type ParallelReport struct {
+	Workers    int                    `json:"workers"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Iters      int                    `json:"iters"`
+	Note       string                 `json:"note"`
+	Kernels    []ParallelKernelResult `json:"kernels"`
+}
+
+const parallelNote = "modeled_parallel_ms applies the pool's tile-order " +
+	"list-scheduling (work-span) model to per-tile durations measured on " +
+	"the serial path, i.e. the makespan on N ideal cores; wall_* are " +
+	"measured wall times and are bounded by the host's GOMAXPROCS, so on " +
+	"a single-CPU host wall_speedup stays near 1 while speedup reports " +
+	"the available parallelism. Outputs are bitwise identical at every " +
+	"worker count (DESIGN.md §8)."
+
+// parallelKernel is one benchmarked kernel: setup builds a fresh runner
+// bound to the given pool; the returned func executes one iteration.
+type parallelKernel struct {
+	name  string
+	setup func(pool *parallel.Pool) func()
+}
+
+// synthRGB renders a deterministic test pattern.
+func synthRGB(w, h int) *imgproc.RGB {
+	im := imgproc.NewRGB(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fx := float64(x) / float64(w)
+			fy := float64(y) / float64(h)
+			im.Set(x, y,
+				float32(0.5+0.5*math.Sin(13*fx+7*fy)),
+				float32(0.5+0.5*math.Sin(5*fx*fy+2)),
+				float32(fx*fy))
+		}
+	}
+	return im
+}
+
+func synthGray(w, h int, phase float64) *imgproc.Gray {
+	g := imgproc.NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.Pix[y*w+x] = float32(0.5 + 0.5*math.Sin(0.11*float64(x)+0.07*float64(y)+phase))
+		}
+	}
+	return g
+}
+
+// parallelKernels returns the five hot-path kernels of the experiment.
+func parallelKernels() []parallelKernel {
+	return []parallelKernel{
+		{name: "reprojection", setup: func(pool *parallel.Pool) func() {
+			rp := reprojection.DefaultParams()
+			warp := reprojection.New(rp)
+			warp.SetPool(pool)
+			src := synthRGB(512, 288)
+			renderPose := mathx.PoseIdentity()
+			freshPose := mathx.Pose{
+				Pos: mathx.Vec3{},
+				Rot: mathx.QuatFromAxisAngle(mathx.Vec3{X: 0, Y: 0, Z: 1}, 0.02),
+			}
+			return func() { _ = warp.Reproject(src, renderPose, freshPose) }
+		}},
+		{name: "hologram", setup: func(pool *parallel.Pool) func() {
+			p := hologram.DefaultParams()
+			p.Width, p.Height = 192, 192
+			p.Iterations = 2
+			spots := hologram.SpotsFromDepthPlanes(2, 4, 6e-4, 0.02)
+			return func() { _ = hologram.GeneratePool(pool, p, spots) }
+		}},
+		{name: "ssim", setup: func(pool *parallel.Pool) func() {
+			a := synthGray(512, 512, 0)
+			b := synthGray(512, 512, 0.05)
+			return func() { _ = quality.SSIMPool(pool, a, b) }
+		}},
+		{name: "flip", setup: func(pool *parallel.Pool) func() {
+			a := synthRGB(320, 320)
+			b := synthRGB(320, 320)
+			for i := range b.Pix {
+				b.Pix[i] *= 0.97
+			}
+			return func() { _ = quality.FLIPPool(pool, a, b) }
+		}},
+		{name: "pyramid", setup: func(pool *parallel.Pool) func() {
+			g := synthGray(640, 480, 1.2)
+			return func() { _ = imgproc.BuildPyramidPool(pool, g, 4) }
+		}},
+		{name: "audio", setup: func(pool *parallel.Pool) func() {
+			sources := []audio.Source{
+				audio.SpeechLikeSource("lecturer", 48000, 1, audio.DirectionFromAzEl(0.5, 0), 7),
+				audio.SineSource("radio", 440, 48000, 1, audio.DirectionFromAzEl(-1.2, 0.2)),
+			}
+			enc := audio.NewEncoder(2, 1024, sources)
+			play := audio.NewPlayback(2, 1024, 48000)
+			enc.SetPool(pool)
+			play.SetPool(pool)
+			pose := mathx.PoseIdentity()
+			return func() {
+				field := enc.EncodeBlock()
+				_, _ = play.Process(field, pose)
+			}
+		}},
+	}
+}
+
+// listScheduleMakespan simulates the pool's scheduler on N ideal workers:
+// tiles are pulled in tile order by whichever worker frees first; the call
+// costs the time the last worker finishes.
+func listScheduleMakespan(tileMs []float64, workers int) float64 {
+	if len(tileMs) == 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	free := make([]float64, workers)
+	for _, d := range tileMs {
+		// earliest-free worker takes the next tile
+		mi := 0
+		for wi := 1; wi < workers; wi++ {
+			if free[wi] < free[mi] {
+				mi = wi
+			}
+		}
+		free[mi] += d
+	}
+	span := 0.0
+	for _, f := range free {
+		if f > span {
+			span = f
+		}
+	}
+	return span
+}
+
+// measureKernel benchmarks one kernel serially (collecting per-tile times
+// for the work-span model) and with the N-worker pool.
+func measureKernel(k parallelKernel, workers, iters int) ParallelKernelResult {
+	res := ParallelKernelResult{Name: k.name}
+
+	// Serial pass with tile-time collection.
+	sp := parallel.New(1)
+	sp.CollectTiles(true)
+	run := k.setup(sp)
+	run() // warm-up
+	sp.DrainTileCalls()
+	var serialMs, modeledMs []float64
+	for it := 0; it < iters; it++ {
+		t0 := time.Now()
+		run()
+		serialMs = append(serialMs, float64(time.Since(t0))/1e6)
+		calls := sp.DrainTileCalls()
+		span := 0.0
+		tiles := 0
+		for _, call := range calls {
+			span += listScheduleMakespan(call, workers)
+			tiles += len(call)
+		}
+		modeledMs = append(modeledMs, span)
+		res.TilesPerIter = tiles
+	}
+
+	// Wall-clock pass with the real N-worker pool.
+	pp := parallel.New(workers)
+	run = k.setup(pp)
+	run() // warm-up
+	var wallMs []float64
+	for it := 0; it < iters; it++ {
+		t0 := time.Now()
+		run()
+		wallMs = append(wallMs, float64(time.Since(t0))/1e6)
+	}
+
+	res.SerialMsMean = mathx.Mean(serialMs)
+	res.SerialMsP99 = mathx.Percentile(serialMs, 99)
+	res.ModeledParallelMs = mathx.Mean(modeledMs)
+	res.ModeledMsP99 = mathx.Percentile(modeledMs, 99)
+	res.WallParallelMsMean = mathx.Mean(wallMs)
+	res.WallParallelMsP99 = mathx.Percentile(wallMs, 99)
+	if res.ModeledParallelMs > 0 {
+		res.Speedup = res.SerialMsMean / res.ModeledParallelMs
+	}
+	if res.WallParallelMsMean > 0 {
+		res.WallSpeedup = res.SerialMsMean / res.WallParallelMsMean
+	}
+	return res
+}
+
+// ParallelExperiment runs `illixr-bench -exp parallel`: serial vs N-worker
+// throughput and tail latency for the five hot-path kernels, with the
+// work-span model providing the N-ideal-core makespan. Writes
+// BENCH_parallel.json when outPath is non-empty.
+func ParallelExperiment(w io.Writer, workers, iters int, outPath string) (*ParallelReport, error) {
+	if workers < 2 {
+		workers = 4
+	}
+	if iters < 1 {
+		iters = 5
+	}
+	rep := &ParallelReport{
+		Workers:    workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Iters:      iters,
+		Note:       parallelNote,
+	}
+	for _, k := range parallelKernels() {
+		rep.Kernels = append(rep.Kernels, measureKernel(k, workers, iters))
+	}
+
+	t := &telemetry.Table{
+		Title: fmt.Sprintf("Parallel kernels: serial vs %d workers (modeled on %d ideal cores; host GOMAXPROCS=%d)",
+			workers, workers, rep.GOMAXPROCS),
+		Header: []string{"Kernel", "tiles/iter", "serial ms", "p99", "modeled ms", "speedup", "wall ms", "wall x"},
+	}
+	for _, k := range rep.Kernels {
+		t.AddRow(k.Name, fmt.Sprintf("%d", k.TilesPerIter),
+			f2(k.SerialMsMean), f2(k.SerialMsP99),
+			f2(k.ModeledParallelMs), fmt.Sprintf("%.2fx", k.Speedup),
+			f2(k.WallParallelMsMean), fmt.Sprintf("%.2fx", k.WallSpeedup))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "note: %s\n", rep.Note)
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	return rep, nil
+}

@@ -19,6 +19,10 @@ type SystemParams struct {
 	AudioBlockSize   int     // tuned 1024 (range 256–2048)
 	AudioSampleRate  float64
 	AmbisonicOrder   int
+	// Workers is the data-parallel worker count for the visual/quality/
+	// audio kernels (internal/parallel). 1 = serial; any value produces
+	// bitwise-identical results (DESIGN.md §8).
+	Workers int
 }
 
 // Default returns the tuned configuration of Table III.
@@ -37,6 +41,7 @@ func Default() SystemParams {
 		AudioBlockSize:   1024,
 		AudioSampleRate:  48000,
 		AmbisonicOrder:   2,
+		Workers:          1,
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"illixr/internal/faults"
 	"illixr/internal/integrator"
 	"illixr/internal/mathx"
+	"illixr/internal/parallel"
 	"illixr/internal/runtime"
 	"illixr/internal/sensors"
 	"illixr/internal/telemetry"
@@ -182,6 +183,9 @@ type AudioPlugin struct {
 	BlockSize  int
 	SampleRate float64
 	Sources    []audio.Source
+	// Workers is the data-parallel worker count for the encode/playback
+	// stages (0 or 1 = serial; output is bitwise identical either way).
+	Workers int
 
 	enc     *audio.Encoder
 	play    *audio.Playback
@@ -210,6 +214,12 @@ func (p *AudioPlugin) Start(ctx *runtime.Context) error {
 	p.play = audio.NewPlayback(p.Order, p.BlockSize, p.SampleRate)
 	p.tracer = tracerFrom(ctx)
 	reg := metricsFrom(ctx)
+	if p.Workers > 1 {
+		pool := parallel.New(p.Workers)
+		pool.Instrument(reg)
+		p.enc.SetPool(pool)
+		p.play.SetPool(pool)
+	}
 	p.blocks = reg.Counter(telemetry.MetricName("audio", "blocks_total"))
 	p.blockNs = reg.Histogram(telemetry.MetricName("audio", "block_ns"))
 	return nil

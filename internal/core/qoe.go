@@ -5,6 +5,7 @@ import (
 
 	"illixr/internal/integrator"
 	"illixr/internal/mathx"
+	"illixr/internal/parallel"
 	"illixr/internal/quality"
 	"illixr/internal/render"
 	"illixr/internal/reprojection"
@@ -87,6 +88,14 @@ func evaluateQuality(cfg RunConfig, perc *perception, appProf *appProfile,
 	rp := reprojection.DefaultParams()
 	rp.Translational = false
 	warp := reprojection.New(rp)
+	// Shared worker pool for the quality kernels (nil = serial). Results
+	// are bitwise identical for every worker count (DESIGN.md §8).
+	var pool *parallel.Pool
+	if cfg.System.Workers > 1 {
+		pool = parallel.New(cfg.System.Workers)
+		pool.Instrument(cfg.Metrics)
+		warp.SetPool(pool)
+	}
 	renderer := render.NewRenderer(w, h)
 	vsync := 1 / cfg.System.DisplayRateHz
 
@@ -123,8 +132,8 @@ func evaluateQuality(cfg RunConfig, perc *perception, appProf *appProfile,
 		idealSrc := renderer.RenderFrame(appProf.scene, idealRenderPose, idealT).Clone()
 		ideal := warp.Reproject(idealSrc, idealRenderPose, idealFresh)
 
-		ssims = append(ssims, quality.SSIMRGB(actual, ideal))
-		flips = append(flips, quality.OneMinusFLIP(actual, ideal))
+		ssims = append(ssims, quality.SSIMRGBPool(pool, actual, ideal))
+		flips = append(flips, quality.OneMinusFLIPPool(pool, actual, ideal))
 	}
 	res.SSIM = telemetry.Summarize(ssims)
 	res.OneMinusFLIP = telemetry.Summarize(flips)

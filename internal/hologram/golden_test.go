@@ -1,0 +1,51 @@
+package hologram
+
+import (
+	"math"
+	"testing"
+
+	"illixr/internal/parallel"
+	"illixr/internal/testutil"
+)
+
+func testParams() (Params, []Spot) {
+	p := DefaultParams()
+	p.Width, p.Height = 48, 48
+	p.Iterations = 3
+	return p, SpotsFromDepthPlanes(2, 4, 6e-4, 0.02)
+}
+
+func TestGoldenGenerate(t *testing.T) {
+	p, spots := testParams()
+	res := Generate(p, spots)
+	var vals []float64
+	stride := len(res.Phase)/256 + 1
+	for i := 0; i < len(res.Phase); i += stride {
+		vals = append(vals, res.Phase[i])
+	}
+	vals = append(vals, res.SpotAmplitude...)
+	vals = append(vals, res.Uniformity, res.Efficiency)
+	testutil.CheckGolden(t, "testdata/generate_48x48.golden", vals, 0)
+}
+
+func TestDeterminismGenerate(t *testing.T) {
+	p, spots := testParams()
+	ref := GeneratePool(nil, p, spots)
+	for _, workers := range []int{2, 4, 7} {
+		got := GeneratePool(parallel.New(workers), p, spots)
+		for i := range got.Phase {
+			if math.Float64bits(got.Phase[i]) != math.Float64bits(ref.Phase[i]) {
+				t.Fatalf("workers=%d: phase %d differs: %v vs %v", workers, i, got.Phase[i], ref.Phase[i])
+			}
+		}
+		for i := range got.SpotAmplitude {
+			if math.Float64bits(got.SpotAmplitude[i]) != math.Float64bits(ref.SpotAmplitude[i]) {
+				t.Fatalf("workers=%d: amplitude %d differs", workers, i)
+			}
+		}
+		if math.Float64bits(got.Uniformity) != math.Float64bits(ref.Uniformity) ||
+			math.Float64bits(got.Efficiency) != math.Float64bits(ref.Efficiency) {
+			t.Fatalf("workers=%d: quality metrics differ", workers)
+		}
+	}
+}

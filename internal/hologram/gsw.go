@@ -10,6 +10,8 @@ package hologram
 import (
 	"math"
 	"math/cmplx"
+
+	"illixr/internal/parallel"
 )
 
 // Spot is one target focal point in SLM tangent space: lateral position
@@ -27,7 +29,16 @@ type Params struct {
 	Wavelength    float64 // meters
 	FocalLength   float64 // meters
 	Iterations    int     // GSW iterations
+	// Workers is the data-parallel worker count (0 or 1 = serial). The
+	// per-spot pixel sums always use the fixed-tile ordered reduction of
+	// internal/parallel, so the result is bitwise identical for every
+	// worker count (DESIGN.md §8).
+	Workers int
 }
+
+// holoTile is the fixed pixel-tile size for the per-spot sums and the
+// phase back-propagation.
+const holoTile = 4096
 
 // DefaultParams models a small SLM; benchmarks scale Width/Height up to
 // the paper's 2560×1440 display frames.
@@ -71,6 +82,34 @@ func deltaPhase(p Params, px, py int, s Spot) float64 {
 
 // Generate runs weighted Gerchberg–Saxton and returns the SLM phase.
 func Generate(p Params, spots []Spot) Result {
+	var pool *parallel.Pool
+	if p.Workers > 1 {
+		pool = parallel.New(p.Workers)
+	}
+	return GeneratePool(pool, p, spots)
+}
+
+// spotSum is one spot's complex field partial: Σ exp(i(φ_j − Δ_mj)) over a
+// pixel tile.
+type spotSum struct{ re, im float64 }
+
+// spotField computes Σ_j exp(i(φ_j − Δ_mj)) for one spot via the fixed-tile
+// ordered reduction, so the sum is order-stable for every worker count.
+func spotField(pool *parallel.Pool, kernel string, phase, dm []float64) spotSum {
+	return parallel.MapReduce(pool, kernel, len(phase), holoTile, func(lo, hi int) spotSum {
+		var t spotSum
+		for j := lo; j < hi; j++ {
+			s, c := math.Sincos(phase[j] - dm[j])
+			t.re += c
+			t.im += s
+		}
+		return t
+	}, func(a, b spotSum) spotSum { return spotSum{a.re + b.re, a.im + b.im} })
+}
+
+// GeneratePool is Generate over a caller-supplied worker pool (nil = serial;
+// the result is bitwise identical for every worker count).
+func GeneratePool(pool *parallel.Pool, p Params, spots []Spot) Result {
 	n := p.Width * p.Height
 	m := len(spots)
 	res := Result{
@@ -86,11 +125,13 @@ func Generate(p Params, spots []Spot) Result {
 	delta := make([][]float64, m)
 	for mi := range delta {
 		delta[mi] = make([]float64, n)
-		for py := 0; py < p.Height; py++ {
-			for px := 0; px < p.Width; px++ {
-				delta[mi][py*p.Width+px] = deltaPhase(p, px, py, spots[mi])
+		dm := delta[mi]
+		s := spots[mi]
+		pool.ForTiles("hologram_delta", n, holoTile, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				dm[j] = deltaPhase(p, j%p.Width, j/p.Width, s)
 			}
-		}
+		})
 	}
 	weights := make([]float64, m)
 	for i := range weights {
@@ -106,16 +147,10 @@ func Generate(p Params, spots []Spot) Result {
 	for it := 0; it < p.Iterations; it++ {
 		// Task 1: hologram-to-depth. V_m = (1/N) Σ_j exp(i(φ_j − Δ_mj)).
 		for mi := 0; mi < m; mi++ {
-			var re, im float64
-			dm := delta[mi]
-			for j := 0; j < n; j++ {
-				s, c := math.Sincos(res.Phase[j] - dm[j])
-				re += c
-				im += s
-			}
+			t := spotField(pool, "hologram_spot", res.Phase, delta[mi])
 			res.Stats.PixelSpotOps += n
 			// Task 2: sum (the reduction epilogue)
-			v := complex(re/float64(n), im/float64(n))
+			v := complex(t.re/float64(n), t.im/float64(n))
 			amp[mi] = cmplx.Abs(v)
 			theta[mi] = cmplx.Phase(v)
 		}
@@ -131,15 +166,19 @@ func Generate(p Params, spots []Spot) Result {
 			}
 		}
 		// Task 3: depth-to-hologram. φ_j = arg Σ_m w_m exp(i(Δ_mj + θ_m)).
-		for j := 0; j < n; j++ {
-			var re, im float64
-			for mi := 0; mi < m; mi++ {
-				s, c := math.Sincos(delta[mi][j] + theta[mi])
-				re += weights[mi] * c
-				im += weights[mi] * s
+		// Each pixel is independent (disjoint writes), so this tiles
+		// trivially; the inner spot sum stays sequential per pixel.
+		pool.ForTiles("hologram_phase", n, holoTile, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				var re, im float64
+				for mi := 0; mi < m; mi++ {
+					s, c := math.Sincos(delta[mi][j] + theta[mi])
+					re += weights[mi] * c
+					im += weights[mi] * s
+				}
+				res.Phase[j] = math.Atan2(im, re)
 			}
-			res.Phase[j] = math.Atan2(im, re)
-		}
+		})
 		res.Stats.PixelSpotOps += n * m
 		res.Stats.Iterations++
 	}
@@ -147,15 +186,9 @@ func Generate(p Params, spots []Spot) Result {
 	minA, maxA := math.Inf(1), 0.0
 	eff := 0.0
 	for mi := 0; mi < m; mi++ {
-		var re, im float64
-		dm := delta[mi]
-		for j := 0; j < n; j++ {
-			s, c := math.Sincos(res.Phase[j] - dm[j])
-			re += c
-			im += s
-		}
+		t := spotField(pool, "hologram_spot", res.Phase, delta[mi])
 		res.Stats.PixelSpotOps += n
-		a := math.Hypot(re, im) / float64(n)
+		a := math.Hypot(t.re, t.im) / float64(n)
 		res.SpotAmplitude[mi] = a
 		if a < minA {
 			minA = a

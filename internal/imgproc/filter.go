@@ -1,6 +1,16 @@
 package imgproc
 
-import "math"
+import (
+	"math"
+
+	"illixr/internal/parallel"
+)
+
+// filterTileRows is the fixed scanline-tile height for parallel filters.
+// Tiling depends only on image height (never on worker count), and every
+// output pixel is computed independently, so parallel output is bitwise
+// identical to serial — see DESIGN.md §8.
+const filterTileRows = 16
 
 // GaussianKernel returns a normalized 1-D Gaussian kernel with the given
 // standard deviation, with radius ceil(3σ).
@@ -24,30 +34,41 @@ func GaussianKernel(sigma float64) []float64 {
 
 // GaussianBlur applies a separable Gaussian blur and returns a new image.
 func GaussianBlur(g *Gray, sigma float64) *Gray {
+	return GaussianBlurPool(nil, g, sigma)
+}
+
+// GaussianBlurPool is GaussianBlur with the convolution scanlines tiled
+// over a worker pool (nil pool = serial; output is bitwise identical for
+// every worker count).
+func GaussianBlurPool(p *parallel.Pool, g *Gray, sigma float64) *Gray {
 	k := GaussianKernel(sigma)
 	radius := len(k) / 2
 	tmp := NewGray(g.W, g.H)
 	out := NewGray(g.W, g.H)
 	// horizontal pass
-	for y := 0; y < g.H; y++ {
-		for x := 0; x < g.W; x++ {
-			s := 0.0
-			for i, kv := range k {
-				s += kv * float64(g.At(x+i-radius, y))
+	p.ForTiles("gaussian_h", g.H, filterTileRows, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < g.W; x++ {
+				s := 0.0
+				for i, kv := range k {
+					s += kv * float64(g.At(x+i-radius, y))
+				}
+				tmp.Pix[y*g.W+x] = float32(s)
 			}
-			tmp.Pix[y*g.W+x] = float32(s)
 		}
-	}
+	})
 	// vertical pass
-	for y := 0; y < g.H; y++ {
-		for x := 0; x < g.W; x++ {
-			s := 0.0
-			for i, kv := range k {
-				s += kv * float64(tmp.At(x, y+i-radius))
+	p.ForTiles("gaussian_v", g.H, filterTileRows, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < g.W; x++ {
+				s := 0.0
+				for i, kv := range k {
+					s += kv * float64(tmp.At(x, y+i-radius))
+				}
+				out.Pix[y*g.W+x] = float32(s)
 			}
-			out.Pix[y*g.W+x] = float32(s)
 		}
-	}
+	})
 	return out
 }
 
@@ -83,23 +104,28 @@ func BoxBlur(g *Gray, r int) *Gray {
 
 // Sobel computes image gradients with the 3×3 Sobel operator, returning
 // the horizontal (gx) and vertical (gy) derivative images.
-func Sobel(g *Gray) (gx, gy *Gray) {
+func Sobel(g *Gray) (gx, gy *Gray) { return SobelPool(nil, g) }
+
+// SobelPool is Sobel with scanlines tiled over a worker pool.
+func SobelPool(p *parallel.Pool, g *Gray) (gx, gy *Gray) {
 	gx = NewGray(g.W, g.H)
 	gy = NewGray(g.W, g.H)
-	for y := 0; y < g.H; y++ {
-		for x := 0; x < g.W; x++ {
-			tl := g.At(x-1, y-1)
-			t := g.At(x, y-1)
-			tr := g.At(x+1, y-1)
-			l := g.At(x-1, y)
-			r := g.At(x+1, y)
-			bl := g.At(x-1, y+1)
-			b := g.At(x, y+1)
-			br := g.At(x+1, y+1)
-			gx.Pix[y*g.W+x] = (tr + 2*r + br - tl - 2*l - bl) / 8
-			gy.Pix[y*g.W+x] = (bl + 2*b + br - tl - 2*t - tr) / 8
+	p.ForTiles("sobel", g.H, filterTileRows, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < g.W; x++ {
+				tl := g.At(x-1, y-1)
+				t := g.At(x, y-1)
+				tr := g.At(x+1, y-1)
+				l := g.At(x-1, y)
+				r := g.At(x+1, y)
+				bl := g.At(x-1, y+1)
+				b := g.At(x, y+1)
+				br := g.At(x+1, y+1)
+				gx.Pix[y*g.W+x] = (tr + 2*r + br - tl - 2*l - bl) / 8
+				gy.Pix[y*g.W+x] = (bl + 2*b + br - tl - 2*t - tr) / 8
+			}
 		}
-	}
+	})
 	return gx, gy
 }
 
@@ -142,7 +168,10 @@ func Bilateral(g *Gray, sigmaSpace, sigmaRange float64) *Gray {
 }
 
 // Downsample2 halves the image size by averaging 2×2 blocks.
-func Downsample2(g *Gray) *Gray {
+func Downsample2(g *Gray) *Gray { return Downsample2Pool(nil, g) }
+
+// Downsample2Pool is Downsample2 with scanlines tiled over a worker pool.
+func Downsample2Pool(p *parallel.Pool, g *Gray) *Gray {
 	w2 := g.W / 2
 	h2 := g.H / 2
 	if w2 < 1 {
@@ -152,12 +181,14 @@ func Downsample2(g *Gray) *Gray {
 		h2 = 1
 	}
 	out := NewGray(w2, h2)
-	for y := 0; y < h2; y++ {
-		for x := 0; x < w2; x++ {
-			s := g.At(2*x, 2*y) + g.At(2*x+1, 2*y) + g.At(2*x, 2*y+1) + g.At(2*x+1, 2*y+1)
-			out.Pix[y*w2+x] = s / 4
+	p.ForTiles("downsample2", h2, filterTileRows, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < w2; x++ {
+				s := g.At(2*x, 2*y) + g.At(2*x+1, 2*y) + g.At(2*x, 2*y+1) + g.At(2*x+1, 2*y+1)
+				out.Pix[y*w2+x] = s / 4
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -169,6 +200,12 @@ type Pyramid struct {
 
 // BuildPyramid constructs an n-level pyramid (n >= 1).
 func BuildPyramid(g *Gray, levels int) *Pyramid {
+	return BuildPyramidPool(nil, g, levels)
+}
+
+// BuildPyramidPool is BuildPyramid with each level's blur and downsample
+// tiled over a worker pool.
+func BuildPyramidPool(pool *parallel.Pool, g *Gray, levels int) *Pyramid {
 	if levels < 1 {
 		levels = 1
 	}
@@ -179,8 +216,8 @@ func BuildPyramid(g *Gray, levels int) *Pyramid {
 		if cur.W < 8 || cur.H < 8 {
 			break
 		}
-		blurred := GaussianBlur(cur, 1.0)
-		cur = Downsample2(blurred)
+		blurred := GaussianBlurPool(pool, cur, 1.0)
+		cur = Downsample2Pool(pool, blurred)
 		p.Levels = append(p.Levels, cur)
 	}
 	return p

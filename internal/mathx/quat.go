@@ -59,11 +59,25 @@ func (q Quat) Norm() float64 { return math.Sqrt(q.NormSq()) }
 // Normalized returns q scaled to unit norm. The sign of the quaternion is
 // preserved: integrators rely on the quaternion path being continuous, so
 // the double-cover ambiguity is deliberately NOT resolved here (use
-// Canonical for a sign-canonical representative).
+// Canonical for a sign-canonical representative). NaN components and the
+// zero quaternion normalize to identity; huge or subnormal quaternions
+// whose squared norm over/underflows are rescaled by their largest
+// component first, so every finite nonzero input yields a unit result.
 func (q Quat) Normalized() Quat {
 	n := q.Norm()
-	if n == 0 {
+	if math.IsNaN(n) {
 		return QuatIdentity()
+	}
+	if n == 0 || math.IsInf(n, 1) {
+		// NormSq over/underflowed. Dividing by the largest component
+		// magnitude brings the components into [-1, 1] without touching the
+		// numerics of the common path above.
+		m := math.Max(math.Max(math.Abs(q.W), math.Abs(q.X)),
+			math.Max(math.Abs(q.Y), math.Abs(q.Z)))
+		if m == 0 || math.IsInf(m, 1) {
+			return QuatIdentity()
+		}
+		return Quat{q.W / m, q.X / m, q.Y / m, q.Z / m}.Normalized()
 	}
 	inv := 1 / n
 	return Quat{q.W * inv, q.X * inv, q.Y * inv, q.Z * inv}

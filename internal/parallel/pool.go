@@ -1,0 +1,248 @@
+// Package parallel provides the deterministic data-parallel substrate for
+// the visual/quality/audio hot paths: a GOMAXPROCS-aware worker pool with
+// fixed-size tiling and ordered reduction, so a kernel's output is bitwise
+// identical for every worker count.
+//
+// Determinism contract (see DESIGN.md §8): the tiling of an index space
+// [0, n) into tiles depends only on n and the tile size — never on the
+// number of workers — and every reduction folds tile partials in ascending
+// tile order. Workers only change *which goroutine* computes a tile, not
+// what is computed or in what order results combine, so Workers=1 (the
+// serial path) and Workers=N produce bit-identical outputs. Kernels whose
+// tiles write disjoint output regions (per-scanline warps, convolutions)
+// are trivially deterministic; kernels that reduce (SSIM/FLIP means,
+// hologram spot sums) are deterministic because of the ordered fold.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"illixr/internal/telemetry"
+)
+
+// Pool schedules tiled kernels over a fixed number of workers. The zero
+// value and the nil pool are both valid and run every kernel serially.
+type Pool struct {
+	workers int
+
+	// instruments (nil when uninstrumented — all no-ops)
+	callsC   *telemetry.Counter
+	tilesC   *telemetry.Counter
+	kernelH  func(kernel string) *telemetry.Histogram
+	idleH    *telemetry.Histogram
+	reg      *telemetry.Registry
+	kernelMu sync.Mutex
+	kernels  map[string]*telemetry.Histogram
+
+	// tile-time collection for the work-span model of `illixr-bench -exp
+	// parallel` (off by default; adds a clock read per tile when on).
+	// One inner slice per ForTiles/MapReduce call, in call order.
+	collectTiles atomic.Bool
+	tileMu       sync.Mutex
+	tileCalls    [][]float64
+}
+
+// New returns a pool with the given worker count. workers <= 0 selects
+// GOMAXPROCS; workers == 1 is the serial path.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the configured worker count (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Instrument attaches the telemetry registry: the pool reports
+// illixr_parallel_calls_total, illixr_parallel_tiles_total,
+// illixr_parallel_idle_ms (per-call aggregate worker idle time) and a
+// per-kernel latency histogram illixr_parallel_<kernel>_ms.
+func (p *Pool) Instrument(reg *telemetry.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	p.reg = reg
+	p.callsC = reg.Counter(telemetry.MetricName("parallel", "calls_total"))
+	p.tilesC = reg.Counter(telemetry.MetricName("parallel", "tiles_total"))
+	p.idleH = reg.Histogram(telemetry.MetricName("parallel", "idle_ms"))
+	p.kernels = map[string]*telemetry.Histogram{}
+}
+
+func (p *Pool) kernelHist(kernel string) *telemetry.Histogram {
+	if p == nil || p.reg == nil {
+		return nil
+	}
+	p.kernelMu.Lock()
+	defer p.kernelMu.Unlock()
+	h := p.kernels[kernel]
+	if h == nil {
+		h = p.reg.Histogram(telemetry.MetricName("parallel", kernel+"_ms"))
+		p.kernels[kernel] = h
+	}
+	return h
+}
+
+// CollectTiles toggles per-tile duration recording (used by the parallel
+// bench to fit the work-span model). Drain with DrainTileCalls.
+func (p *Pool) CollectTiles(on bool) {
+	if p != nil {
+		p.collectTiles.Store(on)
+	}
+}
+
+// DrainTileCalls returns and clears the recorded per-tile durations
+// (milliseconds): one slice per pool call, tiles in tile order within each
+// call.
+func (p *Pool) DrainTileCalls() [][]float64 {
+	if p == nil {
+		return nil
+	}
+	p.tileMu.Lock()
+	defer p.tileMu.Unlock()
+	out := p.tileCalls
+	p.tileCalls = nil
+	return out
+}
+
+// Tiles returns the number of tiles a range of n items splits into with
+// the given tile size (at least 1 when n > 0).
+func Tiles(n, tile int) int {
+	if n <= 0 {
+		return 0
+	}
+	if tile <= 0 {
+		tile = n
+	}
+	return (n + tile - 1) / tile
+}
+
+// ForTiles splits [0, n) into fixed tiles of the given size and invokes
+// fn(lo, hi) for each tile, distributing tiles over the pool's workers.
+// Tile boundaries depend only on n and tile, so kernels whose tiles write
+// disjoint outputs are bitwise deterministic for any worker count. fn must
+// not write outside its [lo, hi) output range.
+func (p *Pool) ForTiles(kernel string, n, tile int, fn func(lo, hi int)) {
+	p.forTilesIndexed(kernel, n, tile, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// forTilesIndexed is ForTiles with the tile index exposed (the building
+// block of MapReduce's ordered reduction).
+func (p *Pool) forTilesIndexed(kernel string, n, tile int, fn func(ti, lo, hi int)) {
+	tiles := Tiles(n, tile)
+	if tiles == 0 {
+		return
+	}
+	if tile <= 0 {
+		tile = n
+	}
+	collect := p != nil && p.collectTiles.Load()
+	var tileMs []float64
+	if collect {
+		tileMs = make([]float64, tiles)
+	}
+	runTile := func(ti int) {
+		lo := ti * tile
+		hi := lo + tile
+		if hi > n {
+			hi = n
+		}
+		if collect {
+			t0 := time.Now()
+			fn(ti, lo, hi)
+			tileMs[ti] = float64(time.Since(t0)) / 1e6
+			return
+		}
+		fn(ti, lo, hi)
+	}
+
+	workers := p.Workers()
+	if workers > tiles {
+		workers = tiles
+	}
+	instrumented := p != nil && p.reg != nil
+	var start time.Time
+	if instrumented {
+		start = time.Now()
+	}
+
+	if workers <= 1 {
+		for ti := 0; ti < tiles; ti++ {
+			runTile(ti)
+		}
+	} else {
+		var next atomic.Int64
+		var busyNs atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				var t0 time.Time
+				if instrumented {
+					t0 = time.Now()
+				}
+				for {
+					ti := int(next.Add(1)) - 1
+					if ti >= tiles {
+						break
+					}
+					runTile(ti)
+				}
+				if instrumented {
+					busyNs.Add(int64(time.Since(t0)))
+				}
+			}()
+		}
+		wg.Wait()
+		if instrumented {
+			// aggregate idle: worker-seconds the pool held but did not
+			// compute in (scheduling gaps + tail imbalance)
+			elapsed := time.Since(start)
+			idle := float64(int64(workers)*int64(elapsed)-busyNs.Load()) / 1e6
+			if idle > 0 {
+				p.idleH.Observe(idle)
+			}
+		}
+	}
+
+	if instrumented {
+		p.callsC.Inc()
+		p.tilesC.Add(tiles)
+		p.kernelHist(kernel).Observe(float64(time.Since(start)) / 1e6)
+	}
+	if collect {
+		p.tileMu.Lock()
+		p.tileCalls = append(p.tileCalls, tileMs)
+		p.tileMu.Unlock()
+	}
+}
+
+// MapReduce maps each tile of [0, n) to a partial result and folds the
+// partials in ascending tile order: acc = reduce(reduce(t0, t1), t2)...
+// The fold order is fixed regardless of worker count, so floating-point
+// reductions are bitwise deterministic. Returns the zero T when n <= 0.
+func MapReduce[T any](p *Pool, kernel string, n, tile int, mapFn func(lo, hi int) T, reduce func(acc, v T) T) T {
+	var zero T
+	tiles := Tiles(n, tile)
+	if tiles == 0 {
+		return zero
+	}
+	partials := make([]T, tiles)
+	p.forTilesIndexed(kernel, n, tile, func(ti, lo, hi int) {
+		partials[ti] = mapFn(lo, hi)
+	})
+	acc := partials[0]
+	for i := 1; i < tiles; i++ {
+		acc = reduce(acc, partials[i])
+	}
+	return acc
+}

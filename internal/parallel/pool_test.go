@@ -1,0 +1,195 @@
+package parallel
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"illixr/internal/telemetry"
+)
+
+func TestTiles(t *testing.T) {
+	cases := []struct{ n, tile, want int }{
+		{0, 4, 0}, {-3, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2},
+		{100, 7, 15}, {7, 0, 1}, {7, -1, 1},
+	}
+	for _, c := range cases {
+		if got := Tiles(c.n, c.tile); got != c.want {
+			t.Errorf("Tiles(%d,%d) = %d, want %d", c.n, c.tile, got, c.want)
+		}
+	}
+}
+
+func TestForTilesCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := New(workers)
+		n := 1000
+		hits := make([]int32, n)
+		var mu sync.Mutex
+		p.ForTiles("cover", n, 13, func(lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := lo; i < hi; i++ {
+				hits[i]++
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", p.Workers())
+	}
+	sum := 0
+	p.ForTiles("nil", 10, 3, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += i
+		}
+	})
+	if sum != 45 {
+		t.Fatalf("nil pool sum = %d", sum)
+	}
+	if got := MapReduce(p, "nil", 0, 4, func(lo, hi int) int { return 1 },
+		func(a, b int) int { return a + b }); got != 0 {
+		t.Fatalf("empty MapReduce = %d", got)
+	}
+}
+
+// TestDeterminismMapReduce requires the floating-point fold to be bitwise
+// identical across worker counts: the canonical determinism contract.
+func TestDeterminismMapReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 100000
+	xs := make([]float64, n)
+	for i := range xs {
+		// wide dynamic range makes the sum order-sensitive
+		xs[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(12)-6))
+	}
+	sumTiles := func(workers int) float64 {
+		p := New(workers)
+		return MapReduce(p, "sum", n, 4096, func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b })
+	}
+	want := sumTiles(1)
+	for _, workers := range []int{2, 4, 7} {
+		got := sumTiles(workers)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("workers=%d: sum %x != serial %x",
+				workers, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+// TestDeterminismForTilesDisjointWrites checks the disjoint-output form of
+// the contract on a per-element transform.
+func TestDeterminismForTilesDisjointWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 50000
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = rng.NormFloat64()
+	}
+	run := func(workers int) []float64 {
+		p := New(workers)
+		out := make([]float64, n)
+		p.ForTiles("transform", n, 1024, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = math.Sin(in[i]) * math.Exp(-in[i]*in[i]/2)
+			}
+		})
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 7} {
+		got := run(workers)
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("workers=%d: out[%d] differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestPoolRaceStress hammers one shared pool from many goroutines with
+// concurrent ForTiles/MapReduce calls against shared accumulators; run
+// under -race this validates the pool's internal synchronization.
+func TestPoolRaceStress(t *testing.T) {
+	p := New(4)
+	reg := telemetry.NewRegistry()
+	p.Instrument(reg)
+	p.CollectTiles(true)
+	const goroutines = 8
+	const rounds = 25
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	var total atomic64
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// shared accumulator via ordered reduce
+				s := MapReduce(p, "stress", 2000, 64, func(lo, hi int) int64 {
+					var acc int64
+					for i := lo; i < hi; i++ {
+						acc += int64(i)
+					}
+					return acc
+				}, func(a, b int64) int64 { return a + b })
+				total.add(s)
+				// disjoint writes into a shared slice
+				out := make([]int64, 512)
+				p.ForTiles("stress2", len(out), 32, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						out[i] = int64(i * g)
+					}
+				})
+				_ = p.DrainTileCalls()
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := int64(goroutines*rounds) * (2000 * 1999 / 2)
+	if total.load() != want {
+		t.Fatalf("stress total = %d, want %d", total.load(), want)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[telemetry.MetricName("parallel", "calls_total")] == 0 {
+		t.Error("instrumented pool recorded no calls")
+	}
+	if snap.Counters[telemetry.MetricName("parallel", "tiles_total")] == 0 {
+		t.Error("instrumented pool recorded no tiles")
+	}
+}
+
+// atomic64 avoids importing sync/atomic twice in examples above.
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }
+
+func TestInstrumentedKernelHistogram(t *testing.T) {
+	p := New(2)
+	reg := telemetry.NewRegistry()
+	p.Instrument(reg)
+	p.ForTiles("warp", 100, 10, func(lo, hi int) {})
+	p.ForTiles("warp", 100, 10, func(lo, hi int) {})
+	h := reg.Histogram(telemetry.MetricName("parallel", "warp_ms"))
+	if h.Count() != 2 {
+		t.Errorf("kernel histogram count = %d, want 2", h.Count())
+	}
+}

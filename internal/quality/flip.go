@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"illixr/internal/imgproc"
+	"illixr/internal/parallel"
 )
 
 // FLIP computes a perceptual difference map between a test and a reference
@@ -17,7 +18,12 @@ import (
 // This is a faithful structural reimplementation rather than a bit-exact
 // port (the original's CSF tables assume a calibrated display); see
 // DESIGN.md.
-func FLIP(test, ref *imgproc.RGB) float64 {
+func FLIP(test, ref *imgproc.RGB) float64 { return FLIPPool(nil, test, ref) }
+
+// FLIPPool is FLIP with the opponent transform, CSF prefilters, feature
+// maps and the error reduction tiled over a worker pool; output is bitwise
+// identical for every worker count (DESIGN.md §8).
+func FLIPPool(p *parallel.Pool, test, ref *imgproc.RGB) float64 {
 	if test.W != ref.W || test.H != ref.H {
 		panic("quality: FLIP size mismatch")
 	}
@@ -27,14 +33,16 @@ func FLIP(test, ref *imgproc.RGB) float64 {
 		y := imgproc.NewGray(im.W, im.H)
 		cx := imgproc.NewGray(im.W, im.H)
 		cz := imgproc.NewGray(im.W, im.H)
-		for i := 0; i < im.W*im.H; i++ {
-			r := im.Pix[3*i]
-			g := im.Pix[3*i+1]
-			b := im.Pix[3*i+2]
-			y.Pix[i] = 0.2126*r + 0.7152*g + 0.0722*b
-			cx.Pix[i] = r - g
-			cz.Pix[i] = 0.5*(r+g) - b
-		}
+		p.ForTiles("flip_opponent", im.W*im.H, sumTile, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				r := im.Pix[3*i]
+				g := im.Pix[3*i+1]
+				b := im.Pix[3*i+2]
+				y.Pix[i] = 0.2126*r + 0.7152*g + 0.0722*b
+				cx.Pix[i] = r - g
+				cz.Pix[i] = 0.5*(r+g) - b
+			}
+		})
 		return y, cx, cz
 	}
 	ty, tcx, tcz := toOpponent(test)
@@ -42,60 +50,72 @@ func FLIP(test, ref *imgproc.RGB) float64 {
 	// CSF: achromatic channel keeps more detail (small sigma), chromatic
 	// channels are filtered more aggressively.
 	filt := func(g *imgproc.Gray, sigma float64) *imgproc.Gray {
-		return imgproc.GaussianBlur(g, sigma)
+		return imgproc.GaussianBlurPool(p, g, sigma)
 	}
 	ty, tcx, tcz = filt(ty, 0.8), filt(tcx, 1.8), filt(tcz, 2.4)
 	ry, rcx, rcz = filt(ry, 0.8), filt(rcx, 1.8), filt(rcz, 2.4)
 
 	// --- feature difference on luminance --------------------------------
-	tEdge, tPoint := edgePointMaps(ty)
-	rEdge, rPoint := edgePointMaps(ry)
+	tEdge, tPoint := edgePointMaps(p, ty)
+	rEdge, rPoint := edgePointMaps(p, ry)
 
 	n := test.W * test.H
-	sum := 0.0
-	for i := 0; i < n; i++ {
-		// HyAB-style color difference: city-block on luminance + Euclidean
-		// on chroma.
-		dy := math.Abs(float64(ty.Pix[i] - ry.Pix[i]))
-		dcx := float64(tcx.Pix[i] - rcx.Pix[i])
-		dcz := float64(tcz.Pix[i] - rcz.Pix[i])
-		dc := dy + math.Sqrt(dcx*dcx+dcz*dcz)
-		// normalize into [0,1] with a soft knee (max distance ≈ 2.4)
-		colorDiff := math.Pow(clamp01(dc/1.2), 0.7)
-		// feature difference
-		de := math.Abs(float64(tEdge.Pix[i] - rEdge.Pix[i]))
-		dp := math.Abs(float64(tPoint.Pix[i] - rPoint.Pix[i]))
-		featDiff := clamp01(math.Max(de, dp) * 4)
-		// FLIP combination
-		e := math.Pow(colorDiff, 1-featDiff)
-		if colorDiff == 0 {
-			e = 0
+	sum := parallel.MapReduce(p, "flip_score", n, sumTile, func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			// HyAB-style color difference: city-block on luminance + Euclidean
+			// on chroma.
+			dy := math.Abs(float64(ty.Pix[i] - ry.Pix[i]))
+			dcx := float64(tcx.Pix[i] - rcx.Pix[i])
+			dcz := float64(tcz.Pix[i] - rcz.Pix[i])
+			dc := dy + math.Sqrt(dcx*dcx+dcz*dcz)
+			// normalize into [0,1] with a soft knee (max distance ≈ 2.4)
+			colorDiff := math.Pow(clamp01(dc/1.2), 0.7)
+			// feature difference
+			de := math.Abs(float64(tEdge.Pix[i] - rEdge.Pix[i]))
+			dp := math.Abs(float64(tPoint.Pix[i] - rPoint.Pix[i]))
+			featDiff := clamp01(math.Max(de, dp) * 4)
+			// FLIP combination
+			e := math.Pow(colorDiff, 1-featDiff)
+			if colorDiff == 0 {
+				e = 0
+			}
+			s += e
 		}
-		sum += e
-	}
+		return s
+	}, func(x, y float64) float64 { return x + y })
 	return sum / float64(n)
 }
 
 // OneMinusFLIP is the similarity form reported in Table V.
 func OneMinusFLIP(test, ref *imgproc.RGB) float64 { return 1 - FLIP(test, ref) }
 
+// OneMinusFLIPPool is OneMinusFLIP over a worker pool.
+func OneMinusFLIPPool(p *parallel.Pool, test, ref *imgproc.RGB) float64 {
+	return 1 - FLIPPool(p, test, ref)
+}
+
 // edgePointMaps computes first- and second-derivative feature magnitude
 // maps (edge and point detectors).
-func edgePointMaps(y *imgproc.Gray) (edge, point *imgproc.Gray) {
-	gx, gy := imgproc.Sobel(y)
+func edgePointMaps(p *parallel.Pool, y *imgproc.Gray) (edge, point *imgproc.Gray) {
+	gx, gy := imgproc.SobelPool(p, y)
 	edge = imgproc.NewGray(y.W, y.H)
-	for i := range edge.Pix {
-		edge.Pix[i] = float32(math.Hypot(float64(gx.Pix[i]), float64(gy.Pix[i])))
-	}
+	p.ForTiles("flip_edge", len(edge.Pix), sumTile, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			edge.Pix[i] = float32(math.Hypot(float64(gx.Pix[i]), float64(gy.Pix[i])))
+		}
+	})
 	// point detector: Laplacian magnitude
 	point = imgproc.NewGray(y.W, y.H)
-	for yy := 0; yy < y.H; yy++ {
-		for xx := 0; xx < y.W; xx++ {
-			lap := -4*y.At(xx, yy) + y.At(xx-1, yy) + y.At(xx+1, yy) +
-				y.At(xx, yy-1) + y.At(xx, yy+1)
-			point.Set(xx, yy, float32(math.Abs(float64(lap))))
+	p.ForTiles("flip_point", y.H, 16, func(lo, hi int) {
+		for yy := lo; yy < hi; yy++ {
+			for xx := 0; xx < y.W; xx++ {
+				lap := -4*y.At(xx, yy) + y.At(xx-1, yy) + y.At(xx+1, yy) +
+					y.At(xx, yy-1) + y.At(xx, yy+1)
+				point.Set(xx, yy, float32(math.Abs(float64(lap))))
+			}
 		}
-	}
+	})
 	return edge, point
 }
 

@@ -7,51 +7,71 @@ import (
 	"math"
 
 	"illixr/internal/imgproc"
+	"illixr/internal/parallel"
 )
+
+// sumTile is the fixed tile size (in pixels) for the per-pixel score
+// reductions of SSIM and FLIP. Tile partials are summed sequentially in
+// pixel order and folded in ascending tile order, so the mean is
+// order-stable: independent of worker count, and identical between the
+// serial and parallel paths (DESIGN.md §8).
+const sumTile = 8192
 
 // SSIM computes the mean Structural Similarity Index between two
 // same-sized grayscale images (Wang et al. 2004), using an 11×11 Gaussian
 // window with σ=1.5 and the standard constants for a [0,1] dynamic range.
-func SSIM(a, b *imgproc.Gray) float64 {
+func SSIM(a, b *imgproc.Gray) float64 { return SSIMPool(nil, a, b) }
+
+// SSIMPool is SSIM with the Gaussian windows and the score reduction tiled
+// over a worker pool; output is bitwise identical for every worker count.
+func SSIMPool(p *parallel.Pool, a, b *imgproc.Gray) float64 {
 	if a.W != b.W || a.H != b.H {
 		panic("quality: SSIM size mismatch")
 	}
 	const c1 = 0.01 * 0.01
 	const c2 = 0.03 * 0.03
 	// Gaussian-filtered moments
-	muA := imgproc.GaussianBlur(a, 1.5)
-	muB := imgproc.GaussianBlur(b, 1.5)
-	aa := mulImg(a, a)
-	bb := mulImg(b, b)
-	ab := mulImg(a, b)
-	sAA := imgproc.GaussianBlur(aa, 1.5)
-	sBB := imgproc.GaussianBlur(bb, 1.5)
-	sAB := imgproc.GaussianBlur(ab, 1.5)
-	sum := 0.0
+	muA := imgproc.GaussianBlurPool(p, a, 1.5)
+	muB := imgproc.GaussianBlurPool(p, b, 1.5)
+	aa := mulImg(p, a, a)
+	bb := mulImg(p, b, b)
+	ab := mulImg(p, a, b)
+	sAA := imgproc.GaussianBlurPool(p, aa, 1.5)
+	sBB := imgproc.GaussianBlurPool(p, bb, 1.5)
+	sAB := imgproc.GaussianBlurPool(p, ab, 1.5)
 	n := a.W * a.H
-	for i := 0; i < n; i++ {
-		ma := float64(muA.Pix[i])
-		mb := float64(muB.Pix[i])
-		varA := float64(sAA.Pix[i]) - ma*ma
-		varB := float64(sBB.Pix[i]) - mb*mb
-		covAB := float64(sAB.Pix[i]) - ma*mb
-		num := (2*ma*mb + c1) * (2*covAB + c2)
-		den := (ma*ma + mb*mb + c1) * (varA + varB + c2)
-		sum += num / den
-	}
+	sum := parallel.MapReduce(p, "ssim_score", n, sumTile, func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			ma := float64(muA.Pix[i])
+			mb := float64(muB.Pix[i])
+			varA := float64(sAA.Pix[i]) - ma*ma
+			varB := float64(sBB.Pix[i]) - mb*mb
+			covAB := float64(sAB.Pix[i]) - ma*mb
+			num := (2*ma*mb + c1) * (2*covAB + c2)
+			den := (ma*ma + mb*mb + c1) * (varA + varB + c2)
+			s += num / den
+		}
+		return s
+	}, func(x, y float64) float64 { return x + y })
 	return sum / float64(n)
 }
 
 // SSIMRGB computes SSIM on the luminance of two RGB images.
-func SSIMRGB(a, b *imgproc.RGB) float64 {
-	return SSIM(a.Luminance(), b.Luminance())
+func SSIMRGB(a, b *imgproc.RGB) float64 { return SSIMRGBPool(nil, a, b) }
+
+// SSIMRGBPool is SSIMRGB over a worker pool.
+func SSIMRGBPool(p *parallel.Pool, a, b *imgproc.RGB) float64 {
+	return SSIMPool(p, a.Luminance(), b.Luminance())
 }
 
-func mulImg(a, b *imgproc.Gray) *imgproc.Gray {
+func mulImg(p *parallel.Pool, a, b *imgproc.Gray) *imgproc.Gray {
 	out := imgproc.NewGray(a.W, a.H)
-	for i := range out.Pix {
-		out.Pix[i] = a.Pix[i] * b.Pix[i]
-	}
+	p.ForTiles("ssim_mul", len(out.Pix), sumTile, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Pix[i] = a.Pix[i] * b.Pix[i]
+		}
+	})
 	return out
 }
 

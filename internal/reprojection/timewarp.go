@@ -11,6 +11,7 @@ import (
 
 	"illixr/internal/imgproc"
 	"illixr/internal/mathx"
+	"illixr/internal/parallel"
 )
 
 // Params configures the reprojection pass.
@@ -32,6 +33,11 @@ type Params struct {
 	// ChromaticScale offsets K1 per color channel (red and blue are
 	// distorted slightly differently by the lens).
 	ChromaticScale float64
+	// Workers is the data-parallel worker count for the per-scanline warp
+	// (0 or 1 = serial). Every output pixel is computed independently, so
+	// the warped frame is bitwise identical for any worker count
+	// (DESIGN.md §8).
+	Workers int
 }
 
 // DefaultParams mirrors a typical HMD configuration.
@@ -68,6 +74,7 @@ type Reprojector struct {
 	meshR, meshG, meshB [][2]float64
 	meshW, meshH        int
 	Stats               Stats
+	pool                *parallel.Pool
 }
 
 // New builds a reprojector and precomputes its distortion meshes.
@@ -79,8 +86,18 @@ func New(p Params) *Reprojector {
 	r.meshR = r.buildMesh(p.K1*(1+p.ChromaticScale), p.K2)
 	r.meshG = r.buildMesh(p.K1, p.K2)
 	r.meshB = r.buildMesh(p.K1*(1-p.ChromaticScale), p.K2)
+	if p.Workers > 1 {
+		r.pool = parallel.New(p.Workers)
+	}
 	return r
 }
+
+// SetPool overrides the worker pool (e.g. to share one instrumented pool
+// across kernels). A nil pool restores the serial path.
+func (r *Reprojector) SetPool(p *parallel.Pool) { r.pool = p }
+
+// warpTileRows is the fixed scanline-tile height of the parallel warp.
+const warpTileRows = 8
 
 // buildMesh computes, for each mesh vertex of the output (distorted
 // display) grid, the pre-distorted tangent-space coordinate to sample from
@@ -150,58 +167,60 @@ func (r *Reprojector) Reproject(src *imgproc.RGB, renderPose, freshPose mathx.Po
 
 	tanHalf := math.Tan(r.P.FovY / 2)
 	aspect := float64(src.W) / float64(src.H)
-	for py := 0; py < src.H; py++ {
-		v := (float64(py) + 0.5) / float64(src.H)
-		for px := 0; px < src.W; px++ {
-			u := (float64(px) + 0.5) / float64(src.W)
-			// per-channel distorted tangent-space direction in the fresh
-			// view (display space)
-			var rgb [3]float32
-			for c := 0; c < 3; c++ {
-				var tx, ty float64
-				switch c {
-				case 0:
-					tx, ty = meshLookup(r.meshR, r.meshW, r.meshH, u, v)
-				case 1:
-					tx, ty = meshLookup(r.meshG, r.meshW, r.meshH, u, v)
-				default:
-					tx, ty = meshLookup(r.meshB, r.meshW, r.meshH, u, v)
+	r.pool.ForTiles("reprojection", src.H, warpTileRows, func(lo, hi int) {
+		for py := lo; py < hi; py++ {
+			v := (float64(py) + 0.5) / float64(src.H)
+			for px := 0; px < src.W; px++ {
+				u := (float64(px) + 0.5) / float64(src.W)
+				// per-channel distorted tangent-space direction in the fresh
+				// view (display space)
+				var rgb [3]float32
+				for c := 0; c < 3; c++ {
+					var tx, ty float64
+					switch c {
+					case 0:
+						tx, ty = meshLookup(r.meshR, r.meshW, r.meshH, u, v)
+					case 1:
+						tx, ty = meshLookup(r.meshG, r.meshW, r.meshH, u, v)
+					default:
+						tx, ty = meshLookup(r.meshB, r.meshW, r.meshH, u, v)
+					}
+					// direction in fresh camera space (camera looks down +Z
+					// here with x right, y down in image space)
+					dir := mathx.Vec3{X: tx * aspect, Y: ty, Z: 1}
+					// rotate into the render camera frame
+					rd := dR.MulVec(dir)
+					if r.P.Translational && r.P.PlaneDepth > 0 {
+						// intersect with the constant-depth plane and correct
+						// for camera displacement
+						pt := rd.Scale(r.P.PlaneDepth / math.Max(rd.Z, 1e-6))
+						pt = pt.Add(dPos)
+						rd = pt
+					}
+					if rd.Z <= 1e-6 {
+						continue // behind the render camera: leave black
+					}
+					sx := rd.X / rd.Z / aspect
+					sy := rd.Y / rd.Z
+					// back to pixel coordinates in the source frame
+					fx := (sx/tanHalf + 1) / 2 * float64(src.W)
+					fy := (sy/tanHalf + 1) / 2 * float64(src.H)
+					if fx < 0 || fy < 0 || fx >= float64(src.W) || fy >= float64(src.H) {
+						continue
+					}
+					rr, gg, bb := src.BilinearRGB(fx-0.5, fy-0.5)
+					switch c {
+					case 0:
+						rgb[0] = rr
+					case 1:
+						rgb[1] = gg
+					default:
+						rgb[2] = bb
+					}
 				}
-				// direction in fresh camera space (camera looks down +Z
-				// here with x right, y down in image space)
-				dir := mathx.Vec3{X: tx * aspect, Y: ty, Z: 1}
-				// rotate into the render camera frame
-				rd := dR.MulVec(dir)
-				if r.P.Translational && r.P.PlaneDepth > 0 {
-					// intersect with the constant-depth plane and correct
-					// for camera displacement
-					pt := rd.Scale(r.P.PlaneDepth / math.Max(rd.Z, 1e-6))
-					pt = pt.Add(dPos)
-					rd = pt
-				}
-				if rd.Z <= 1e-6 {
-					continue // behind the render camera: leave black
-				}
-				sx := rd.X / rd.Z / aspect
-				sy := rd.Y / rd.Z
-				// back to pixel coordinates in the source frame
-				fx := (sx/tanHalf + 1) / 2 * float64(src.W)
-				fy := (sy/tanHalf + 1) / 2 * float64(src.H)
-				if fx < 0 || fy < 0 || fx >= float64(src.W) || fy >= float64(src.H) {
-					continue
-				}
-				rr, gg, bb := src.BilinearRGB(fx-0.5, fy-0.5)
-				switch c {
-				case 0:
-					rgb[0] = rr
-				case 1:
-					rgb[1] = gg
-				default:
-					rgb[2] = bb
-				}
+				out.Set(px, py, rgb[0], rgb[1], rgb[2])
 			}
-			out.Set(px, py, rgb[0], rgb[1], rgb[2])
 		}
-	}
+	})
 	return out
 }

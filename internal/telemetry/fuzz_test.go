@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzSummarize feeds arbitrary float64 series (including NaN, ±Inf,
+// subnormals) into Summarize and checks its invariants: no panic, finite
+// outputs, consistent ordering, and N counting only the finite inputs.
+func FuzzSummarize(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(mkFloats(1, 2, 3, 4, 5))
+	f.Add(mkFloats(math.NaN(), math.Inf(1), math.Inf(-1), 0))
+	f.Add(mkFloats(-1e308, 1e308, 5e-324))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var values []float64
+		for i := 0; i+8 <= len(data); i += 8 {
+			values = append(values, math.Float64frombits(binary.LittleEndian.Uint64(data[i:])))
+		}
+		s := Summarize(values)
+		finite := 0
+		for _, v := range values {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				finite++
+			}
+		}
+		if s.N != finite {
+			t.Fatalf("N = %d, want %d finite of %d", s.N, finite, len(values))
+		}
+		if finite == 0 {
+			if s != (Summary{}) {
+				t.Fatalf("no finite inputs but non-zero summary %+v", s)
+			}
+			return
+		}
+		for name, v := range map[string]float64{
+			"mean": s.Mean, "std": s.Std, "min": s.Min, "max": s.Max, "p99": s.P99,
+		} {
+			if math.IsNaN(v) {
+				t.Fatalf("%s is NaN for finite inputs %v", name, values)
+			}
+		}
+		if s.Min > s.Max {
+			t.Fatalf("min %v > max %v", s.Min, s.Max)
+		}
+		// the mean of values in [min, max] stays in [min, max] barring
+		// accumulation overflow, which Summarize tolerates; only assert
+		// ordering when the mean stayed finite
+		if !math.IsInf(s.Mean, 0) && (s.Mean < s.Min || s.Mean > s.Max) {
+			t.Fatalf("mean %v outside [%v, %v]", s.Mean, s.Min, s.Max)
+		}
+		if !math.IsInf(s.P99, 0) && (s.P99 < s.Min || s.P99 > s.Max) {
+			t.Fatalf("p99 %v outside [%v, %v]", s.P99, s.Min, s.Max)
+		}
+	})
+}
+
+func mkFloats(vs ...float64) []byte {
+	out := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}

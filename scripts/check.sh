@@ -14,6 +14,18 @@ echo "== go test -race ./..."
 # per-package timeout must be far above go test's 10m default
 go test -race -timeout 60m ./...
 
+echo "== determinism tests at GOMAXPROCS=2 and GOMAXPROCS=8"
+# the parallel kernels must be bitwise identical for every worker count,
+# independent of how many OS threads actually back the pool
+GOMAXPROCS=2 go test -run Determinism -count=2 ./internal/... >/dev/null
+GOMAXPROCS=8 go test -run Determinism -count=2 ./internal/... >/dev/null
+
+echo "== fuzz smokes (5s each)"
+go test -run='^$' -fuzz=FuzzQuatNormalize -fuzztime=5s ./internal/mathx >/dev/null
+go test -run='^$' -fuzz=FuzzSE3 -fuzztime=5s ./internal/mathx >/dev/null
+go test -run='^$' -fuzz=FuzzSummarize -fuzztime=5s ./internal/telemetry >/dev/null
+go test -run='^$' -fuzz=FuzzSSIMWindow -fuzztime=5s ./internal/quality >/dev/null
+
 echo "== observability smoke test"
 # a one-second instrumented run must export a well-formed Chrome trace
 # and a non-empty metrics dump
@@ -26,4 +38,11 @@ grep -q '^illixr_' "$TMP/metrics.txt" || {
 	echo "metrics dump has no illixr_ metrics" >&2
 	exit 1
 }
+
+echo "== parallel bench smoke"
+# the 4-worker run must show the modeled parallelism and must not regress
+# the quality kernels against serial (see scripts/parallelcheck)
+go run ./cmd/illixr-bench -exp parallel -workers 4 -parallel-iters 3 \
+	-parallel-out "$TMP/parallel.json" >/dev/null
+go run ./scripts/parallelcheck "$TMP/parallel.json"
 echo "check: OK"

@@ -1,0 +1,95 @@
+// Command parallelcheck validates a BENCH_parallel.json produced by
+// `illixr-bench -exp parallel`: the work-span model must show the required
+// parallelism, and the quality kernels must not regress against serial.
+//
+// Usage: parallelcheck BENCH_parallel.json
+//
+// Checks:
+//  1. At least 3 kernels reach >= 2x modeled speedup at the benchmarked
+//     worker count (the PR's acceptance bar).
+//  2. For the quality kernels (ssim, flip), the faster of the modeled and
+//     measured parallel times is within 1.10x of serial — on a
+//     single-CPU host the wall time is noise-bound, so the deterministic
+//     work-span model carries the regression check; the wall time still
+//     guards against pathological (>1.5x) slowdowns.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type kernel struct {
+	Name               string  `json:"name"`
+	SerialMsMean       float64 `json:"serial_ms_mean"`
+	ModeledParallelMs  float64 `json:"modeled_parallel_ms"`
+	Speedup            float64 `json:"speedup"`
+	WallParallelMsMean float64 `json:"wall_parallel_ms_mean"`
+}
+
+type report struct {
+	Workers    int      `json:"workers"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Kernels    []kernel `json:"kernels"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: parallelcheck BENCH_parallel.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "parallelcheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	if len(rep.Kernels) == 0 {
+		fmt.Fprintln(os.Stderr, "parallelcheck: no kernels in report")
+		os.Exit(1)
+	}
+
+	fail := false
+	fast := 0
+	for _, k := range rep.Kernels {
+		if k.Speedup >= 2 {
+			fast++
+		}
+	}
+	if fast < 3 {
+		fmt.Fprintf(os.Stderr, "parallelcheck: only %d kernels reach 2x modeled speedup at %d workers (need >= 3)\n",
+			fast, rep.Workers)
+		fail = true
+	}
+
+	for _, k := range rep.Kernels {
+		if k.Name != "ssim" && k.Name != "flip" {
+			continue
+		}
+		best := k.ModeledParallelMs
+		if k.WallParallelMsMean < best {
+			best = k.WallParallelMsMean
+		}
+		if best > 1.10*k.SerialMsMean {
+			fmt.Fprintf(os.Stderr, "parallelcheck: %s: parallel %.2f ms is >10%% slower than serial %.2f ms\n",
+				k.Name, best, k.SerialMsMean)
+			fail = true
+		}
+		if k.WallParallelMsMean > 1.5*k.SerialMsMean {
+			fmt.Fprintf(os.Stderr, "parallelcheck: %s: wall parallel %.2f ms is pathologically slower than serial %.2f ms\n",
+				k.Name, k.WallParallelMsMean, k.SerialMsMean)
+			fail = true
+		}
+	}
+
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Printf("parallelcheck: OK (%d/%d kernels >= 2x modeled at %d workers, GOMAXPROCS=%d)\n",
+		fast, len(rep.Kernels), rep.Workers, rep.GOMAXPROCS)
+}
