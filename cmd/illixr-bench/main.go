@@ -7,7 +7,8 @@
 //	illixr-bench -exp table5 -duration 10 -quality-frames 8
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
-// fig3 fig4 fig5 fig6 fig7 fig8 ablation-vio faults observability all
+// fig3 fig4 fig5 fig6 fig7 fig8 ablation-vio faults observability
+// parallel network all
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table7, fig3..fig8, ablation-vio, faults, parallel, all)")
+	exp := flag.String("exp", "all", "experiment id (table1..table7, fig3..fig8, ablation-vio, faults, parallel, network, all)")
 	duration := flag.Float64("duration", 30, "virtual seconds per integrated run (the paper uses ~30)")
 	qualityFrames := flag.Int("quality-frames", 8, "sampled frames for the Table V image-quality pipeline")
 	faultScenario := flag.String("fault-scenario", "light", "fault scenario for -exp faults (vio-stall|light|stress)")
@@ -31,6 +32,10 @@ func main() {
 	parallelIters := flag.Int("parallel-iters", 5, "iterations per kernel for -exp parallel")
 	parallelOut := flag.String("parallel-out", "BENCH_parallel.json",
 		"output file for -exp parallel (empty to skip the file)")
+	networkSessions := flag.Int("network-sessions", 8, "concurrent sessions per cell for -exp network")
+	networkSeed := flag.Int64("network-seed", 42, "seed for the -exp network link processes")
+	networkOut := flag.String("network-out", "BENCH_network.json",
+		"output file for -exp network (empty to skip the file)")
 	flag.Parse()
 
 	w := os.Stdout
@@ -119,6 +124,13 @@ func main() {
 	}
 	if all || wants["parallel"] {
 		if _, err := bench.ParallelExperiment(w, *workers, *parallelIters, *parallelOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+	if all || wants["network"] {
+		if _, err := bench.NetworkExperiment(w, *networkSessions, *networkSeed, *networkOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

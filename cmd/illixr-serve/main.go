@@ -1,0 +1,90 @@
+// Command illixr-serve runs the edge-offload streaming server: it accepts
+// netxr sessions over TCP and hosts the perception back half of the
+// pipeline (IMU integrator, optionally VIO) for each connected client,
+// streaming fast poses back downstream (DESIGN.md §9).
+//
+// Usage:
+//
+//	illixr-serve -addr :7425
+//	illixr-serve -addr :7425 -vio -debug-addr :8080   # /sessions live table
+//	illixr-serve -max-sessions 8 -idle-timeout 10
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"illixr/internal/config"
+	"illixr/internal/debughttp"
+	"illixr/internal/integrator"
+	"illixr/internal/netxr/bridge"
+	"illixr/internal/netxr/session"
+	"illixr/internal/netxr/wire"
+	"illixr/internal/sensors"
+	"illixr/internal/telemetry"
+)
+
+func main() {
+	defaults := config.DefaultNet()
+	addr := flag.String("addr", ":7425", "TCP listen address for offload sessions")
+	maxSessions := flag.Int("max-sessions", defaults.MaxSessions, "concurrent session cap")
+	queueLen := flag.Int("queue-len", defaults.QueueLen, "per-session reliable send queue bound")
+	idleTimeout := flag.Float64("idle-timeout", defaults.IdleTimeoutSec,
+		"seconds of uplink silence before a session is reaped (<0 disables)")
+	vio := flag.Bool("vio", false, "host the MSCKF VIO per session (heavier; default hosts only the integrator)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve /metrics /health /spans /sessions /debug/pprof/ on this address (e.g. :8080)")
+	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	pipe := &bridge.Pipeline{
+		Metrics: reg,
+		VIO:     *vio,
+		Init:    func(wire.Hello) integrator.State { return integrator.State{} },
+		Cam:     func(wire.Hello) sensors.CameraModel { return sensors.VGACamera() },
+	}
+	srv := session.NewServer(session.Config{
+		MaxSessions: *maxSessions,
+		QueueLen:    *queueLen,
+		IdleTimeout: time.Duration(*idleTimeout * float64(time.Second)),
+		Metrics:     reg,
+	}, pipe)
+
+	if *debugAddr != "" {
+		dbg := &debughttp.Server{Metrics: reg, Sessions: srv}
+		bound, _, err := dbg.Serve(*debugAddr)
+		if err != nil {
+			log.Fatalf("debug endpoint: %v", err)
+		}
+		fmt.Printf("debug endpoint on http://%s (see /sessions)\n", bound)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("illixr-serve listening on %s (max %d sessions, vio=%v)\n",
+		ln.Addr(), *maxSessions, *vio)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("\ndraining sessions…")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	fmt.Println("server stopped")
+}

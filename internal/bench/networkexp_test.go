@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"regexp"
+	"testing"
+)
+
+// wallFields strips the scheduler-dependent soak observations so the
+// rest of the report can be compared byte for byte.
+var wallFields = regexp.MustCompile(`(?m)^\s*"wall_[a-z_]+": [^\n]+\n`)
+
+func stripWall(b []byte) []byte { return wallFields.ReplaceAll(b, nil) }
+
+func TestNetworkExperimentDeterministic(t *testing.T) {
+	r1, err := NetworkExperiment(io.Discard, 8, 42, "")
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	r2, err := NetworkExperiment(io.Discard, 8, 42, "")
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	b1 := stripWall(EncodeNetworkReport(r1))
+	b2 := stripWall(EncodeNetworkReport(r2))
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same seed produced different reports (after stripping wall_* fields)")
+	}
+
+	r3, err := NetworkExperiment(io.Discard, 8, 43, "")
+	if err != nil {
+		t.Fatalf("run 3: %v", err)
+	}
+	if bytes.Equal(b1, stripWall(EncodeNetworkReport(r3))) {
+		t.Fatal("different seeds produced identical reports — the seed is not reaching the links")
+	}
+}
+
+func TestNetworkExperimentShape(t *testing.T) {
+	rep, err := NetworkExperiment(io.Discard, 8, 7, "")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(rep.Cells) != 6 { // 5 profiles + wifi+flaky
+		t.Fatalf("cells = %d, want 6", len(rep.Cells))
+	}
+	var loopback, regional float64
+	for _, cell := range rep.Cells {
+		if len(cell.Sessions) != 8 {
+			t.Fatalf("%s: sessions = %d, want 8", cell.Profile.Name, len(cell.Sessions))
+		}
+		for _, s := range cell.Sessions {
+			if s.DecodeErrors != 0 {
+				t.Fatalf("%s session %d: %d decode errors", cell.Profile.Name, s.Session, s.DecodeErrors)
+			}
+			if s.MTP.N == 0 {
+				t.Fatalf("%s session %d: no MTP samples", cell.Profile.Name, s.Session)
+			}
+			if !cell.Faulted && s.MaxInflight > rep.QueueBound {
+				t.Fatalf("%s session %d: max inflight %d exceeds bound %d",
+					cell.Profile.Name, s.Session, s.MaxInflight, rep.QueueBound)
+			}
+			// faulted cells must recover: the stream stalls through an
+			// outage but nothing is lost for good
+			if cell.Faulted && s.PosesDelivered != s.IMUSent {
+				t.Fatalf("faulted session %d: delivered %d of %d poses",
+					s.Session, s.PosesDelivered, s.IMUSent)
+			}
+			if s.PosesDisplayed+s.StaleDrops != s.PosesDelivered {
+				t.Fatalf("%s session %d: displayed %d + stale %d != delivered %d",
+					cell.Profile.Name, s.Session, s.PosesDisplayed, s.StaleDrops, s.PosesDelivered)
+			}
+		}
+		if !cell.Faulted {
+			switch cell.Profile.Name {
+			case "loopback":
+				loopback = cell.Aggregate.MeanMs
+			case "regional":
+				regional = cell.Aggregate.MeanMs
+			}
+		}
+	}
+	if regional <= loopback {
+		t.Fatalf("MTP does not grow with RTT: regional %.2f <= loopback %.2f", regional, loopback)
+	}
+
+	// soak: the real transport must carry every frame without decode errors
+	want := uint64(rep.SessionsN * rep.Soak.FramesPerSession)
+	if rep.Soak.FramesReceived != want {
+		t.Fatalf("soak received %d frames, want %d", rep.Soak.FramesReceived, want)
+	}
+	if rep.Soak.DecodeErrors != 0 {
+		t.Fatalf("soak decode errors = %d", rep.Soak.DecodeErrors)
+	}
+	if !rep.Soak.CleanShutdown {
+		t.Fatal("soak shutdown was not clean")
+	}
+}

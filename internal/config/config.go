@@ -45,6 +45,31 @@ func Default() SystemParams {
 	}
 }
 
+// NetParams tunes the edge-offload streaming layer (internal/netxr): the
+// session transport the server runs and the defaults the network bench
+// sweeps around (DESIGN.md §9).
+type NetParams struct {
+	// MaxSessions caps concurrent sessions per server process.
+	MaxSessions int
+	// QueueLen bounds each session's reliable send queue; pose/frame
+	// traffic is latest-wins and needs no depth.
+	QueueLen int
+	// IdleTimeoutSec closes sessions whose uplink goes silent.
+	IdleTimeoutSec float64
+	// Profile names the default netsim link profile ("wifi").
+	Profile string
+}
+
+// DefaultNet returns the tuned offload-transport configuration.
+func DefaultNet() NetParams {
+	return NetParams{
+		MaxSessions:    64,
+		QueueLen:       256,
+		IdleTimeoutSec: 30,
+		Profile:        "wifi",
+	}
+}
+
 // Deadlines returns the per-pipeline deadlines in milliseconds implied by
 // the tuned rates (Table III, "Deadline" column).
 func (p SystemParams) Deadlines() (cameraMs, imuMs, displayMs, audioMs float64) {

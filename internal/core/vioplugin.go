@@ -21,6 +21,12 @@ import (
 type VIOPlugin struct {
 	Params  vio.Params
 	Dataset *sensors.Dataset // initialization pose + camera model
+	// Cam and Init configure the filter when no dataset is available —
+	// the edge-offload server (internal/netxr) hosts VIO for remote
+	// sessions whose recording lives on the client, so it starts from
+	// the negotiated camera model and an explicit initial state instead.
+	Cam  *sensors.CameraModel
+	Init *integrator.State
 
 	filter   *vio.Filter
 	frontend vio.Frontend
@@ -38,17 +44,25 @@ func (p *VIOPlugin) Name() string { return "vio.msckf" }
 
 // Start implements runtime.Plugin.
 func (p *VIOPlugin) Start(ctx *runtime.Context) error {
-	if p.Dataset == nil {
-		return fmt.Errorf("vio plugin: dataset (camera model + init) required")
+	if p.Dataset == nil && (p.Cam == nil || p.Init == nil) {
+		return fmt.Errorf("vio plugin: dataset or explicit camera model + init required")
 	}
 	p.ctx = ctx
-	init := integrator.State{
-		Pos: p.Dataset.Traj.Position(0),
-		Vel: p.Dataset.Traj.Velocity(0),
-		Rot: p.Dataset.Traj.Orientation(0),
+	var init integrator.State
+	var cam sensors.CameraModel
+	if p.Dataset != nil {
+		init = integrator.State{
+			Pos: p.Dataset.Traj.Position(0),
+			Vel: p.Dataset.Traj.Velocity(0),
+			Rot: p.Dataset.Traj.Orientation(0),
+		}
+		cam = p.Dataset.Cam
+	} else {
+		init = *p.Init
+		cam = *p.Cam
 	}
 	p.filter = vio.NewFilter(p.Params, sensors.DefaultIMUNoise(), init)
-	p.frontend = vio.NewGeometricFrontend(p.Dataset.Cam, p.Params.MaxFeatures)
+	p.frontend = vio.NewGeometricFrontend(cam, p.Params.MaxFeatures)
 	p.camSub = ctx.Switchboard.GetTopic(runtime.TopicCamera).Subscribe(64)
 	p.imuSub = ctx.Switchboard.GetTopic(runtime.TopicIMU).Subscribe(8192)
 	p.done = make(chan struct{})

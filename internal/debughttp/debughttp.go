@@ -8,13 +8,16 @@
 package debughttp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"time"
 
+	"illixr/internal/netxr/session"
 	"illixr/internal/runtime"
 	"illixr/internal/telemetry"
 )
@@ -22,12 +25,17 @@ import (
 // Server exposes one run's observability surfaces. Zero-value fields are
 // simply not served.
 type Server struct {
-	Metrics *telemetry.Registry
-	Spans   *telemetry.SpanCollector
-	Health  *runtime.HealthBoard
+	Metrics  *telemetry.Registry
+	Spans    *telemetry.SpanCollector
+	Health   *runtime.HealthBoard
+	Sessions session.Lister
 }
 
-// Handler returns the route table: /metrics, /health, /spans,
+// ShutdownGrace bounds how long Serve's stop function waits for in-flight
+// handlers before forcing connections closed.
+const ShutdownGrace = 5 * time.Second
+
+// Handler returns the route table: /metrics, /health, /spans, /sessions,
 // /debug/pprof/*, and an index at /.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -35,6 +43,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/health", s.health)
 	mux.HandleFunc("/spans", s.spans)
+	mux.HandleFunc("/sessions", s.sessions)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -43,8 +52,11 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// Serve listens on addr and serves until the listener is closed; it
-// returns the bound address (useful with ":0") and a stop function.
+// Serve listens on addr and serves until stopped; it returns the bound
+// address (useful with ":0") and a stop function. The stop function shuts
+// down gracefully: it stops accepting, lets in-flight handlers finish (a
+// response mid-write — a long /spans export, a pprof profile — is not cut
+// off), and only force-closes connections still open after ShutdownGrace.
 func (s *Server) Serve(addr string) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -52,7 +64,14 @@ func (s *Server) Serve(addr string) (string, func(), error) {
 	}
 	srv := &http.Server{Handler: s.Handler()}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			_ = srv.Close() // grace expired: cut the stragglers
+		}
+	}
+	return ln.Addr().String(), stop, nil
 }
 
 func (s *Server) index(w http.ResponseWriter, r *http.Request) {
@@ -60,7 +79,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	fmt.Fprint(w, "illixr debug endpoint\n\n/metrics\n/health\n/spans\n/debug/pprof/\n")
+	fmt.Fprint(w, "illixr debug endpoint\n\n/metrics\n/health\n/spans\n/sessions\n/debug/pprof/\n")
 }
 
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
@@ -108,6 +127,23 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(doc)
+}
+
+// sessions serves the live netxr session table: one JSON row per
+// connected offload client (id, uptime, queue depth, drop counts).
+func (s *Server) sessions(w http.ResponseWriter, _ *http.Request) {
+	if s.Sessions == nil {
+		http.Error(w, "no netxr session source installed", http.StatusNotFound)
+		return
+	}
+	infos := s.Sessions.Sessions()
+	if infos == nil {
+		infos = []session.Info{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(infos)
 }
 
 func (s *Server) spans(w http.ResponseWriter, _ *http.Request) {

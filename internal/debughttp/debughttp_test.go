@@ -1,13 +1,17 @@
 package debughttp
 
 import (
+	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"illixr/internal/netxr/session"
 	"illixr/internal/runtime"
 	"illixr/internal/telemetry"
 )
@@ -120,4 +124,160 @@ func TestServeBindsAndStops(t *testing.T) {
 		t.Fatalf("served metrics status %d", code)
 	}
 	stop()
+}
+
+// fakeLister serves a fixed session table.
+type fakeLister struct{ infos []session.Info }
+
+func (f fakeLister) Sessions() []session.Info { return f.infos }
+
+func TestSessionsEndpoint(t *testing.T) {
+	s := &Server{Sessions: fakeLister{infos: []session.Info{
+		{ID: 1, Remote: "10.0.0.2:4000", App: "sponza", UptimeSec: 12.5, QueueDepth: 3, Sent: 100, Dropped: 7, Received: 5000},
+		{ID: 2, Remote: "10.0.0.3:4001", App: "ar_demo", UptimeSec: 1.25},
+	}}}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/sessions")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var rows []session.Info
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("sessions not JSON: %v", err)
+	}
+	if len(rows) != 2 || rows[0].ID != 1 || rows[0].Dropped != 7 || rows[1].App != "ar_demo" {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestSessionsEndpointEmptyIsArray(t *testing.T) {
+	s := &Server{Sessions: fakeLister{}}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/sessions")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if strings.TrimSpace(body) != "[]" {
+		t.Fatalf("empty table = %q, want []", body)
+	}
+}
+
+func TestSessionsMissingSourceReturns404(t *testing.T) {
+	s := &Server{}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/sessions")
+	if code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", code)
+	}
+	if !strings.Contains(body, "no netxr session source installed") {
+		t.Fatalf("404 body = %q, want a clear explanation", body)
+	}
+}
+
+// TestStopWaitsForInFlightHandlers is the regression test for the Serve
+// shutdown ordering: the stop function must let a handler that is already
+// streaming a response finish (http.Server.Shutdown), not sever it
+// mid-write (the old bare Close did exactly that).
+func TestStopWaitsForInFlightHandlers(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("illixr_test_hits_total").Inc()
+	s := &Server{Metrics: reg}
+
+	handlerEntered := make(chan struct{})
+	releaseHandler := make(chan struct{})
+	base := s.Handler()
+	wrapped := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(handlerEntered)
+		<-releaseHandler
+		base.ServeHTTP(w, r)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: wrapped}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			_ = srv.Close()
+		}
+	}
+
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	resC := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+		if err != nil {
+			resC <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, rerr := io.ReadAll(resp.Body)
+		if rerr != nil {
+			resC <- result{err: rerr}
+			return
+		}
+		resC <- result{code: resp.StatusCode, body: string(b)}
+	}()
+
+	<-handlerEntered
+	stopped := make(chan struct{})
+	go func() { stop(); close(stopped) }()
+
+	select {
+	case <-stopped:
+		t.Fatal("stop returned while a handler was still in flight")
+	case <-time.After(50 * time.Millisecond):
+		// good: shutdown is waiting for the handler
+	}
+	close(releaseHandler)
+
+	res := <-resC
+	if res.err != nil {
+		t.Fatalf("in-flight request severed by shutdown: %v", res.err)
+	}
+	if res.code != http.StatusOK || !strings.Contains(res.body, "illixr_test_hits_total") {
+		t.Fatalf("in-flight response corrupted: %d %q", res.code, res.body)
+	}
+	select {
+	case <-stopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stop never returned after the handler finished")
+	}
+}
+
+// TestServeStopGraceful drives the real Serve stop function against a
+// slow request to pin the graceful behaviour end to end.
+func TestServeStopGraceful(t *testing.T) {
+	s, _ := newTestServer(t)
+	addr, stop, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a request completed before stop must be unaffected, and stop must
+	// return promptly with no connections open
+	if code, _ := get(t, "http://"+addr+"/metrics"); code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	done := make(chan struct{})
+	go func() { stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stop hung with no in-flight work")
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still serving after stop")
+	}
 }

@@ -25,12 +25,18 @@ type Kind string
 // times it out and restarts it); a plugin panic crashes a live plugin
 // goroutine exactly once; a cost spike multiplies a component's compute
 // cost for the window (thermal throttling, background daemon, GC pause).
+// A link drop kills the network
+// path of an offloaded session for the window (internal/netxr): the
+// netsim link defers delivery past the window end plus a retransmission
+// penalty, and a severed live connection is restarted by the session
+// supervisor.
 const (
 	CameraDrop  Kind = "camera_drop"
 	IMUDrop     Kind = "imu_drop"
 	VIOStall    Kind = "vio_stall"
 	PluginPanic Kind = "plugin_panic"
 	CostSpike   Kind = "cost_spike"
+	LinkDrop    Kind = "link_drop"
 )
 
 // Window is one scheduled fault: Kind strikes Component during
@@ -81,6 +87,13 @@ type Config struct {
 
 	PluginPanics int
 	PanicPlugins []string // live plugin names eligible for panics
+
+	// LinkDrops are network outages for offloaded sessions; Component
+	// selects the direction ("uplink", "downlink", or "" for both — the
+	// netsim link matches its direction name or empty).
+	LinkDrops       int
+	LinkDropMeanSec float64
+	LinkComponents  []string
 }
 
 // Scenario returns a named preset config. Known names: "none",
@@ -118,6 +131,10 @@ func Scenario(name string, seed int64, duration float64) (Config, error) {
 		c.SpikeComponents = []string{"application", "vio"}
 		c.PluginPanics = 2
 		c.PanicPlugins = []string{"integrator.rk4"}
+	case "flaky-link":
+		c.LinkDrops = 2
+		c.LinkDropMeanSec = 0.4
+		c.LinkComponents = []string{"uplink", "downlink"}
 	default:
 		return c, fmt.Errorf("faults: unknown scenario %q", name)
 	}
@@ -125,7 +142,9 @@ func Scenario(name string, seed int64, duration float64) (Config, error) {
 }
 
 // ScenarioNames lists the preset names accepted by Scenario.
-func ScenarioNames() []string { return []string{"none", "vio-stall", "light", "stress"} }
+func ScenarioNames() []string {
+	return []string{"none", "vio-stall", "light", "stress", "flaky-link"}
+}
 
 // Schedule is a generated, immutable fault plan: windows sorted by start
 // time. Schedules are safe for concurrent readers.
@@ -139,7 +158,9 @@ type Schedule struct {
 // identically forever.
 type rng struct{ state uint64 }
 
-func newRNG(seed int64) *rng { return &rng{state: uint64(seed)*0x9E3779B97F4A7C15 + 0x1F83D9ABFB41BD6B} }
+func newRNG(seed int64) *rng {
+	return &rng{state: uint64(seed)*0x9E3779B97F4A7C15 + 0x1F83D9ABFB41BD6B}
+}
 
 func (r *rng) next() uint64 {
 	r.state += 0x9E3779B97F4A7C15
@@ -191,6 +212,13 @@ func Generate(cfg Config) *Schedule {
 			comp = cfg.SpikeComponents[i%len(cfg.SpikeComponents)]
 		}
 		place(CostSpike, comp, cfg.CostSpikeMeanSec, cfg.CostSpikeMagnitude)
+	}
+	for i := 0; i < cfg.LinkDrops; i++ {
+		comp := ""
+		if len(cfg.LinkComponents) > 0 {
+			comp = cfg.LinkComponents[i%len(cfg.LinkComponents)]
+		}
+		place(LinkDrop, comp, cfg.LinkDropMeanSec, 0)
 	}
 	for i := 0; i < cfg.PluginPanics; i++ {
 		plugin := ""

@@ -140,3 +140,43 @@ func TestScenarioUnknown(t *testing.T) {
 		}
 	}
 }
+
+func TestFlakyLinkScenarioGeneratesLinkDrops(t *testing.T) {
+	cfg, err := Scenario("flaky-link", 11, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Generate(cfg)
+	if len(s.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2", len(s.Windows))
+	}
+	comps := map[string]bool{}
+	for _, w := range s.Windows {
+		if w.Kind != LinkDrop {
+			t.Fatalf("kind = %v, want LinkDrop", w.Kind)
+		}
+		if w.End <= w.Start {
+			t.Fatalf("empty outage window: %v", w)
+		}
+		comps[w.Component] = true
+	}
+	if !comps["uplink"] || !comps["downlink"] {
+		t.Fatalf("components = %v, want both directions", comps)
+	}
+	// regenerating replays the identical schedule
+	if Generate(cfg).Fingerprint() != s.Fingerprint() {
+		t.Fatal("flaky-link schedule not deterministic")
+	}
+}
+
+func TestLinkDropsDoNotPerturbExistingSchedules(t *testing.T) {
+	// adding the LinkDrops stage must not consume RNG draws for configs
+	// that don't use it: pre-existing scenarios keep their schedules
+	cfg, _ := Scenario("stress", 7, 30)
+	withoutField := Generate(cfg)
+	cfg2 := cfg
+	cfg2.LinkDrops = 0 // explicit zero — identical either way
+	if Generate(cfg2).Fingerprint() != withoutField.Fingerprint() {
+		t.Fatal("zero LinkDrops changed the schedule")
+	}
+}

@@ -1,0 +1,557 @@
+// Package bridge adapts netxr streams into the local switchboard on both
+// ends of the pipeline split, so internal/core components run unmodified
+// whether their peers are in-process or across the network (DESIGN.md §9).
+//
+// The split point is the switchboard boundary between the sensor front
+// half and the perception back half: the client runs the sensor sources
+// and the display path, the server hosts the IMU integrator (and
+// optionally the MSCKF VIO). Uplink carries IMU samples and camera
+// frames; downlink carries fast poses. Trace refs ride in the frame
+// headers, so a pose's causal lineage walks back across the wire to the
+// IMU sample that produced it — the client and server span collectors
+// allocate from disjoint id ranges (SpanCollector.SetIDBase) to keep the
+// merged trace consistent.
+package bridge
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"illixr/internal/core"
+	"illixr/internal/faults"
+	"illixr/internal/integrator"
+	"illixr/internal/mathx"
+	"illixr/internal/netxr/session"
+	"illixr/internal/netxr/wire"
+	"illixr/internal/runtime"
+	"illixr/internal/sensors"
+	"illixr/internal/telemetry"
+	"illixr/internal/vio"
+)
+
+// CompNetUp and CompNetDown name the wire-crossing trace stages: a span
+// of either name marks the hop between the client and server collectors.
+const (
+	CompNetUp   = "net_uplink"
+	CompNetDown = "net_downlink"
+)
+
+// serverIDBase spreads per-session span-id ranges: session N allocates
+// ids from N<<40, disjoint from the client's low range and from every
+// other session for the first ~10^12 spans each.
+func serverIDBase(sessionID uint64) uint64 { return sessionID << 40 }
+
+// ---------------------------------------------------------------------------
+// Server side: Pipeline runs one perception back half per session.
+
+// Pipeline implements session.Handler: per connected client it builds a
+// private runtime (switchboard + phonebook), loads the IMU integrator —
+// and optionally the VIO — under supervisors (PR1 semantics: an injected
+// panic restarts the plugin, the session survives), republishes uplink
+// frames onto the local topics, and forwards fast poses back downstream
+// with latest-wins semantics.
+type Pipeline struct {
+	// Metrics is shared across sessions (the illixr_netxr_* registry);
+	// nil runs uninstrumented.
+	Metrics *telemetry.Registry
+	// SpanCap bounds each per-session collector (0 = default).
+	SpanCap int
+	// Init supplies the integrator's initial state for a session; nil
+	// starts at the origin (the client then interprets poses relative to
+	// its own starting pose).
+	Init func(h wire.Hello) integrator.State
+	// Cam supplies the camera model when VIO is true.
+	Cam func(h wire.Hello) sensors.CameraModel
+	// VIO additionally hosts the MSCKF on the uplinked camera frames.
+	VIO bool
+	// MaxRestarts is the per-plugin supervisor restart budget (0 = default).
+	MaxRestarts int
+	// Inject installs a fault injector into every session's phonebook
+	// (PR1 integration: scheduled plugin panics exercise the per-session
+	// supervisors while the session itself stays connected).
+	Inject *faults.Injector
+
+	mu     sync.Mutex
+	states map[uint64]*pipeState
+}
+
+type pipeState struct {
+	loader  *runtime.Loader
+	tracer  *telemetry.SpanCollector
+	poseSub *runtime.Subscription
+	fwdDone chan struct{}
+	qoe     *telemetry.Histogram
+}
+
+// SessionStart implements session.Handler.
+func (p *Pipeline) SessionStart(s *session.Session) error {
+	loader := runtime.NewLoader()
+	ctx := loader.Context()
+	tracer := telemetry.NewSpanCollector(p.SpanCap)
+	tracer.SetIDBase(serverIDBase(s.ID()))
+	_ = ctx.Phonebook.Register(telemetry.TracerService, tracer)
+	if p.Metrics != nil {
+		_ = ctx.Phonebook.Register(telemetry.RegistryService, p.Metrics)
+	}
+	if p.Inject != nil {
+		_ = ctx.Phonebook.Register(faults.InjectorService, p.Inject)
+	}
+
+	var init integrator.State
+	if p.Init != nil {
+		init = p.Init(s.Hello())
+	}
+	opts := runtime.SupervisorOptions{MaxRestarts: p.MaxRestarts, Seed: int64(s.ID())}
+	sup := runtime.NewSupervisor("integrator.rk4", func() runtime.Plugin {
+		return &core.IntegratorPlugin{Initial: init}
+	}, opts)
+	if err := loader.Load(sup); err != nil {
+		_ = loader.Shutdown()
+		return fmt.Errorf("bridge: session %d: %w", s.ID(), err)
+	}
+	if p.VIO {
+		if p.Cam == nil {
+			_ = loader.Shutdown()
+			return errors.New("bridge: VIO requires a Cam model source")
+		}
+		cam := p.Cam(s.Hello())
+		vioSup := runtime.NewSupervisor("vio.msckf", func() runtime.Plugin {
+			return &core.VIOPlugin{Params: vio.DefaultParams(), Cam: &cam, Init: &init}
+		}, opts)
+		if err := loader.Load(vioSup); err != nil {
+			_ = loader.Shutdown()
+			return fmt.Errorf("bridge: session %d: %w", s.ID(), err)
+		}
+	}
+
+	st := &pipeState{
+		loader:  loader,
+		tracer:  tracer,
+		poseSub: ctx.Switchboard.GetTopic(runtime.TopicFastPose).Subscribe(1024),
+		fwdDone: make(chan struct{}),
+		qoe:     p.Metrics.Histogram(telemetry.MetricName("netxr", "qoe_mtp_ms")),
+	}
+	p.mu.Lock()
+	if p.states == nil {
+		p.states = map[uint64]*pipeState{}
+	}
+	p.states[s.ID()] = st
+	p.mu.Unlock()
+
+	// downlink forwarder: every fast pose goes back latest-wins — if the
+	// link is slower than the IMU rate, unsent stale poses are displaced,
+	// never queued.
+	go func() {
+		defer close(st.fwdDone)
+		var buf []byte
+		for ev := range st.poseSub.C {
+			mp, ok := ev.Value.(mathx.Pose)
+			if !ok {
+				continue
+			}
+			ref := st.tracer.Emit(CompNetDown, ev.Trace.Trace, ev.T, ev.T, ev.Trace.Span)
+			buf = wire.AppendPose(buf[:0], wire.Pose{T: ev.T, Pose: mp})
+			err := s.Send(wire.Frame{Type: wire.TypePose, Trace: ref, Payload: buf}, session.LatestWins)
+			if errors.Is(err, session.ErrClosed) {
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// SessionFrame implements session.Handler: uplink frames are decoded and
+// republished onto the session's private switchboard with a net_uplink
+// span bridging the remote lineage.
+func (p *Pipeline) SessionFrame(s *session.Session, f wire.Frame) error {
+	st := p.state(s.ID())
+	if st == nil {
+		return fmt.Errorf("bridge: session %d: frame before start", s.ID())
+	}
+	ctx := st.loader.Context()
+	switch f.Type {
+	case wire.TypeIMU:
+		sample, err := wire.DecodeIMU(f.Payload)
+		if err != nil {
+			return fmt.Errorf("bridge: session %d: imu: %w", s.ID(), err)
+		}
+		ref := st.tracer.Emit(CompNetUp, f.Trace.Trace, sample.T, sample.T, f.Trace.Span)
+		ctx.Switchboard.GetTopic(runtime.TopicIMU).Publish(runtime.Event{T: sample.T, Value: sample, Trace: ref})
+	case wire.TypeCamera:
+		frame, err := wire.DecodeCamera(f.Payload)
+		if err != nil {
+			return fmt.Errorf("bridge: session %d: camera: %w", s.ID(), err)
+		}
+		ref := st.tracer.Emit(CompNetUp, f.Trace.Trace, frame.T, frame.T, f.Trace.Span)
+		ctx.Switchboard.GetTopic(runtime.TopicCamera).Publish(runtime.Event{T: frame.T, Value: frame, Trace: ref})
+	case wire.TypeQoE:
+		q, err := wire.DecodeQoE(f.Payload)
+		if err != nil {
+			return fmt.Errorf("bridge: session %d: qoe: %w", s.ID(), err)
+		}
+		st.qoe.Observe((q.MTP.IMUAge + q.MTP.Reproj + q.MTP.Swap) * 1000)
+	default:
+		// unknown-but-well-framed types are ignored: forward compatibility
+	}
+	return nil
+}
+
+// SessionEnd implements session.Handler.
+func (p *Pipeline) SessionEnd(s *session.Session, _ error) {
+	p.mu.Lock()
+	st := p.states[s.ID()]
+	delete(p.states, s.ID())
+	p.mu.Unlock()
+	if st == nil {
+		return
+	}
+	st.poseSub.Cancel()
+	<-st.fwdDone
+	_ = st.loader.Shutdown()
+}
+
+// Tracer returns the live session's span collector (nil if unknown) so
+// callers can export or inspect the server half of a merged trace.
+func (p *Pipeline) Tracer(sessionID uint64) *telemetry.SpanCollector {
+	if st := p.state(sessionID); st != nil {
+		return st.tracer
+	}
+	return nil
+}
+
+// Health returns the supervision states of a live session's plugins.
+func (p *Pipeline) Health(sessionID uint64) map[string]runtime.Health {
+	if st := p.state(sessionID); st != nil {
+		return st.loader.Context().Health.Snapshot()
+	}
+	return nil
+}
+
+func (p *Pipeline) state(id uint64) *pipeState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.states[id]
+}
+
+var _ session.Handler = (*Pipeline)(nil)
+
+// ---------------------------------------------------------------------------
+// Client side: Client owns the connection; Uplink/Downlink are runtime
+// plugins bridging the local switchboard to it.
+
+// Client is the device end of the split: it dials, handshakes, and hands
+// out the Uplink/Downlink plugins that splice the connection into a
+// local runtime.
+type Client struct {
+	conn    net.Conn
+	r       *wire.Reader
+	welcome wire.Welcome
+	tracer  *telemetry.SpanCollector
+
+	wmu sync.Mutex
+	w   *wire.Writer
+
+	mu       sync.Mutex
+	err      error
+	closed   bool
+	byeR     string
+	pongs    map[uint64]chan wire.Ping
+	lastPose atomic64
+}
+
+// atomic64 stores a float64 bit pattern without pulling sync/atomic into
+// the struct literal noise.
+type atomic64 struct {
+	mu sync.Mutex
+	v  float64
+	ok bool
+}
+
+func (a *atomic64) set(v float64) { a.mu.Lock(); a.v, a.ok = v, true; a.mu.Unlock() }
+func (a *atomic64) get() (float64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v, a.ok
+}
+
+// Dial performs the client handshake over an established connection. The
+// tracer may be nil (untraced client).
+func Dial(conn net.Conn, hello wire.Hello, tracer *telemetry.SpanCollector) (*Client, error) {
+	hello.Proto = wire.Version
+	c := &Client{
+		conn:   conn,
+		r:      wire.NewReader(conn),
+		w:      wire.NewWriter(conn),
+		tracer: tracer,
+		pongs:  map[uint64]chan wire.Ping{},
+	}
+	if err := c.write(wire.Frame{Type: wire.TypeHello, Payload: wire.AppendHello(nil, hello)}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("bridge: hello: %w", err)
+	}
+	f, err := c.r.ReadFrame()
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("bridge: awaiting welcome: %w", err)
+	}
+	switch f.Type {
+	case wire.TypeWelcome:
+		w, derr := wire.DecodeWelcome(f.Payload)
+		if derr != nil {
+			_ = conn.Close()
+			return nil, fmt.Errorf("bridge: welcome: %w", derr)
+		}
+		c.welcome = w
+		return c, nil
+	case wire.TypeBye:
+		b, _ := wire.DecodeBye(f.Payload)
+		_ = conn.Close()
+		return nil, fmt.Errorf("bridge: refused: %s", b.Reason)
+	default:
+		_ = conn.Close()
+		return nil, fmt.Errorf("bridge: unexpected %v before welcome", f.Type)
+	}
+}
+
+// Session returns the server-assigned session id.
+func (c *Client) Session() uint64 { return c.welcome.Session }
+
+// write serializes frame writes (uplink plugin, pings, QoE share the conn).
+func (c *Client) write(f wire.Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.w.WriteFrame(f)
+}
+
+// fail records the first transport error.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil && err != nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+// Err returns the first transport error observed (nil while healthy).
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// ByeReason returns the reason string of the server's Bye, if one arrived.
+func (c *Client) ByeReason() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byeR
+}
+
+// Close sends a Bye and closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	_ = c.write(wire.Frame{Type: wire.TypeBye, Payload: wire.AppendBye(nil, wire.Bye{Reason: "client close"})})
+	return c.conn.Close()
+}
+
+// SendQoE reports a motion-to-photon sample upstream.
+func (c *Client) SendQoE(m telemetry.MTPSample) error {
+	q := wire.QoE{Session: c.welcome.Session, MTP: m}
+	return c.write(wire.Frame{Type: wire.TypeQoE, Payload: wire.AppendQoE(nil, q)})
+}
+
+// Ping round-trips a wire-level probe and returns when the pong arrives
+// or the timeout expires. Requires the Downlink plugin to be running.
+func (c *Client) Ping(seq uint64, t float64, timeout time.Duration) (wire.Ping, error) {
+	ch := make(chan wire.Ping, 1)
+	c.mu.Lock()
+	c.pongs[seq] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pongs, seq)
+		c.mu.Unlock()
+	}()
+	if err := c.write(wire.Frame{Type: wire.TypePing, Payload: wire.AppendPing(nil, wire.Ping{Seq: seq, T: t})}); err != nil {
+		return wire.Ping{}, err
+	}
+	select {
+	case p := <-ch:
+		return p, nil
+	case <-time.After(timeout):
+		return wire.Ping{}, errors.New("bridge: ping timeout")
+	}
+}
+
+// LastPoseT returns the session time of the latest downlinked pose.
+func (c *Client) LastPoseT() (float64, bool) { return c.lastPose.get() }
+
+// Uplink returns the plugin that forwards local IMU and camera events to
+// the server, trace refs included. Send failures latch into Err and stop
+// the forwarders (the owner decides whether to redial).
+func (c *Client) Uplink() runtime.Plugin { return &uplinkPlugin{c: c} }
+
+// Downlink returns the plugin that publishes server poses onto the local
+// fast-pose topic (and reprojected frames onto the warped topic).
+func (c *Client) Downlink() runtime.Plugin { return &downlinkPlugin{c: c} }
+
+type uplinkPlugin struct {
+	c      *Client
+	imuSub *runtime.Subscription
+	camSub *runtime.Subscription
+	done   chan struct{}
+}
+
+// Name implements runtime.Plugin.
+func (p *uplinkPlugin) Name() string { return "netxr.uplink" }
+
+// Start implements runtime.Plugin.
+func (p *uplinkPlugin) Start(ctx *runtime.Context) error {
+	p.imuSub = ctx.Switchboard.GetTopic(runtime.TopicIMU).Subscribe(8192)
+	p.camSub = ctx.Switchboard.GetTopic(runtime.TopicCamera).Subscribe(256)
+	p.done = make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	ctx.Go(p.Name(), func() {
+		defer wg.Done()
+		var buf []byte
+		for ev := range p.imuSub.C {
+			s, ok := ev.Value.(sensors.IMUSample)
+			if !ok {
+				continue
+			}
+			buf = wire.AppendIMU(buf[:0], s)
+			if err := p.c.write(wire.Frame{Type: wire.TypeIMU, Trace: ev.Trace, Payload: buf}); err != nil {
+				p.c.fail(fmt.Errorf("uplink imu: %w", err))
+				return
+			}
+		}
+	})
+	ctx.Go(p.Name(), func() {
+		defer wg.Done()
+		var buf []byte
+		for ev := range p.camSub.C {
+			f, ok := ev.Value.(sensors.CameraFrame)
+			if !ok {
+				continue
+			}
+			buf = wire.AppendCamera(buf[:0], f)
+			if err := p.c.write(wire.Frame{Type: wire.TypeCamera, Trace: ev.Trace, Payload: buf}); err != nil {
+				p.c.fail(fmt.Errorf("uplink camera: %w", err))
+				return
+			}
+		}
+	})
+	go func() { wg.Wait(); close(p.done) }()
+	return nil
+}
+
+// Stop implements runtime.Plugin.
+func (p *uplinkPlugin) Stop() error {
+	p.imuSub.Cancel()
+	p.camSub.Cancel()
+	<-p.done
+	return nil
+}
+
+type downlinkPlugin struct {
+	c    *Client
+	done chan struct{}
+}
+
+// Name implements runtime.Plugin.
+func (p *downlinkPlugin) Name() string { return "netxr.downlink" }
+
+// Start implements runtime.Plugin.
+func (p *downlinkPlugin) Start(ctx *runtime.Context) error {
+	p.done = make(chan struct{})
+	fastTopic := ctx.Switchboard.GetTopic(runtime.TopicFastPose)
+	warpTopic := ctx.Switchboard.GetTopic(runtime.TopicWarped)
+	c := p.c
+	ctx.Go(p.Name(), func() {
+		defer close(p.done)
+		for {
+			f, err := c.r.ReadFrame()
+			if err != nil {
+				if !c.isClosed() {
+					c.fail(fmt.Errorf("downlink: %w", err))
+				}
+				return
+			}
+			switch f.Type {
+			case wire.TypePose:
+				pm, derr := wire.DecodePose(f.Payload)
+				if derr != nil {
+					c.fail(fmt.Errorf("downlink pose: %w", derr))
+					return
+				}
+				// bridge the server's lineage into the local collector: the
+				// parent span id lives in the server's id range, disjoint by
+				// construction.
+				ref := c.tracer.Emit(CompNetDown, f.Trace.Trace, pm.T, pm.T, f.Trace.Span)
+				if !ref.Valid() {
+					ref = f.Trace
+				}
+				c.lastPose.set(pm.T)
+				fastTopic.Publish(runtime.Event{T: pm.T, Value: pm.Pose, Trace: ref})
+			case wire.TypeFrame:
+				rf, derr := wire.DecodeReprojFrame(f.Payload)
+				if derr != nil {
+					c.fail(fmt.Errorf("downlink frame: %w", derr))
+					return
+				}
+				warpTopic.Publish(runtime.Event{T: rf.T, Value: rf, Trace: f.Trace})
+			case wire.TypePong:
+				pg, derr := wire.DecodePing(f.Payload)
+				if derr != nil {
+					continue
+				}
+				c.mu.Lock()
+				ch := c.pongs[pg.Seq]
+				c.mu.Unlock()
+				if ch != nil {
+					select {
+					case ch <- pg:
+					default:
+					}
+				}
+			case wire.TypeBye:
+				b, _ := wire.DecodeBye(f.Payload)
+				c.mu.Lock()
+				c.byeR = b.Reason
+				c.mu.Unlock()
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// Stop implements runtime.Plugin.
+func (p *downlinkPlugin) Stop() error {
+	_ = p.c.conn.Close()
+	p.c.mu.Lock()
+	p.c.closed = true
+	p.c.mu.Unlock()
+	<-p.done
+	return nil
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+var (
+	_ runtime.Plugin = (*uplinkPlugin)(nil)
+	_ runtime.Plugin = (*downlinkPlugin)(nil)
+)

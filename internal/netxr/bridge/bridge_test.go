@@ -1,0 +1,216 @@
+package bridge
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"illixr/internal/core"
+	"illixr/internal/faults"
+	"illixr/internal/integrator"
+	"illixr/internal/mathx"
+	"illixr/internal/netxr/netsim"
+	"illixr/internal/netxr/session"
+	"illixr/internal/netxr/wire"
+	"illixr/internal/runtime"
+	"illixr/internal/sensors"
+	"illixr/internal/telemetry"
+)
+
+// offloadRig wires a full client runtime to a full server pipeline over
+// an in-memory connection.
+type offloadRig struct {
+	srv    *session.Server
+	pipe   *Pipeline
+	client *Client
+	loader *runtime.Loader
+	player *core.DatasetPlayerPlugin
+	tracer *telemetry.SpanCollector
+	fastC  *runtime.Subscription
+}
+
+func startRig(t *testing.T, pipe *Pipeline, duration float64) *offloadRig {
+	t.Helper()
+	srv := session.NewServer(session.Config{Metrics: pipe.Metrics}, pipe)
+
+	cConn, sConn := netsim.Pipe()
+	if srv.HandleConn(sConn) == nil {
+		t.Fatal("conn refused")
+	}
+	tracer := telemetry.NewSpanCollector(0)
+	cl, err := Dial(cConn, wire.Hello{App: "test", IMURateHz: 500, CamRateHz: 15}, tracer)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+
+	dcfg := sensors.DefaultDatasetConfig()
+	dcfg.Duration = duration
+	ds := sensors.GenerateDataset(dcfg)
+	loader := runtime.NewLoader()
+	_ = loader.Context().Phonebook.Register(telemetry.TracerService, tracer)
+	player := &core.DatasetPlayerPlugin{Dataset: ds}
+	fastC := loader.Context().Switchboard.GetTopic(runtime.TopicFastPose).Subscribe(16384)
+	for _, p := range []runtime.Plugin{cl.Downlink(), cl.Uplink(), player} {
+		if err := loader.Load(p); err != nil {
+			t.Fatalf("load %s: %v", p.Name(), err)
+		}
+	}
+	rig := &offloadRig{srv: srv, pipe: pipe, client: cl, loader: loader,
+		player: player, tracer: tracer, fastC: fastC}
+	t.Cleanup(func() {
+		_ = cl.Close()
+		_ = loader.Shutdown()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return rig
+}
+
+// pumpAndAwaitPose advances playback to t and waits for a downlinked pose.
+func (r *offloadRig) pumpAndAwaitPose(t *testing.T, virtualT float64) mathx.Pose {
+	t.Helper()
+	r.player.PumpUntil(virtualT)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case ev := <-r.fastC.C:
+			if pose, ok := ev.Value.(mathx.Pose); ok {
+				return pose
+			}
+		case <-time.After(10 * time.Millisecond):
+			if err := r.client.Err(); err != nil {
+				t.Fatalf("transport: %v", err)
+			}
+		}
+	}
+	t.Fatal("no pose arrived")
+	return mathx.Pose{}
+}
+
+func TestOffloadEndToEnd(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	pipe := &Pipeline{
+		Metrics: reg,
+		Init:    func(wire.Hello) integrator.State { return integrator.State{Rot: mathx.QuatIdentity()} },
+	}
+	rig := startRig(t, pipe, 2)
+
+	rig.pumpAndAwaitPose(t, 0.5)
+	rig.player.PumpUntil(1.0)
+
+	// the client sees poses computed by the server-side integrator; its
+	// QoE report lands in the server's registry
+	if err := rig.client.SendQoE(telemetry.MTPSample{T: 1, IMUAge: 0.004}); err != nil {
+		t.Fatalf("qoe: %v", err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	name := telemetry.MetricName("netxr", "qoe_mtp_ms")
+	for time.Now().Before(deadline) {
+		if h := reg.Histogram(name); h.Count() > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if reg.Histogram(name).Count() == 0 {
+		t.Fatal("QoE sample never reached the server registry")
+	}
+
+	// wire RTT probe answered in-layer
+	if _, err := rig.client.Ping(1, 1.0, 2*time.Second); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+}
+
+func TestOffloadTraceCrossesWire(t *testing.T) {
+	pipe := &Pipeline{Metrics: telemetry.NewRegistry()}
+	rig := startRig(t, pipe, 1)
+
+	rig.pumpAndAwaitPose(t, 0.5)
+
+	// server half: net_uplink spans parented on client sensor spans
+	serverTr := pipe.Tracer(rig.client.Session())
+	if serverTr == nil {
+		t.Fatal("no server tracer for session")
+	}
+	ups := serverTr.Find(CompNetUp)
+	if len(ups) == 0 {
+		t.Fatal("no net_uplink spans on the server")
+	}
+	base := telemetry.SpanID(serverIDBase(rig.client.Session()))
+	for _, sp := range ups {
+		if sp.ID <= base {
+			t.Fatalf("server span id %d not above session base %d", sp.ID, base)
+		}
+		if len(sp.Parents) == 0 {
+			t.Fatal("net_uplink span lost its remote parent")
+		}
+		// the parent is a client-side sensor span: below the server base
+		for _, parent := range sp.Parents {
+			if parent > base {
+				t.Fatalf("uplink parent %d is not a client span", parent)
+			}
+			if _, ok := rig.tracer.Get(parent); !ok {
+				t.Fatalf("uplink parent %d unknown to the client collector", parent)
+			}
+		}
+	}
+
+	// client half: net_downlink spans parented on server integrator spans
+	downs := rig.tracer.Find(CompNetDown)
+	if len(downs) == 0 {
+		t.Fatal("no net_downlink spans on the client")
+	}
+	found := false
+	for _, sp := range downs {
+		for _, parent := range sp.Parents {
+			if parent > base {
+				// resolves in the server collector: the lineage crosses the
+				// wire and back
+				if psp, ok := serverTr.Get(parent); ok && psp.Name == CompNetDown {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no client downlink span resolved to a server span")
+	}
+}
+
+func TestOffloadSupervisorRestartKeepsSession(t *testing.T) {
+	// schedule one integrator panic at t>=0.2: the per-session supervisor
+	// must restart the plugin while the session stays connected
+	sched := &faults.Schedule{Windows: []faults.Window{
+		{Kind: faults.PluginPanic, Component: "integrator.rk4", Start: 0.2, End: 0.2},
+	}}
+	pipe := &Pipeline{
+		Metrics:     telemetry.NewRegistry(),
+		Inject:      faults.NewInjector(sched),
+		MaxRestarts: 3,
+	}
+	rig := startRig(t, pipe, 3)
+
+	rig.pumpAndAwaitPose(t, 0.1)
+	// crossing t=0.2 trips the injected panic
+	rig.player.PumpUntil(0.5)
+
+	deadline := time.Now().Add(5 * time.Second)
+	var restarted bool
+	for time.Now().Before(deadline) && !restarted {
+		health := pipe.Health(rig.client.Session())
+		if h, ok := health["integrator.rk4"]; ok && h == runtime.Healthy && pipe.Inject.Fired() > 0 {
+			restarted = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !restarted {
+		t.Fatal("integrator never restarted after the injected panic")
+	}
+	if rig.srv.Len() != 1 {
+		t.Fatalf("session count = %d; the session must survive a plugin crash", rig.srv.Len())
+	}
+
+	// and poses keep flowing afterwards
+	rig.pumpAndAwaitPose(t, 1.0)
+}

@@ -1,0 +1,296 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"illixr/internal/config"
+	"illixr/internal/netxr/wire"
+	"illixr/internal/telemetry"
+)
+
+// Config tunes the server. The zero value is usable; unset fields take
+// the defaults of config.DefaultNet().
+type Config struct {
+	// MaxSessions caps concurrent sessions; excess connects are refused
+	// with a Bye. 0 = default.
+	MaxSessions int
+	// QueueLen bounds each session's reliable send queue. 0 = default.
+	QueueLen int
+	// IdleTimeout closes sessions that stop sending. 0 = default,
+	// negative = disabled.
+	IdleTimeout time.Duration
+	// HandshakeTimeout bounds the wait for the client Hello.
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds each frame write.
+	WriteTimeout time.Duration
+	// Metrics receives illixr_netxr_* instruments; nil = uninstrumented.
+	Metrics *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	d := config.DefaultNet()
+	if c.MaxSessions == 0 {
+		c.MaxSessions = d.MaxSessions
+	}
+	if c.QueueLen == 0 {
+		c.QueueLen = d.QueueLen
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = time.Duration(d.IdleTimeoutSec * float64(time.Second))
+	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Handler reacts to session lifecycle events. SessionFrame runs on the
+// session's reader goroutine; returning an error terminates the session
+// (the supervisor owning the server may then restart its pipeline).
+type Handler interface {
+	// SessionStart runs after a successful handshake.
+	SessionStart(s *Session) error
+	// SessionFrame receives every decoded non-control frame.
+	SessionFrame(s *Session, f wire.Frame) error
+	// SessionEnd runs exactly once when the session terminates; err is
+	// nil for a clean close.
+	SessionEnd(s *Session, err error)
+}
+
+// Server accepts connections and runs one Session per client.
+type Server struct {
+	cfg     Config
+	handler Handler
+	m       *metrics
+
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+	nextID   uint64
+	closed   bool
+	ln       net.Listener
+
+	wg       sync.WaitGroup
+	janitorC chan struct{}
+	janitor  sync.Once
+}
+
+// NewServer builds a server with the given handler.
+func NewServer(cfg Config, h Handler) *Server {
+	s := &Server{
+		cfg:      cfg.withDefaults(),
+		handler:  h,
+		sessions: map[uint64]*Session{},
+		janitorC: make(chan struct{}),
+	}
+	s.m = newMetrics(s.cfg.Metrics)
+	return s
+}
+
+// Serve accepts on ln until Shutdown (or a listener error). It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.HandleConn(conn)
+	}
+}
+
+// HandleConn adopts an established connection (Serve uses it; tests feed
+// net.Pipe ends directly). Returns nil if the server is full or closed —
+// the conn is then refused and closed.
+func (s *Server) HandleConn(conn net.Conn) *Session {
+	s.startJanitor()
+	s.mu.Lock()
+	if s.closed || len(s.sessions) >= s.cfg.MaxSessions {
+		full := !s.closed
+		s.mu.Unlock()
+		if full {
+			// best-effort refusal so the client sees why; written off the
+			// accept path because synchronous transports (net.Pipe) block
+			// the write until the peer reads
+			go func() {
+				w := wire.NewWriter(conn)
+				_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+				_ = w.WriteFrame(wire.Frame{Type: wire.TypeBye,
+					Payload: wire.AppendBye(nil, wire.Bye{Reason: "server full"})})
+				_ = conn.Close()
+			}()
+		} else {
+			_ = conn.Close()
+		}
+		return nil
+	}
+	s.nextID++
+	sess := &Session{id: s.nextID, conn: conn, srv: s, created: time.Now()}
+	sess.cond = sync.NewCond(&sess.mu)
+	sess.slots = map[wire.Type]wire.Frame{}
+	s.sessions[sess.id] = sess
+	active := len(s.sessions)
+	s.mu.Unlock()
+
+	s.m.sessionsTotal.Inc()
+	s.m.sessionsActive.Set(float64(active))
+
+	s.wg.Add(1)
+	go s.run(sess)
+	return sess
+}
+
+// run owns one session's lifecycle: spawn the writer, drive the reader,
+// tear down, notify the handler, unregister.
+func (s *Server) run(sess *Session) {
+	defer s.wg.Done()
+	writerDone := make(chan struct{})
+	go sess.writeLoop(writerDone)
+
+	err := sess.readLoop()
+	if err != nil {
+		// terminal error: flush what's queued and tell the peer why —
+		// every write is deadline-bounded, so a stalled peer cannot pin
+		// the teardown
+		sess.Drain(err.Error())
+	} else {
+		// clean end-of-stream: flush what's queued, then close
+		sess.Drain("eof")
+	}
+	<-writerDone
+	sess.Close(err) // no-op if the writer already closed it
+
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	active := len(s.sessions)
+	s.mu.Unlock()
+	s.m.sessionsActive.Set(float64(active))
+
+	s.handler.SessionEnd(sess, err)
+}
+
+// startJanitor launches the idle reaper on first use.
+func (s *Server) startJanitor() {
+	if s.cfg.IdleTimeout <= 0 {
+		return
+	}
+	s.janitor.Do(func() {
+		tick := s.cfg.IdleTimeout / 4
+		if tick < 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+		go func() {
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.janitorC:
+					return
+				case <-t.C:
+					s.reapIdle()
+				}
+			}
+		}()
+	})
+}
+
+func (s *Server) reapIdle() {
+	cutoff := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
+	for _, sess := range s.snapshotSessions() {
+		if last := sess.lastRecv.Load(); last > 0 && last < cutoff {
+			sess.Close(fmt.Errorf("%w after %s", ErrIdleTimeout, s.cfg.IdleTimeout))
+		}
+	}
+}
+
+func (s *Server) snapshotSessions() []*Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess)
+	}
+	return out
+}
+
+// Len returns the number of live sessions.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Sessions implements Lister: a sorted snapshot of live sessions.
+func (s *Server) Sessions() []Info {
+	sessions := s.snapshotSessions()
+	out := make([]Info, 0, len(sessions))
+	for _, sess := range sessions {
+		sent, dropped, recvd, decErrs := sess.Stats()
+		out = append(out, Info{
+			ID:           sess.ID(),
+			Remote:       sess.RemoteAddr(),
+			App:          sess.Hello().App,
+			UptimeSec:    sess.Uptime().Seconds(),
+			QueueDepth:   sess.QueueDepth(),
+			Sent:         sent,
+			Dropped:      dropped,
+			Received:     recvd,
+			DecodeErrors: decErrs,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Shutdown stops accepting, drains every session (flushing queued frames
+// and sending Bye), and waits for session goroutines up to the context
+// deadline; stragglers are then force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	close(s.janitorC)
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, sess := range s.snapshotSessions() {
+		sess.Drain("server shutdown")
+	}
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, sess := range s.snapshotSessions() {
+			sess.Close(ctx.Err())
+		}
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,377 @@
+// Package session is the multi-session transport layer of the edge
+// offload server: per-session reader/writer goroutines over any
+// net.Conn, a versioned handshake, bounded send queues with a
+// latest-wins drop policy for pose/frame traffic (stale XR data is
+// worthless — delivering an old pose late is strictly worse than
+// delivering the newest one now), backpressure accounting into
+// illixr_netxr_* metrics, idle timeouts, and graceful drain on shutdown.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"illixr/internal/netxr/wire"
+	"illixr/internal/telemetry"
+)
+
+// Class selects the queueing discipline of an outbound frame.
+type Class int
+
+const (
+	// Reliable frames (handshake, QoE, pings, bye) queue FIFO; when the
+	// queue is full the *new* frame is rejected with ErrBackpressure so
+	// the producer — not the consumer — absorbs the overload.
+	Reliable Class = iota
+	// LatestWins frames (poses, reprojected frames) keep one slot per
+	// message type: a newer frame silently displaces an unsent older one.
+	// Displacements are counted, never errors — dropping stale poses is
+	// the correct behaviour, not a failure.
+	LatestWins
+)
+
+// Session errors.
+var (
+	ErrClosed       = errors.New("session: closed")
+	ErrBackpressure = errors.New("session: reliable send queue full")
+	ErrIdleTimeout  = errors.New("session: idle timeout")
+	ErrHandshake    = errors.New("session: handshake failed")
+)
+
+// metrics bundles the per-server instruments (nil-safe when no registry
+// is installed).
+type metrics struct {
+	sessionsActive *telemetry.Gauge
+	sessionsTotal  *telemetry.Counter
+	recvFrames     *telemetry.Counter
+	sentFrames     *telemetry.Counter
+	sendDropped    *telemetry.Counter
+	decodeErrors   *telemetry.Counter
+	bytesIn        *telemetry.Counter
+	bytesOut       *telemetry.Counter
+	queueDepth     *telemetry.Gauge
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	n := func(name string) string { return telemetry.MetricName("netxr", name) }
+	return &metrics{
+		sessionsActive: reg.Gauge(n("sessions_active")),
+		sessionsTotal:  reg.Counter(n("sessions_total")),
+		recvFrames:     reg.Counter(n("recv_frames_total")),
+		sentFrames:     reg.Counter(n("sent_frames_total")),
+		sendDropped:    reg.Counter(n("send_dropped_total")),
+		decodeErrors:   reg.Counter(n("decode_errors_total")),
+		bytesIn:        reg.Counter(n("bytes_in_total")),
+		bytesOut:       reg.Counter(n("bytes_out_total")),
+		queueDepth:     reg.Gauge(n("queue_depth")),
+	}
+}
+
+// Session is one connected client: a reader goroutine decoding frames
+// into the handler and a writer goroutine draining the send queues.
+// Send is safe from any goroutine.
+type Session struct {
+	id      uint64
+	conn    net.Conn
+	srv     *Server
+	hello   wire.Hello
+	created time.Time
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	fifo     []wire.Frame
+	slots    map[wire.Type]wire.Frame
+	slotSeq  []wire.Type // arrival order of occupied slots (drain order)
+	closed   bool
+	closeErr error
+	drainReq bool   // close the connection once the queues are empty
+	byeSent  bool   // terminal Bye already handed to the writer
+	byeWhy   string // reason carried by the terminal Bye
+
+	lastRecv atomic.Int64 // unix nanos of the last decoded frame
+
+	sent         atomic.Uint64
+	dropped      atomic.Uint64
+	received     atomic.Uint64
+	decodeErrors atomic.Uint64
+}
+
+// ID returns the server-assigned session id.
+func (s *Session) ID() uint64 { return s.id }
+
+// Hello returns the client's handshake message.
+func (s *Session) Hello() wire.Hello { return s.hello }
+
+// RemoteAddr reports the peer address.
+func (s *Session) RemoteAddr() string {
+	if a := s.conn.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return ""
+}
+
+// Uptime is the session age.
+func (s *Session) Uptime() time.Duration { return time.Since(s.created) }
+
+// Stats returns the cumulative send/receive accounting.
+func (s *Session) Stats() (sent, dropped, received, decodeErrs uint64) {
+	return s.sent.Load(), s.dropped.Load(), s.received.Load(), s.decodeErrors.Load()
+}
+
+// QueueDepth returns the current number of queued outbound frames.
+func (s *Session) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.fifo) + len(s.slotSeq)
+}
+
+// Send enqueues one outbound frame under the given class.
+func (s *Session) Send(f wire.Frame, class Class) error {
+	// the payload escapes to the writer goroutine: copy it so callers may
+	// reuse their encode buffers
+	if len(f.Payload) > 0 {
+		f.Payload = append([]byte(nil), f.Payload...)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.drainReq {
+		return ErrClosed
+	}
+	switch class {
+	case LatestWins:
+		if _, occupied := s.slots[f.Type]; occupied {
+			s.slots[f.Type] = f // displace the stale frame in place
+			s.dropped.Add(1)
+			s.srv.m.sendDropped.Inc()
+		} else {
+			s.slots[f.Type] = f
+			s.slotSeq = append(s.slotSeq, f.Type)
+		}
+	default:
+		if len(s.fifo) >= s.srv.cfg.QueueLen {
+			s.dropped.Add(1)
+			s.srv.m.sendDropped.Inc()
+			return ErrBackpressure
+		}
+		s.fifo = append(s.fifo, f)
+	}
+	s.srv.m.queueDepth.Set(float64(len(s.fifo) + len(s.slotSeq)))
+	s.cond.Signal()
+	return nil
+}
+
+// Drain asks the writer to flush everything queued, send a terminal Bye,
+// and then close the connection. Used by graceful shutdown.
+func (s *Session) Drain(reason string) {
+	s.mu.Lock()
+	if !s.closed && !s.drainReq {
+		s.drainReq = true
+		s.byeWhy = reason
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Close terminates the session immediately, abandoning queued frames.
+func (s *Session) Close(cause error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeErr = cause
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	_ = s.conn.Close()
+}
+
+// Err returns the terminal error after close (nil for a clean close).
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeErr
+}
+
+// drainByeTimeout bounds the write of the terminal drain Bye: a peer
+// that has stopped reading must not pin session teardown for the full
+// WriteTimeout.
+const drainByeTimeout = time.Second
+
+// nextOut blocks until a frame is available, the queues drain to empty
+// under a drain request, or the session closes. ok=false means exit;
+// terminal marks the final drain Bye.
+func (s *Session) nextOut() (f wire.Frame, ok, terminal bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return wire.Frame{}, false, false
+		}
+		if len(s.fifo) > 0 {
+			f = s.fifo[0]
+			copy(s.fifo, s.fifo[1:])
+			s.fifo = s.fifo[:len(s.fifo)-1]
+			return f, true, false
+		}
+		if len(s.slotSeq) > 0 {
+			t := s.slotSeq[0]
+			copy(s.slotSeq, s.slotSeq[1:])
+			s.slotSeq = s.slotSeq[:len(s.slotSeq)-1]
+			f = s.slots[t]
+			delete(s.slots, t)
+			return f, true, false
+		}
+		if s.drainReq {
+			if !s.byeSent {
+				s.byeSent = true
+				bye := wire.Frame{Type: wire.TypeBye,
+					Payload: wire.AppendBye(nil, wire.Bye{Reason: s.byeWhy})}
+				return bye, true, true
+			}
+			return wire.Frame{}, false, false // flushed everything, incl. the Bye
+		}
+		s.cond.Wait()
+	}
+}
+
+// writeLoop drains the queues onto the wire.
+func (s *Session) writeLoop(done chan<- struct{}) {
+	defer close(done)
+	w := wire.NewWriter(s.conn)
+	for {
+		f, ok, terminal := s.nextOut()
+		if !ok {
+			if s.drained() {
+				s.Close(nil)
+			}
+			return
+		}
+		timeout := s.srv.cfg.WriteTimeout
+		if terminal && (timeout <= 0 || timeout > drainByeTimeout) {
+			timeout = drainByeTimeout
+		}
+		if timeout > 0 {
+			_ = s.conn.SetWriteDeadline(time.Now().Add(timeout))
+		}
+		before := w.Bytes()
+		if err := w.WriteFrame(f); err != nil {
+			s.Close(fmt.Errorf("session %d: write: %w", s.id, err))
+			return
+		}
+		s.sent.Add(1)
+		s.srv.m.sentFrames.Inc()
+		s.srv.m.bytesOut.Add(int(w.Bytes() - before))
+	}
+}
+
+func (s *Session) drained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drainReq && !s.closed
+}
+
+// readLoop performs the handshake and then decodes frames into the
+// handler until the connection ends.
+func (s *Session) readLoop() error {
+	r := wire.NewReader(s.conn)
+	if err := s.handshake(r); err != nil {
+		return err
+	}
+	if err := s.srv.handler.SessionStart(s); err != nil {
+		return err
+	}
+	for {
+		before := r.Bytes()
+		f, err := r.ReadFrame()
+		if err != nil {
+			if err == io.EOF {
+				return nil // clean close on a frame boundary
+			}
+			if errors.Is(err, net.ErrClosed) || s.isClosed() {
+				return s.Err()
+			}
+			s.decodeErrors.Add(1)
+			s.srv.m.decodeErrors.Inc()
+			return fmt.Errorf("session %d: decode: %w", s.id, err)
+		}
+		s.lastRecv.Store(time.Now().UnixNano())
+		s.received.Add(1)
+		s.srv.m.recvFrames.Inc()
+		s.srv.m.bytesIn.Add(int(r.Bytes() - before))
+		switch f.Type {
+		case wire.TypePing:
+			// wire-level RTT probe: echo without involving the handler
+			p, perr := wire.DecodePing(f.Payload)
+			if perr != nil {
+				s.decodeErrors.Add(1)
+				s.srv.m.decodeErrors.Inc()
+				return fmt.Errorf("session %d: ping: %w", s.id, perr)
+			}
+			_ = s.Send(wire.Frame{Type: wire.TypePong, Payload: wire.AppendPing(nil, p)}, Reliable)
+		case wire.TypeBye:
+			return nil
+		default:
+			if err := s.srv.handler.SessionFrame(s, f); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (s *Session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// handshake expects a Hello as the very first frame and answers Welcome.
+func (s *Session) handshake(r *wire.Reader) error {
+	if s.srv.cfg.HandshakeTimeout > 0 {
+		_ = s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.HandshakeTimeout))
+		defer func() { _ = s.conn.SetReadDeadline(time.Time{}) }()
+	}
+	f, err := r.ReadFrame()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if f.Type != wire.TypeHello {
+		return fmt.Errorf("%w: first frame is %v, want hello", ErrHandshake, f.Type)
+	}
+	h, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if h.Proto != wire.Version {
+		// the drain Bye the server sends on teardown carries this reason
+		return fmt.Errorf("%w: client speaks v%d, server v%d", ErrHandshake, h.Proto, wire.Version)
+	}
+	s.hello = h
+	s.lastRecv.Store(time.Now().UnixNano())
+	welcome := wire.AppendWelcome(nil, wire.Welcome{Proto: wire.Version, Session: s.id})
+	return s.Send(wire.Frame{Type: wire.TypeWelcome, Payload: welcome}, Reliable)
+}
+
+// Info is the introspection snapshot of one live session (the /sessions
+// debug endpoint's row).
+type Info struct {
+	ID           uint64  `json:"id"`
+	Remote       string  `json:"remote"`
+	App          string  `json:"app"`
+	UptimeSec    float64 `json:"uptime_sec"`
+	QueueDepth   int     `json:"queue_depth"`
+	Sent         uint64  `json:"sent"`
+	Dropped      uint64  `json:"dropped"`
+	Received     uint64  `json:"received"`
+	DecodeErrors uint64  `json:"decode_errors"`
+}
+
+// Lister is the read-only view the debug endpoint consumes.
+type Lister interface {
+	Sessions() []Info
+}

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"illixr/internal/sensors"
+	"illixr/internal/telemetry"
+)
+
+// FuzzWireDecode feeds arbitrary bytes through the slice decoder and — on
+// a successful parse — every payload decoder. The invariant is totality:
+// corrupted, truncated, hostile input must yield an error, never a panic
+// or an unbounded allocation. A successfully decoded frame must re-encode
+// to the identical bytes (the codec is canonical). Seeds covering the
+// interesting shapes (valid frame, truncation, CRC corruption, version
+// skew) are checked in under testdata/fuzz/FuzzWireDecode.
+func FuzzWireDecode(f *testing.F) {
+	valid := AppendFrame(nil, Frame{
+		Type:    TypeIMU,
+		Trace:   telemetry.SpanRef{Trace: 3, Span: 9},
+		Payload: AppendIMU(nil, sensors.IMUSample{T: 0.002}),
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated
+	crc := append([]byte(nil), valid...)
+	crc[len(crc)-1] ^= 0xff
+	f.Add(crc) // corrupted CRC
+	skew := append([]byte(nil), valid...)
+	skew[2] = Version + 3
+	f.Add(skew) // version skew
+	f.Add(AppendFrame(nil, Frame{Type: TypeCamera,
+		Payload: AppendCamera(nil, sensors.CameraFrame{Seq: 1, T: 0.1,
+			Features: []sensors.FeatureObs{{ID: 1, U: 2, V: 3}}})}))
+	f.Add([]byte{Magic0, Magic1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		// canonical re-encode (a non-minimal length varint decodes fine
+		// but re-encodes shorter; only equal-length frames must match)
+		re := AppendFrame(nil, fr)
+		if len(re) == n && !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode differs from wire bytes")
+		}
+		// payload decoders must be total too
+		switch fr.Type {
+		case TypeHello:
+			_, _ = DecodeHello(fr.Payload)
+		case TypeWelcome:
+			_, _ = DecodeWelcome(fr.Payload)
+		case TypeIMU:
+			_, _ = DecodeIMU(fr.Payload)
+		case TypeCamera:
+			_, _ = DecodeCamera(fr.Payload)
+		case TypePose:
+			_, _ = DecodePose(fr.Payload)
+		case TypeFrame:
+			_, _ = DecodeReprojFrame(fr.Payload)
+		case TypeQoE:
+			_, _ = DecodeQoE(fr.Payload)
+		case TypePing, TypePong:
+			_, _ = DecodePing(fr.Payload)
+		case TypeBye:
+			_, _ = DecodeBye(fr.Payload)
+		}
+	})
+}

@@ -1,0 +1,300 @@
+// Package wire is the binary wire protocol of the edge-offload split
+// (DESIGN.md §9): length-prefixed frames with a versioned fixed header,
+// varint-encoded payloads, and a trailing CRC-32 over the whole frame.
+// The header carries the causal-trace reference of the event it wraps, so
+// spans survive the network hop and a display frame on the client can
+// still be walked back to the IMU sample that produced it — even when
+// the integration happened on a server.
+//
+// Frame layout (all multi-byte integers little-endian):
+//
+//	offset  size  field
+//	0       2     magic 0x58 0x52 ("XR")
+//	2       1     protocol version (Version)
+//	3       1     message type (Type)
+//	4       8     trace id   (telemetry.TraceID of the wrapped event)
+//	12      8     span id    (telemetry.SpanID that produced the event)
+//	20      1-5   payload length, unsigned varint, <= MaxPayload
+//	...     n     payload (message-specific encoding, messages.go)
+//	...     4     CRC-32 (IEEE) over every preceding byte of the frame
+//
+// Decoding is total: truncated frames, corrupted CRCs, bad magic and
+// version skew all return typed errors and never panic (FuzzWireDecode
+// enforces this).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"illixr/internal/telemetry"
+)
+
+// Magic bytes opening every frame ("XR").
+const (
+	Magic0 = 0x58
+	Magic1 = 0x52
+)
+
+// Version is the protocol version this build speaks. A decoder receiving
+// any other version returns ErrVersion — the session layer then refuses
+// the peer instead of misparsing its stream.
+const Version = 1
+
+// MaxPayload bounds a single frame's payload (1 MiB) so a corrupted or
+// hostile length prefix cannot make the reader allocate unbounded memory.
+const MaxPayload = 1 << 20
+
+// headerLen is the fixed part of the header before the varint length.
+const headerLen = 20
+
+// Type identifies the message carried by a frame.
+type Type uint8
+
+// Message types. Upstream (client→server): Hello, IMU, Camera, QoE,
+// Ping, Bye. Downstream (server→client): Welcome, Pose, Frame, Pong, Bye.
+const (
+	TypeInvalid Type = 0
+	TypeHello   Type = 1
+	TypeWelcome Type = 2
+	TypeIMU     Type = 3
+	TypeCamera  Type = 4
+	TypePose    Type = 5
+	TypeFrame   Type = 6
+	TypeQoE     Type = 7
+	TypePing    Type = 8
+	TypePong    Type = 9
+	TypeBye     Type = 10
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeWelcome:
+		return "welcome"
+	case TypeIMU:
+		return "imu"
+	case TypeCamera:
+		return "camera"
+	case TypePose:
+		return "pose"
+	case TypeFrame:
+		return "frame"
+	case TypeQoE:
+		return "qoe"
+	case TypePing:
+		return "ping"
+	case TypePong:
+		return "pong"
+	case TypeBye:
+		return "bye"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Decode errors. ErrTruncated wraps io.ErrUnexpectedEOF semantics for
+// slice-based decoding; the streaming Reader returns io errors directly.
+var (
+	ErrMagic     = errors.New("wire: bad magic")
+	ErrVersion   = errors.New("wire: protocol version mismatch")
+	ErrTooLarge  = errors.New("wire: payload length exceeds MaxPayload")
+	ErrCRC       = errors.New("wire: CRC mismatch")
+	ErrTruncated = errors.New("wire: truncated frame")
+	ErrShortPay  = errors.New("wire: payload too short")
+	ErrTrailing  = errors.New("wire: trailing bytes after payload")
+)
+
+// Frame is one decoded protocol frame: the message type, the causal-trace
+// reference of the wrapped event, and the raw payload (decode it with the
+// matching Decode* function from messages.go).
+type Frame struct {
+	Type    Type
+	Trace   telemetry.SpanRef
+	Payload []byte
+}
+
+// AppendFrame encodes f onto dst and returns the extended slice. The
+// payload is copied, so f.Payload may be reused immediately.
+func AppendFrame(dst []byte, f Frame) []byte {
+	start := len(dst)
+	dst = append(dst, Magic0, Magic1, Version, byte(f.Type))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(f.Trace.Trace))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(f.Trace.Span))
+	dst = binary.AppendUvarint(dst, uint64(len(f.Payload)))
+	dst = append(dst, f.Payload...)
+	sum := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// Decode parses one frame from the front of b, returning the frame and
+// the number of bytes consumed. The returned payload aliases b.
+func Decode(b []byte) (Frame, int, error) {
+	var f Frame
+	if len(b) < headerLen+1 {
+		return f, 0, ErrTruncated
+	}
+	if b[0] != Magic0 || b[1] != Magic1 {
+		return f, 0, ErrMagic
+	}
+	if b[2] != Version {
+		return f, 0, fmt.Errorf("%w: got %d want %d", ErrVersion, b[2], Version)
+	}
+	f.Type = Type(b[3])
+	f.Trace.Trace = telemetry.TraceID(binary.LittleEndian.Uint64(b[4:12]))
+	f.Trace.Span = telemetry.SpanID(binary.LittleEndian.Uint64(b[12:20]))
+	n, vlen := binary.Uvarint(b[headerLen:])
+	if vlen <= 0 {
+		return f, 0, ErrTruncated
+	}
+	if n > MaxPayload {
+		return f, 0, ErrTooLarge
+	}
+	total := headerLen + vlen + int(n) + 4
+	if len(b) < total {
+		return f, 0, ErrTruncated
+	}
+	body := b[:total-4]
+	want := binary.LittleEndian.Uint32(b[total-4 : total])
+	if crc32.ChecksumIEEE(body) != want {
+		return f, 0, ErrCRC
+	}
+	f.Payload = b[headerLen+vlen : total-4]
+	return f, total, nil
+}
+
+// Reader decodes frames from a byte stream, buffering internally. Not
+// safe for concurrent use.
+type Reader struct {
+	br  *bufio.Reader
+	buf []byte
+
+	frames uint64
+	bytes  uint64
+}
+
+// NewReader wraps r for frame decoding.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Frames returns the number of frames successfully decoded.
+func (r *Reader) Frames() uint64 { return r.frames }
+
+// Bytes returns the number of stream bytes consumed by decoded frames.
+func (r *Reader) Bytes() uint64 { return r.bytes }
+
+// ReadFrame reads and verifies the next frame. The returned payload is
+// valid until the next ReadFrame call. io.EOF is returned only on a
+// clean frame boundary; a partial frame yields io.ErrUnexpectedEOF.
+func (r *Reader) ReadFrame() (Frame, error) {
+	var f Frame
+	hdr := r.grow(headerLen)
+	if _, err := io.ReadFull(r.br, hdr); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return f, io.ErrUnexpectedEOF
+		}
+		return f, err
+	}
+	if hdr[0] != Magic0 || hdr[1] != Magic1 {
+		return f, ErrMagic
+	}
+	if hdr[2] != Version {
+		return f, fmt.Errorf("%w: got %d want %d", ErrVersion, hdr[2], Version)
+	}
+	f.Type = Type(hdr[3])
+	f.Trace.Trace = telemetry.TraceID(binary.LittleEndian.Uint64(hdr[4:12]))
+	f.Trace.Span = telemetry.SpanID(binary.LittleEndian.Uint64(hdr[12:20]))
+
+	// varint payload length, byte at a time so we never over-read
+	var vbuf [binary.MaxVarintLen64]byte
+	vlen := 0
+	var n uint64
+	for {
+		c, err := r.br.ReadByte()
+		if err != nil {
+			return f, eofToUnexpected(err)
+		}
+		vbuf[vlen] = c
+		vlen++
+		if c < 0x80 {
+			break
+		}
+		if vlen == len(vbuf) {
+			return f, ErrTooLarge
+		}
+	}
+	var consumed int
+	n, consumed = binary.Uvarint(vbuf[:vlen])
+	if consumed <= 0 || n > MaxPayload {
+		return f, ErrTooLarge
+	}
+
+	rest := r.grow(headerLen + vlen + int(n) + 4)
+	copy(rest, hdr[:headerLen])
+	copy(rest[headerLen:], vbuf[:vlen])
+	if _, err := io.ReadFull(r.br, rest[headerLen+vlen:]); err != nil {
+		return f, eofToUnexpected(err)
+	}
+	body := rest[:len(rest)-4]
+	want := binary.LittleEndian.Uint32(rest[len(rest)-4:])
+	if crc32.ChecksumIEEE(body) != want {
+		return f, ErrCRC
+	}
+	f.Payload = rest[headerLen+vlen : len(rest)-4]
+	r.frames++
+	r.bytes += uint64(len(rest))
+	return f, nil
+}
+
+// grow returns the reader's scratch buffer resized to n bytes.
+func (r *Reader) grow(n int) []byte {
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	return r.buf
+}
+
+func eofToUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Writer encodes frames onto a byte stream with a reused buffer. Not
+// safe for concurrent use; the session layer serializes writers.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+
+	frames uint64
+	bytes  uint64
+}
+
+// NewWriter wraps w for frame encoding.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Frames returns the number of frames written.
+func (w *Writer) Frames() uint64 { return w.frames }
+
+// Bytes returns the number of stream bytes written.
+func (w *Writer) Bytes() uint64 { return w.bytes }
+
+// WriteFrame encodes and writes one frame.
+func (w *Writer) WriteFrame(f Frame) error {
+	w.buf = AppendFrame(w.buf[:0], f)
+	n, err := w.w.Write(w.buf)
+	w.bytes += uint64(n)
+	if err != nil {
+		return err
+	}
+	w.frames++
+	return nil
+}

@@ -39,7 +39,7 @@ func (r SpanRef) Valid() bool { return r.Span != 0 }
 type Span struct {
 	ID      SpanID   `json:"id"`
 	Trace   TraceID  `json:"trace"`
-	Name    string   `json:"name"` // component/stage, e.g. "vio"
+	Name    string   `json:"name"`  // component/stage, e.g. "vio"
 	Start   float64  `json:"start"` // session time, seconds
 	End     float64  `json:"end"`
 	Parents []SpanID `json:"parents,omitempty"`
@@ -69,6 +69,23 @@ func NewSpanCollector(cap int) *SpanCollector {
 		cap = DefaultSpanCap
 	}
 	return &SpanCollector{cap: cap, index: map[SpanID]int{}}
+}
+
+// SetIDBase raises the collector's span/trace id allocation floor. The
+// two ends of a network offload (internal/netxr) each run their own
+// collector while sharing trace lineage over the wire; giving the server
+// a high, per-session-disjoint base keeps ids unique when client and
+// server traces are merged. Never lowers the floor; safe on nil.
+func (c *SpanCollector) SetIDBase(base uint64) {
+	if c == nil {
+		return
+	}
+	for {
+		cur := c.nextID.Load()
+		if cur >= base || c.nextID.CompareAndSwap(cur, base) {
+			return
+		}
+	}
 }
 
 // Emit records one completed span and returns its ref. A zero trace

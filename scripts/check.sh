@@ -25,6 +25,7 @@ go test -run='^$' -fuzz=FuzzQuatNormalize -fuzztime=5s ./internal/mathx >/dev/nu
 go test -run='^$' -fuzz=FuzzSE3 -fuzztime=5s ./internal/mathx >/dev/null
 go test -run='^$' -fuzz=FuzzSummarize -fuzztime=5s ./internal/telemetry >/dev/null
 go test -run='^$' -fuzz=FuzzSSIMWindow -fuzztime=5s ./internal/quality >/dev/null
+go test -run='^$' -fuzz=FuzzWireDecode -fuzztime=5s ./internal/netxr/wire >/dev/null
 
 echo "== observability smoke test"
 # a one-second instrumented run must export a well-formed Chrome trace
@@ -45,4 +46,11 @@ echo "== parallel bench smoke"
 go run ./cmd/illixr-bench -exp parallel -workers 4 -parallel-iters 3 \
 	-parallel-out "$TMP/parallel.json" >/dev/null
 go run ./scripts/parallelcheck "$TMP/parallel.json"
+
+echo "== network bench smoke"
+# the offload sweep must sustain 8 sessions per cell with a clean wire
+# and bounded queues (see scripts/netcheck)
+go run ./cmd/illixr-bench -exp network -network-sessions 8 \
+	-network-out "$TMP/network.json" >/dev/null
+go run ./scripts/netcheck "$TMP/network.json"
 echo "check: OK"

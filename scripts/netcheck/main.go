@@ -1,0 +1,164 @@
+// Command netcheck validates a BENCH_network.json produced by
+// `illixr-bench -exp network`: the offload server must sustain the
+// required session count with a clean wire and bounded queues.
+//
+// Usage: netcheck BENCH_network.json
+//
+// Checks:
+//  1. Every sweep cell ran >= 8 concurrent sessions, and the real soak
+//     carried >= 8 sessions to a clean shutdown with every frame
+//     received.
+//  2. Zero decode errors anywhere — sweep and soak. The wire is either
+//     correct or broken; there is no acceptable error rate.
+//  3. On clean (non-faulted) cells the per-session in-flight queue
+//     stays under the report's queue_bound, i.e. every link profile can
+//     carry the 500 Hz stream without unbounded growth. Faulted cells
+//     are instead required to recover: every sample eventually
+//     delivered.
+//  4. MTP grows with RTT (regional mean > loopback mean) — the sweep
+//     is actually measuring the link, not a constant.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type mtp struct {
+	MeanMs float64 `json:"mean_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	N      int     `json:"n"`
+}
+
+type sessionRow struct {
+	Session        int `json:"session"`
+	IMUSent        int `json:"imu_sent"`
+	PosesDelivered int `json:"poses_delivered"`
+	DecodeErrors   int `json:"decode_errors"`
+	MaxInflight    int `json:"max_inflight"`
+	MTP            mtp `json:"mtp"`
+}
+
+type cell struct {
+	Profile struct {
+		Name string `json:"name"`
+	} `json:"profile"`
+	Faulted   bool         `json:"faulted"`
+	RTTMs     float64      `json:"rtt_ms"`
+	Sessions  []sessionRow `json:"sessions"`
+	Aggregate mtp          `json:"aggregate_mtp"`
+}
+
+type report struct {
+	SessionsN  int    `json:"sessions_per_cell"`
+	QueueBound int    `json:"queue_bound"`
+	Cells      []cell `json:"cells"`
+	Soak       struct {
+		Sessions         int    `json:"sessions"`
+		FramesPerSession int    `json:"frames_per_session"`
+		FramesReceived   uint64 `json:"frames_received"`
+		DecodeErrors     uint64 `json:"decode_errors"`
+		CleanShutdown    bool   `json:"clean_shutdown"`
+	} `json:"soak"`
+}
+
+const minSessions = 8
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: netcheck BENCH_network.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "netcheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	if len(rep.Cells) == 0 {
+		fmt.Fprintln(os.Stderr, "netcheck: no sweep cells in report")
+		os.Exit(1)
+	}
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "netcheck: "+format+"\n", args...)
+	}
+	bad := false
+
+	var loopback, regional float64
+	var haveLoop, haveRegional bool
+	for _, c := range rep.Cells {
+		name := c.Profile.Name
+		if c.Faulted {
+			name += "+flaky"
+		}
+		if len(c.Sessions) < minSessions {
+			fail("%s: %d sessions, need >= %d", name, len(c.Sessions), minSessions)
+			bad = true
+		}
+		for _, s := range c.Sessions {
+			if s.DecodeErrors != 0 {
+				fail("%s session %d: %d decode errors", name, s.Session, s.DecodeErrors)
+				bad = true
+			}
+			if s.MTP.N == 0 {
+				fail("%s session %d: no MTP samples", name, s.Session)
+				bad = true
+			}
+			if !c.Faulted && s.MaxInflight > rep.QueueBound {
+				fail("%s session %d: in-flight queue hit %d (bound %d)",
+					name, s.Session, s.MaxInflight, rep.QueueBound)
+				bad = true
+			}
+			if c.Faulted && s.PosesDelivered != s.IMUSent {
+				fail("%s session %d: only %d of %d poses delivered after outages",
+					name, s.Session, s.PosesDelivered, s.IMUSent)
+				bad = true
+			}
+		}
+		if !c.Faulted {
+			switch c.Profile.Name {
+			case "loopback":
+				loopback, haveLoop = c.Aggregate.MeanMs, true
+			case "regional":
+				regional, haveRegional = c.Aggregate.MeanMs, true
+			}
+		}
+	}
+	if !haveLoop || !haveRegional {
+		fail("sweep is missing the loopback or regional cell")
+		bad = true
+	} else if regional <= loopback {
+		fail("MTP does not grow with RTT: regional %.2f ms <= loopback %.2f ms", regional, loopback)
+		bad = true
+	}
+
+	if rep.Soak.Sessions < minSessions {
+		fail("soak ran %d sessions, need >= %d", rep.Soak.Sessions, minSessions)
+		bad = true
+	}
+	wantFrames := uint64(rep.Soak.Sessions * rep.Soak.FramesPerSession)
+	if rep.Soak.FramesReceived != wantFrames {
+		fail("soak received %d of %d frames", rep.Soak.FramesReceived, wantFrames)
+		bad = true
+	}
+	if rep.Soak.DecodeErrors != 0 {
+		fail("soak had %d decode errors", rep.Soak.DecodeErrors)
+		bad = true
+	}
+	if !rep.Soak.CleanShutdown {
+		fail("soak shutdown was not clean")
+		bad = true
+	}
+
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Printf("netcheck: OK (%d cells x %d sessions, loopback %.2f ms -> regional %.2f ms MTP, soak %d frames clean)\n",
+		len(rep.Cells), rep.SessionsN, loopback, regional, rep.Soak.FramesReceived)
+}
