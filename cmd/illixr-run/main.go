@@ -27,6 +27,7 @@ import (
 	"illixr/internal/debughttp"
 	"illixr/internal/faults"
 	"illixr/internal/perfmodel"
+	"illixr/internal/recycle"
 	"illixr/internal/render"
 	"illixr/internal/runtime"
 	"illixr/internal/telemetry"
@@ -85,6 +86,7 @@ func main() {
 	if wantObs {
 		cfg.Metrics = telemetry.NewRegistry()
 		cfg.Spans = telemetry.NewSpanCollector(0)
+		recycle.Instrument(cfg.Metrics)
 	}
 	var stopDebug func()
 	if *debugAddr != "" {
@@ -92,6 +94,7 @@ func main() {
 			Metrics: cfg.Metrics,
 			Spans:   cfg.Spans,
 			Health:  runtime.NewHealthBoard(),
+			Mem:     telemetry.NewRuntimeMem(cfg.Metrics),
 		}
 		addr, stop, err := srv.Serve(*debugAddr)
 		if err != nil {

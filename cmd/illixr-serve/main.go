@@ -27,6 +27,7 @@ import (
 	"illixr/internal/netxr/bridge"
 	"illixr/internal/netxr/session"
 	"illixr/internal/netxr/wire"
+	"illixr/internal/recycle"
 	"illixr/internal/sensors"
 	"illixr/internal/telemetry"
 )
@@ -44,6 +45,7 @@ func main() {
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
+	recycle.Instrument(reg)
 	pipe := &bridge.Pipeline{
 		Metrics: reg,
 		VIO:     *vio,
@@ -58,7 +60,7 @@ func main() {
 	}, pipe)
 
 	if *debugAddr != "" {
-		dbg := &debughttp.Server{Metrics: reg, Sessions: srv}
+		dbg := &debughttp.Server{Metrics: reg, Sessions: srv, Mem: telemetry.NewRuntimeMem(reg)}
 		bound, _, err := dbg.Serve(*debugAddr)
 		if err != nil {
 			log.Fatalf("debug endpoint: %v", err)

@@ -1,0 +1,26 @@
+package audio
+
+import (
+	"testing"
+
+	"illixr/internal/mathx"
+	"illixr/internal/testutil"
+)
+
+// TestZeroAllocAudioBlock pins one full audio frame — ambisonic encode of
+// two sources plus rotation, psychoacoustic filtering, zoom, and binaural
+// decode — at zero steady-state allocations. Encoder and playback own
+// their scratch; only the SH rotation pulls (and returns) pool buffers.
+func TestZeroAllocAudioBlock(t *testing.T) {
+	sources := []Source{
+		SpeechLikeSource("lecturer", 48000, 1, DirectionFromAzEl(0.5, 0), 7),
+		SineSource("radio", 440, 48000, 1, DirectionFromAzEl(-1.2, 0.2)),
+	}
+	enc := NewEncoder(2, 256, sources)
+	play := NewPlayback(2, 256, 48000)
+	pose := mathx.Pose{Rot: mathx.QuatFromAxisAngle(mathx.Vec3{Y: 1}, 0.3)}
+	testutil.MustZeroAllocs(t, "EncodeBlock+Process", func() {
+		field := enc.EncodeBlock()
+		_, _ = play.Process(field, pose)
+	})
+}

@@ -31,6 +31,29 @@ type Encoder struct {
 	pool      *parallel.Pool
 	// Stats for the performance model
 	SamplesEncoded int
+
+	// Persistent per-block state: the field rows, per-source mono and SH
+	// coefficient buffers, and the two tile kernels are allocated once and
+	// reused so steady-state EncodeBlock calls allocate nothing
+	// (DESIGN.md §10). The returned block is encoder-owned and valid until
+	// the next EncodeBlock call.
+	field  [][]float64
+	monos  [][]float64
+	coeffs [][]float64
+	active []encodedSource
+
+	curMono   []float64 // per-source args for normFn
+	curPCM    []int16
+	curCursor int
+	normFn    func(lo, hi int)
+	encodeFn  func(lo, hi int)
+}
+
+// encodedSource is one active source's prepared block inputs.
+type encodedSource struct {
+	mono   []float64
+	coeffs []float64
+	gain   float64
 }
 
 // SetPool sets the worker pool for the encode stages (nil = serial). The
@@ -52,61 +75,81 @@ func NormalizeInt16(pcm []int16, out []float64) {
 	}
 }
 
-// EncodeBlock produces the next soundfield block: a [channels][blockSize]
-// matrix. Sources shorter than the cursor wrap around (looping playback).
-func (e *Encoder) EncodeBlock() [][]float64 {
+// ensureBuffers builds the encoder's persistent block state on first use.
+func (e *Encoder) ensureBuffers() {
+	if e.field != nil && len(e.monos) == len(e.Sources) {
+		return
+	}
 	nCh := ChannelCount(e.Order)
-	field := make([][]float64, nCh)
-	for c := range field {
-		field[c] = make([]float64, e.BlockSize)
+	e.field = make([][]float64, nCh)
+	for c := range e.field {
+		e.field[c] = make([]float64, e.BlockSize)
 	}
-	// Task 1 + 2 per source: normalization (INT16 -> FP64) over disjoint
-	// sample tiles, and the SH encoding coefficients Y[j][i] = D × X[j].
-	type encoded struct {
-		mono   []float64
-		coeffs []float64
-		gain   float64
+	e.monos = make([][]float64, len(e.Sources))
+	e.coeffs = make([][]float64, len(e.Sources))
+	for i := range e.Sources {
+		e.monos[i] = make([]float64, e.BlockSize)
+		e.coeffs[i] = make([]float64, nCh)
 	}
-	var active []encoded
-	for _, src := range e.Sources {
-		if len(src.PCM) == 0 {
-			continue
+	e.active = make([]encodedSource, 0, len(e.Sources))
+	e.normFn = func(lo, hi int) {
+		mono, pcm, cur := e.curMono, e.curPCM, e.curCursor
+		for i := lo; i < hi; i++ {
+			mono[i] = float64(pcm[(cur+i)%len(pcm)]) / 32768.0
 		}
-		mono := make([]float64, e.BlockSize)
-		pcm := src.PCM
-		cur := e.cursor
-		e.pool.ForTiles("audio_normalize", e.BlockSize, audioTile, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				mono[i] = float64(pcm[(cur+i)%len(pcm)]) / 32768.0
-			}
-		})
-		gain := src.Gain
-		if gain == 0 {
-			gain = 1
-		}
-		active = append(active, encoded{
-			mono:   mono,
-			coeffs: EncodeSH(e.Order, src.Dir.Normalized()),
-			gain:   gain,
-		})
-		e.SamplesEncoded += e.BlockSize
 	}
-	// Task 3: HOA soundfield summation Y[i][j] += Xk[i][j] ∀k. Channels are
-	// disjoint rows; each row sums its sources in declaration order, the
-	// same order as the serial loop, so the field is bitwise identical.
-	e.pool.ForTiles("audio_encode", nCh, 1, func(lo, hi int) {
+	e.encodeFn = func(lo, hi int) {
 		for c := lo; c < hi; c++ {
-			row := field[c]
-			for _, src := range active {
+			row := e.field[c]
+			for i := range row {
+				row[i] = 0
+			}
+			for _, src := range e.active {
 				g := src.coeffs[c] * src.gain
 				for i := 0; i < e.BlockSize; i++ {
 					row[i] += g * src.mono[i]
 				}
 			}
 		}
-	})
+	}
+}
+
+// EncodeBlock produces the next soundfield block: a [channels][blockSize]
+// matrix. Sources shorter than the cursor wrap around (looping playback).
+// The returned block is encoder-owned scratch: callers may mutate it, but
+// it is overwritten by the next EncodeBlock call.
+func (e *Encoder) EncodeBlock() [][]float64 {
+	e.ensureBuffers()
+	nCh := ChannelCount(e.Order)
+	// Task 1 + 2 per source: normalization (INT16 -> FP64) over disjoint
+	// sample tiles, and the SH encoding coefficients Y[j][i] = D × X[j].
+	e.active = e.active[:0]
+	for si, src := range e.Sources {
+		if len(src.PCM) == 0 {
+			continue
+		}
+		e.curMono, e.curPCM, e.curCursor = e.monos[si], src.PCM, e.cursor
+		e.pool.ForTiles("audio_normalize", e.BlockSize, audioTile, e.normFn)
+		gain := src.Gain
+		if gain == 0 {
+			gain = 1
+		}
+		EncodeSHInto(e.Order, src.Dir.Normalized(), e.coeffs[si])
+		e.active = append(e.active, encodedSource{
+			mono:   e.monos[si],
+			coeffs: e.coeffs[si],
+			gain:   gain,
+		})
+		e.SamplesEncoded += e.BlockSize
+	}
+	e.curMono, e.curPCM = nil, nil
+	// Task 3: HOA soundfield summation Y[i][j] += Xk[i][j] ∀k. Channels are
+	// disjoint rows; each row zeroes itself then sums its sources in
+	// declaration order, the same order as the serial loop, so the field is
+	// bitwise identical.
+	e.pool.ForTiles("audio_encode", nCh, 1, e.encodeFn)
 	e.cursor += e.BlockSize
-	return field
+	return e.field
 }
 
 // Reset rewinds all source cursors.

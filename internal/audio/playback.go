@@ -30,6 +30,22 @@ type Playback struct {
 
 	// Stats for the performance model
 	BlocksProcessed int
+
+	// Persistent per-block state (allocated once in NewPlayback) so
+	// steady-state Process calls allocate nothing: the reusable SH
+	// rotation, per-speaker decode scratch, HRTF outputs, the stereo
+	// output pair, and the four stage kernels (DESIGN.md §10). Process is
+	// not safe for concurrent use on one Playback (it never was: the
+	// overlap-add filters carry state).
+	rot         *SHRotation
+	spk         [][]float64 // per-speaker decode scratch
+	ls, rs      [][]float64 // per-speaker HRTF outputs (aliases convolver scratch)
+	left, right []float64
+	curField    [][]float64
+	zoomZ       float64
+	psychoFn    func(lo, hi int)
+	zoomFn      func(lo, hi int)
+	binauralFn  func(lo, hi int)
 }
 
 // SetPool sets the worker pool for the playback stages (nil = serial).
@@ -66,6 +82,54 @@ func NewPlayback(order, blockSize int, sampleRate float64) *Playback {
 		hl, hr := SynthHRTF(dir, sampleRate)
 		p.hrtfL[i] = dsp.NewOverlapAdd(hl, blockSize)
 		p.hrtfR[i] = dsp.NewOverlapAdd(hr, blockSize)
+	}
+	p.rot = NewSHRotation(order, mathx.QuatIdentity())
+	nSpk := len(p.speakers)
+	p.spk = make([][]float64, nSpk)
+	for i := range p.spk {
+		p.spk[i] = make([]float64, blockSize)
+	}
+	p.ls = make([][]float64, nSpk)
+	p.rs = make([][]float64, nSpk)
+	p.left = make([]float64, blockSize)
+	p.right = make([]float64, blockSize)
+	p.psychoFn = func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			out := p.psychoFilters[c].Process(p.curField[c])
+			copy(p.curField[c], out)
+		}
+	}
+	p.zoomFn = func(lo, hi int) {
+		field, z := p.curField, p.zoomZ
+		g := 1 / math.Sqrt(1+z*z)
+		for i := lo; i < hi; i++ {
+			w := field[0][i]
+			x := field[3][i]
+			field[0][i] = g * (w + z*x)
+			field[3][i] = g * (x + z*w)
+		}
+	}
+	p.binauralFn = func(lo, hi int) {
+		field := p.curField
+		nc := ChannelCount(p.Order)
+		for s := lo; s < hi; s++ {
+			spk := p.spk[s]
+			for i := range spk {
+				spk[i] = 0
+			}
+			for c := 0; c < nc; c++ {
+				g := p.decode.At(s, c)
+				if g == 0 {
+					continue
+				}
+				row := field[c]
+				for i := 0; i < p.BlockSize; i++ {
+					spk[i] += g * row[i]
+				}
+			}
+			p.ls[s] = p.hrtfL[s].Process(spk)
+			p.rs[s] = p.hrtfR[s].Process(spk)
+		}
 	}
 	return p
 }
@@ -199,68 +263,45 @@ func fractionalDelayFIR(taps int, delay, gain, shadow, sampleRate float64) []flo
 }
 
 // Process renders one soundfield block to stereo given the listener pose.
-// The field is modified in place (filtered, rotated, zoomed).
+// The field is modified in place (filtered, rotated, zoomed). The returned
+// stereo buffers are playback-owned scratch, overwritten by the next
+// Process call.
 func (p *Playback) Process(field [][]float64, listener mathx.Pose) (left, right []float64) {
 	nCh := ChannelCount(p.Order)
 	if len(field) < nCh {
 		panic("audio: field channel count below playback order")
 	}
+	p.curField = field
 	// 1) psychoacoustic filter per channel: each channel owns its
 	// OverlapAdd state, so channels parallelize with disjoint writes.
-	p.pool.ForTiles("audio_psycho", nCh, 1, func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			field[c] = p.psychoFilters[c].Process(field[c])
-		}
-	})
+	p.pool.ForTiles("audio_psycho", nCh, 1, p.psychoFn)
 	// 2) rotation: counter-rotate the field by the listener orientation
-	rot := NewSHRotation(p.Order, listener.Rot.Inverse())
-	rot.ApplyBlockPool(p.pool, field)
+	p.rot.SetQuat(listener.Rot.Inverse())
+	p.rot.ApplyBlockPool(p.pool, field)
 	// 3) zoom: forward emphasis mixing W with X (ACN 3)
 	if p.ZoomStrength > 0 && p.Order >= 1 {
-		z := p.ZoomStrength
-		g := 1 / math.Sqrt(1+z*z)
-		p.pool.ForTiles("audio_zoom", p.BlockSize, audioTile, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				w := field[0][i]
-				x := field[3][i]
-				field[0][i] = g * (w + z*x)
-				field[3][i] = g * (x + z*w)
-			}
-		})
+		p.zoomZ = p.ZoomStrength
+		p.pool.ForTiles("audio_zoom", p.BlockSize, audioTile, p.zoomFn)
 	}
 	// 4) binauralization: decode to virtual speakers, convolve HRTFs.
 	// Speakers parallelize (each owns its HRTF convolver pair and scratch
 	// buffer); the stereo mixdown then sums speakers in ascending order,
 	// matching the serial accumulation order bit for bit.
 	nSpk := len(p.speakers)
-	ls := make([][]float64, nSpk)
-	rs := make([][]float64, nSpk)
-	p.pool.ForTiles("audio_binaural", nSpk, 1, func(lo, hi int) {
-		for s := lo; s < hi; s++ {
-			spk := make([]float64, p.BlockSize)
-			for c := 0; c < nCh; c++ {
-				g := p.decode.At(s, c)
-				if g == 0 {
-					continue
-				}
-				row := field[c]
-				for i := 0; i < p.BlockSize; i++ {
-					spk[i] += g * row[i]
-				}
-			}
-			ls[s] = p.hrtfL[s].Process(spk)
-			rs[s] = p.hrtfR[s].Process(spk)
-		}
-	})
-	left = make([]float64, p.BlockSize)
-	right = make([]float64, p.BlockSize)
+	p.pool.ForTiles("audio_binaural", nSpk, 1, p.binauralFn)
+	left, right = p.left, p.right
+	for i := 0; i < p.BlockSize; i++ {
+		left[i] = 0
+		right[i] = 0
+	}
 	for s := 0; s < nSpk; s++ {
-		l, r := ls[s], rs[s]
+		l, r := p.ls[s], p.rs[s]
 		for i := 0; i < p.BlockSize; i++ {
 			left[i] += l[i]
 			right[i] += r[i]
 		}
 	}
+	p.curField = nil
 	p.BlocksProcessed++
 	return left, right
 }

@@ -7,9 +7,11 @@ package audio
 
 import (
 	"math"
+	"sync"
 
 	"illixr/internal/mathx"
 	"illixr/internal/parallel"
+	"illixr/internal/recycle"
 )
 
 // ACN channel count for a given ambisonic order.
@@ -31,6 +33,16 @@ func DirectionFromAzEl(az, el float64) Direction {
 // by libspatialaudio) for a unit direction.
 func EncodeSH(order int, d Direction) []float64 {
 	out := make([]float64, ChannelCount(order))
+	EncodeSHInto(order, d, out)
+	return out
+}
+
+// EncodeSHInto is EncodeSH writing into a caller-provided buffer of length
+// ChannelCount(order), allocating nothing.
+func EncodeSHInto(order int, d Direction, out []float64) {
+	if len(out) < ChannelCount(order) {
+		panic("audio: EncodeSHInto buffer too short")
+	}
 	x, y, z := d.X, d.Y, d.Z
 	// order 0
 	out[0] = 1
@@ -62,7 +74,6 @@ func EncodeSH(order int, d Direction) []float64 {
 		out[14] = s158 * z * (x*x - y*y)
 		out[15] = s58 * x * (x*x - 3*y*y)
 	}
-	return out
 }
 
 // SHRotation is a block-diagonal rotation of SH coefficients, one matrix
@@ -75,33 +86,41 @@ type SHRotation struct {
 // NewSHRotation builds the SH-domain rotation corresponding to the spatial
 // rotation q (the rotation that maps source directions d to q.Rotate(d)).
 func NewSHRotation(order int, q mathx.Quat) *SHRotation {
-	r := q.RotationMatrix()
 	rot := &SHRotation{Order: order, Bands: make([]*mathx.Mat, order+1)}
 	rot.Bands[0] = mathx.Eye(1)
-	if order == 0 {
-		return rot
+	for l := 1; l <= order; l++ {
+		rot.Bands[l] = mathx.NewMat(2*l+1, 2*l+1)
 	}
+	rot.SetQuat(q)
+	return rot
+}
+
+// SetQuat recomputes the rotation in place for a new spatial rotation q,
+// reusing the band matrices. The per-block playback path keeps one
+// SHRotation alive and re-targets it with the listener pose each block.
+func (rot *SHRotation) SetQuat(q mathx.Quat) {
+	if rot.Order == 0 {
+		return
+	}
+	r := q.RotationMatrix()
 	// band 1 in ACN ordering (Y, Z, X): R1[a][b] = R[sigma(a)][sigma(b)],
 	// sigma = (y, z, x) axis indices.
 	sigma := [3]int{1, 2, 0}
-	r1 := mathx.NewMat(3, 3)
+	r1 := rot.Bands[1]
 	for a := 0; a < 3; a++ {
 		for b := 0; b < 3; b++ {
 			r1.Set(a, b, r.At(sigma[a], sigma[b]))
 		}
 	}
-	rot.Bands[1] = r1
-	for l := 2; l <= order; l++ {
-		rot.Bands[l] = irBand(l, r1, rot.Bands[l-1])
+	for l := 2; l <= rot.Order; l++ {
+		irBandInto(l, r1, rot.Bands[l-1], rot.Bands[l])
 	}
-	return rot
 }
 
-// irBand computes the band-l rotation from the band-1 and band-(l-1)
-// rotations (Ivanic & Ruedenberg 1996, with the 1998 erratum).
-func irBand(l int, r1, prev *mathx.Mat) *mathx.Mat {
-	size := 2*l + 1
-	out := mathx.NewMat(size, size)
+// irBandInto computes the band-l rotation from the band-1 and band-(l-1)
+// rotations (Ivanic & Ruedenberg 1996, with the 1998 erratum), writing
+// every entry of the preallocated (2l+1)×(2l+1) out matrix.
+func irBandInto(l int, r1, prev, out *mathx.Mat) {
 	// helper P_i(l; a, b)
 	p := func(i, a, b int) float64 {
 		ri := func(m, n int) float64 { return r1.At(m+1, n+1) }
@@ -164,7 +183,6 @@ func irBand(l int, r1, prev *mathx.Mat) *mathx.Mat {
 			out.Set(m+l, n+l, u*uu+v*vv+w*ww)
 		}
 	}
-	return out
 }
 
 func abs(x int) int {
@@ -176,6 +194,14 @@ func abs(x int) int {
 
 // Apply rotates a full ACN coefficient vector in place.
 func (r *SHRotation) Apply(coeffs []float64) {
+	scratch := recycle.F64.Get(2*r.Order + 1)
+	r.applyWith(coeffs, scratch)
+	recycle.F64.Put(scratch)
+}
+
+// applyWith is Apply with caller-provided per-band scratch of length at
+// least 2*Order+1.
+func (r *SHRotation) applyWith(coeffs, scratch []float64) {
 	if len(coeffs) < ChannelCount(r.Order) {
 		panic("audio: coefficient vector too short for rotation order")
 	}
@@ -183,7 +209,8 @@ func (r *SHRotation) Apply(coeffs []float64) {
 	for l := 0; l <= r.Order; l++ {
 		size := 2*l + 1
 		band := coeffs[idx : idx+size]
-		rotated := r.Bands[l].MulVecN(band)
+		rotated := scratch[:size]
+		r.Bands[l].MulVecNInto(rotated, band)
 		copy(band, rotated)
 		idx += size
 	}
@@ -192,6 +219,37 @@ func (r *SHRotation) Apply(coeffs []float64) {
 // ApplyBlock rotates every sample of a multichannel block (channels ×
 // samples) in place.
 func (r *SHRotation) ApplyBlock(block [][]float64) { r.ApplyBlockPool(nil, block) }
+
+// rotBlockCtx carries one block rotation for the persistent tile closure.
+// Each tile draws its own coefficient and band scratch from the shared
+// pool, so concurrent tiles never share mutable state.
+type rotBlockCtx struct {
+	r     *SHRotation
+	block [][]float64
+	fn    func(lo, hi int)
+}
+
+var rotBlockCtxPool = sync.Pool{New: func() any {
+	c := &rotBlockCtx{}
+	c.fn = func(lo, hi int) {
+		r, block := c.r, c.block
+		nCh := ChannelCount(r.Order)
+		coeffs := recycle.F64.Get(nCh)
+		scratch := recycle.F64.Get(2*r.Order + 1)
+		for s := lo; s < hi; s++ {
+			for ch := 0; ch < nCh; ch++ {
+				coeffs[ch] = block[ch][s]
+			}
+			r.applyWith(coeffs, scratch)
+			for ch := 0; ch < nCh; ch++ {
+				block[ch][s] = coeffs[ch]
+			}
+		}
+		recycle.F64.Put(scratch)
+		recycle.F64.Put(coeffs)
+	}
+	return c
+}}
 
 // ApplyBlockPool is ApplyBlock with samples tiled over a worker pool. Each
 // tile uses its own coefficient scratch vector and every sample column is
@@ -203,16 +261,9 @@ func (r *SHRotation) ApplyBlockPool(pool *parallel.Pool, block [][]float64) {
 		panic("audio: block has too few channels for rotation order")
 	}
 	n := len(block[0])
-	pool.ForTiles("audio_rotate", n, audioTile, func(lo, hi int) {
-		coeffs := make([]float64, nCh)
-		for s := lo; s < hi; s++ {
-			for c := 0; c < nCh; c++ {
-				coeffs[c] = block[c][s]
-			}
-			r.Apply(coeffs)
-			for c := 0; c < nCh; c++ {
-				block[c][s] = coeffs[c]
-			}
-		}
-	})
+	c := rotBlockCtxPool.Get().(*rotBlockCtx)
+	c.r, c.block = r, block
+	pool.ForTiles("audio_rotate", n, audioTile, c.fn)
+	c.r, c.block = nil, nil
+	rotBlockCtxPool.Put(c)
 }

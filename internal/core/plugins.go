@@ -193,6 +193,13 @@ type AudioPlugin struct {
 	tracer  *telemetry.SpanCollector
 	blocks  *telemetry.Counter
 	blockNs *telemetry.Histogram
+
+	// pubBuf double-buffers the published stereo blocks: Playback.Process
+	// returns its own reused scratch, so each publish copies into the slot
+	// the previous event is not holding. The event values stay immutable
+	// from the subscriber's point of view without a per-block allocation.
+	pubBuf [2][2][]float64
+	pubIdx int
 }
 
 // Name implements runtime.Plugin.
@@ -242,10 +249,20 @@ func (p *AudioPlugin) ProcessBlock(t float64) (left, right []float64) {
 	}
 	field := p.enc.EncodeBlock()
 	left, right = p.play.Process(field, pose)
+	// Process returns playback-owned scratch: copy into the double buffer
+	// so the published block survives the next ProcessBlock call.
+	buf := &p.pubBuf[p.pubIdx]
+	p.pubIdx = 1 - p.pubIdx
+	if len(buf[0]) != len(left) {
+		buf[0] = make([]float64, len(left))
+		buf[1] = make([]float64, len(right))
+	}
+	copy(buf[0], left)
+	copy(buf[1], right)
 	// the binaural block descends from the fast pose it was rotated by
 	ref := p.tracer.Emit(CompAudioPlay, poseRef.Trace, t, t, poseRef.Span)
 	p.ctx.Switchboard.GetTopic(runtime.TopicBinaural).Publish(runtime.Event{
-		T: t, Value: [2][]float64{left, right}, Trace: ref,
+		T: t, Value: [2][]float64{buf[0], buf[1]}, Trace: ref,
 	})
 	p.blockNs.Observe(float64(time.Since(wall).Nanoseconds()))
 	p.blocks.Inc()

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"illixr/internal/imgproc"
 	"illixr/internal/integrator"
 	"illixr/internal/mathx"
 	"illixr/internal/parallel"
@@ -134,6 +135,10 @@ func evaluateQuality(cfg RunConfig, perc *perception, appProf *appProfile,
 
 		ssims = append(ssims, quality.SSIMRGBPool(pool, actual, ideal))
 		flips = append(flips, quality.OneMinusFLIPPool(pool, actual, ideal))
+		imgproc.PutRGB(actualSrc)
+		imgproc.PutRGB(idealSrc)
+		imgproc.PutRGB(actual)
+		imgproc.PutRGB(ideal)
 	}
 	res.SSIM = telemetry.Summarize(ssims)
 	res.OneMinusFLIP = telemetry.Summarize(flips)

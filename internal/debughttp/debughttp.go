@@ -29,6 +29,9 @@ type Server struct {
 	Spans    *telemetry.SpanCollector
 	Health   *runtime.HealthBoard
 	Sessions session.Lister
+	// Mem, when installed, refreshes the illixr_runtime_* memory gauges
+	// and the GC-pause histogram on every /metrics scrape.
+	Mem *telemetry.RuntimeMem
 }
 
 // ShutdownGrace bounds how long Serve's stop function waits for in-flight
@@ -87,6 +90,7 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "no metrics registry installed", http.StatusNotFound)
 		return
 	}
+	s.Mem.Observe() // nil-safe: refresh runtime memory stats per scrape
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_ = s.Metrics.WriteText(w)
 }

@@ -1,5 +1,7 @@
 package dsp
 
+import "illixr/internal/recycle"
+
 // ConvolveDirect computes the full linear convolution of x and h by the
 // direct O(N·M) method. Used as the reference implementation and for very
 // short kernels.
@@ -27,8 +29,8 @@ func ConvolveFFT(x, h []float64) []float64 {
 	}
 	outLen := len(x) + len(h) - 1
 	n := NextPowerOfTwo(outLen)
-	xs := make([]complex128, n)
-	hs := make([]complex128, n)
+	xs := recycle.C128.Get(n)
+	hs := recycle.C128.Get(n)
 	for i, v := range x {
 		xs[i] = complex(v, 0)
 	}
@@ -45,6 +47,8 @@ func ConvolveFFT(x, h []float64) []float64 {
 	for i := range out {
 		out[i] = real(xs[i])
 	}
+	recycle.C128.Put(xs)
+	recycle.C128.Put(hs)
 	return out
 }
 
@@ -59,6 +63,11 @@ type OverlapAdd struct {
 	tail       []float64
 	// scratch buffers reused across blocks
 	buf []complex128
+	// out is the returned block, overwritten by the next Process call;
+	// tailNext double-buffers the carried tail so the shift allocates
+	// nothing.
+	out      []float64
+	tailNext []float64
 }
 
 // NewOverlapAdd creates a convolver for the given FIR kernel and input
@@ -76,6 +85,8 @@ func NewOverlapAdd(kernel []float64, blockSize int) *OverlapAdd {
 		fftSize:    fftSize,
 		tail:       make([]float64, fftSize-blockSize),
 		buf:        make([]complex128, fftSize),
+		out:        make([]float64, blockSize),
+		tailNext:   make([]float64, fftSize-blockSize),
 	}
 }
 
@@ -85,6 +96,10 @@ func (o *OverlapAdd) BlockSize() int { return o.blockSize }
 // Process convolves one block (len must equal BlockSize) and returns one
 // output block of the same length. Convolution tails are carried into
 // subsequent blocks.
+//
+// The returned slice is convolver-owned scratch, overwritten by the next
+// Process call on the same OverlapAdd — copy it out if it must outlive
+// that (DESIGN.md §10). block may alias a previous return value.
 func (o *OverlapAdd) Process(block []float64) []float64 {
 	if len(block) != o.blockSize {
 		panic("dsp: OverlapAdd block size mismatch")
@@ -101,7 +116,7 @@ func (o *OverlapAdd) Process(block []float64) []float64 {
 		o.buf[i] *= o.kernelSpec[i]
 	}
 	IFFT(o.buf)
-	out := make([]float64, o.blockSize)
+	out := o.out
 	for i := 0; i < o.blockSize; i++ {
 		out[i] = real(o.buf[i])
 		if i < len(o.tail) {
@@ -109,7 +124,7 @@ func (o *OverlapAdd) Process(block []float64) []float64 {
 		}
 	}
 	// shift tail: new tail = old tail shifted by blockSize + new samples
-	newTail := make([]float64, len(o.tail))
+	newTail := o.tailNext
 	for i := 0; i < len(o.tail); i++ {
 		v := real(o.buf[o.blockSize+i])
 		if o.blockSize+i < len(o.tail) {
@@ -117,7 +132,7 @@ func (o *OverlapAdd) Process(block []float64) []float64 {
 		}
 		newTail[i] = v
 	}
-	o.tail = newTail
+	o.tail, o.tailNext = newTail, o.tail
 	return out
 }
 

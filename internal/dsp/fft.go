@@ -42,33 +42,24 @@ func fftInternal(x []complex128, inverse bool) {
 	if !IsPowerOfTwo(n) {
 		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
 	}
-	// bit-reversal permutation
-	for i, j := 1, 0; i < n; i++ {
-		bit := n >> 1
-		for ; j&bit != 0; bit >>= 1 {
-			j ^= bit
-		}
-		j ^= bit
-		if i < j {
-			x[i], x[j] = x[j], x[i]
-		}
+	// The bit-reversal pairs and twiddle factors depend only on n, so they
+	// come from the length-keyed plan cache; the twiddles there were
+	// generated with the same incremental recurrence this loop used to run
+	// inline, keeping planned output bit-identical to the original.
+	pl := planFor(n, inverse)
+	for _, sw := range pl.swaps {
+		i, j := sw[0], sw[1]
+		x[i], x[j] = x[j], x[i]
 	}
-	// butterflies
-	for length := 2; length <= n; length <<= 1 {
-		ang := 2 * math.Pi / float64(length)
-		if !inverse {
-			ang = -ang
-		}
-		wl := cmplx.Exp(complex(0, ang))
+	for s, tw := range pl.stages {
+		length := 2 << s
+		half := length / 2
 		for start := 0; start < n; start += length {
-			w := complex(1, 0)
-			half := length / 2
 			for k := 0; k < half; k++ {
 				u := x[start+k]
-				v := x[start+k+half] * w
+				v := x[start+k+half] * tw[k]
 				x[start+k] = u + v
 				x[start+k+half] = u - v
-				w *= wl
 			}
 		}
 	}

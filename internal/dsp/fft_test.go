@@ -164,7 +164,9 @@ func TestOverlapAddReset(t *testing.T) {
 	ola := NewOverlapAdd(kernel, 8)
 	in := make([]float64, 8)
 	in[7] = 1 // leaves a tail
-	first := ola.Process(in)
+	// Process returns convolver-owned scratch, so snapshot the first block
+	// before the second call overwrites it.
+	first := append([]float64(nil), ola.Process(in)...)
 	ola.Reset()
 	second := ola.Process(in)
 	for i := range first {

@@ -1,0 +1,84 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// fftPlan caches the length-dependent artifacts of the radix-2 FFT: the
+// bit-reversal swap pairs and the per-stage twiddle factor sequences.
+//
+// Bitwise identity: the twiddles are generated with the exact incremental
+// recurrence (w = 1; w *= wl) the direct implementation used, in the same
+// order, so a planned FFT produces bit-identical output to the unplanned
+// one — the golden-vector suites depend on this.
+type fftPlan struct {
+	n      int
+	swaps  [][2]int32     // bit-reversal pairs with i < j
+	stages [][]complex128 // stages[s] has length 2^s (the half-length twiddles)
+}
+
+var (
+	planMu   sync.RWMutex
+	fwdPlans = map[int]*fftPlan{}
+	invPlans = map[int]*fftPlan{}
+)
+
+// planFor returns the cached plan for an n-point transform, building it on
+// first use. Lookups after warm-up are allocation-free.
+func planFor(n int, inverse bool) *fftPlan {
+	plans := fwdPlans
+	if inverse {
+		plans = invPlans
+	}
+	planMu.RLock()
+	pl := plans[n]
+	planMu.RUnlock()
+	if pl != nil {
+		return pl
+	}
+	planMu.Lock()
+	defer planMu.Unlock()
+	if pl = plans[n]; pl != nil {
+		return pl
+	}
+	pl = buildPlan(n, inverse)
+	plans[n] = pl
+	return pl
+}
+
+func buildPlan(n int, inverse bool) *fftPlan {
+	pl := &fftPlan{n: n}
+	// bit-reversal permutation pairs, in the same visit order as the
+	// in-place loop
+	j := 0
+	for i := 1; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			pl.swaps = append(pl.swaps, [2]int32{int32(i), int32(j)})
+		}
+	}
+	// per-stage twiddles via the incremental recurrence (not cmplx.Exp per
+	// k), matching the unplanned butterflies bit for bit
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		half := length / 2
+		tw := make([]complex128, half)
+		w := complex(1, 0)
+		for k := 0; k < half; k++ {
+			tw[k] = w
+			w *= wl
+		}
+		pl.stages = append(pl.stages, tw)
+	}
+	return pl
+}

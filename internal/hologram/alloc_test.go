@@ -1,0 +1,39 @@
+package hologram
+
+import (
+	"testing"
+
+	"illixr/internal/imgproc"
+	"illixr/internal/testutil"
+)
+
+// TestZeroAllocGSW pins the serial GSW solver at zero steady-state
+// allocations once its context, delta rows, and result buffers cycle
+// through the pools.
+func TestZeroAllocGSW(t *testing.T) {
+	p := DefaultParams()
+	p.Width, p.Height = 64, 64
+	p.Iterations = 2
+	spots := SpotsFromDepthPlanes(2, 3, 6e-4, 0.02)
+	testutil.MustZeroAllocs(t, "GeneratePool", func() {
+		r := GeneratePool(nil, p, spots)
+		ReleaseResult(&r)
+	})
+}
+
+// TestZeroAllocFresnel pins the Fresnel propagation path at zero
+// steady-state allocations: the transfer function comes from the
+// params-keyed cache and every field/spectrum buffer is recycled.
+func TestZeroAllocFresnel(t *testing.T) {
+	p := DefaultFresnelParams()
+	p.Width, p.Height = 64, 64
+	p.Iterations = 3
+	target := imgproc.NewGray(64, 64)
+	for i := range target.Pix {
+		target.Pix[i] = float32(i%17) / 17
+	}
+	testutil.MustZeroAllocs(t, "GenerateFresnel", func() {
+		r := GenerateFresnel(p, target, 0.15)
+		ReleaseFresnelResult(&r)
+	})
+}

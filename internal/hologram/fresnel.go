@@ -2,9 +2,11 @@ package hologram
 
 import (
 	"math"
+	"sync"
 
 	"illixr/internal/dsp"
 	"illixr/internal/imgproc"
+	"illixr/internal/recycle"
 )
 
 // This file provides the second, interchangeable hologram implementation
@@ -39,13 +41,28 @@ type field struct {
 	data []complex128
 }
 
-func newField(w, h int) *field {
-	return &field{w: w, h: h, data: make([]complex128, w*h)}
+var fieldHeaders = sync.Pool{New: func() any { return &field{} }}
+
+// getField returns a zeroed pooled w×h wavefront.
+func getField(w, h int) *field {
+	f := fieldHeaders.Get().(*field)
+	f.w, f.h = w, h
+	f.data = recycle.C128.Get(w * h)
+	return f
 }
 
-// fft2 performs an in-place 2-D FFT (inverse when inv is true).
+// putField recycles a wavefront obtained from getField.
+func putField(f *field) {
+	recycle.C128.Put(f.data)
+	f.data = nil
+	f.w, f.h = 0, 0
+	fieldHeaders.Put(f)
+}
+
+// fft2 performs an in-place 2-D FFT (inverse when inv is true). The
+// row/column staging buffers recycle through the shared complex pool.
 func (f *field) fft2(inv bool) {
-	row := make([]complex128, f.w)
+	row := recycle.C128.Get(f.w)
 	for y := 0; y < f.h; y++ {
 		copy(row, f.data[y*f.w:(y+1)*f.w])
 		if inv {
@@ -55,7 +72,8 @@ func (f *field) fft2(inv bool) {
 		}
 		copy(f.data[y*f.w:(y+1)*f.w], row)
 	}
-	col := make([]complex128, f.h)
+	recycle.C128.Put(row)
+	col := recycle.C128.Get(f.h)
 	for x := 0; x < f.w; x++ {
 		for y := 0; y < f.h; y++ {
 			col[y] = f.data[y*f.w+x]
@@ -69,11 +87,48 @@ func (f *field) fft2(inv bool) {
 			f.data[y*f.w+x] = col[y]
 		}
 	}
+	recycle.C128.Put(col)
 }
 
+// tfKey identifies one cached angular-spectrum transfer function.
+type tfKey struct {
+	p FresnelParams
+	z float64
+}
+
+// transferFuncs caches the propagation phase factors per (params, z). The
+// factors depend only on the optical geometry, which is fixed for the life
+// of a display pipeline, so recomputing n sincos evaluations per frame
+// (twice: +z and −z) is pure waste. Cached slices are shared and
+// read-only.
+var (
+	transferMu    sync.RWMutex
+	transferFuncs = map[tfKey][]complex128{}
+)
+
 // transferFunction returns the angular-spectrum propagation phase factors
-// for distance z (meters). Frequencies follow FFT bin ordering.
+// for distance z (meters). Frequencies follow FFT bin ordering. The
+// returned slice comes from the params-keyed cache and must be treated as
+// read-only.
 func transferFunction(p FresnelParams, z float64) []complex128 {
+	key := tfKey{p: p, z: z}
+	transferMu.RLock()
+	out := transferFuncs[key]
+	transferMu.RUnlock()
+	if out != nil {
+		return out
+	}
+	transferMu.Lock()
+	defer transferMu.Unlock()
+	if out = transferFuncs[key]; out != nil {
+		return out
+	}
+	out = computeTransferFunction(p, z)
+	transferFuncs[key] = out
+	return out
+}
+
+func computeTransferFunction(p FresnelParams, z float64) []complex128 {
 	w, h := p.Width, p.Height
 	out := make([]complex128, w*h)
 	for y := 0; y < h; y++ {
@@ -105,7 +160,9 @@ func (f *field) propagate(tf []complex128) {
 	f.fft2(true)
 }
 
-// FresnelResult is the output of GenerateFresnel.
+// FresnelResult is the output of GenerateFresnel. Phase and
+// Reconstruction are recycled buffers: release them with
+// ReleaseFresnelResult when no longer needed (optional).
 type FresnelResult struct {
 	Phase []float64 // SLM phase pattern
 	// Reconstruction is the intensity image obtained by propagating the
@@ -115,6 +172,17 @@ type FresnelResult struct {
 	// target after the final iteration.
 	Error float64
 	Stats Stats
+}
+
+// ReleaseFresnelResult returns the result's buffers to the shared pools.
+// The result must not be used afterwards (DESIGN.md §10).
+func ReleaseFresnelResult(r *FresnelResult) {
+	recycle.F64.Put(r.Phase)
+	r.Phase = nil
+	if r.Reconstruction != nil {
+		imgproc.PutGray(r.Reconstruction)
+		r.Reconstruction = nil
+	}
 }
 
 // GenerateFresnel runs Gerchberg–Saxton between the SLM plane and a
@@ -128,7 +196,7 @@ func GenerateFresnel(p FresnelParams, target *imgproc.Gray, z float64) FresnelRe
 	}
 	n := p.Width * p.Height
 	// normalize the target amplitude
-	amp := make([]float64, n)
+	amp := recycle.F64.Get(n)
 	var sum float64
 	for i, v := range target.Pix {
 		amp[i] = math.Sqrt(math.Max(0, float64(v)))
@@ -145,8 +213,8 @@ func GenerateFresnel(p FresnelParams, target *imgproc.Gray, z float64) FresnelRe
 	tfFwd := transferFunction(p, z)
 	tfBack := transferFunction(p, -z)
 
-	res := FresnelResult{Phase: make([]float64, n)}
-	f := newField(p.Width, p.Height)
+	res := FresnelResult{Phase: recycle.F64.Get(n)}
+	f := getField(p.Width, p.Height)
 	// start from a deterministic pseudo-random phase to spread energy
 	state := uint64(0x9E3779B97F4A7C15)
 	for i := range f.data {
@@ -188,7 +256,7 @@ func GenerateFresnel(p FresnelParams, target *imgproc.Gray, z float64) FresnelRe
 		f.data[i] = complex(c, s)
 	}
 	f.propagate(tfFwd)
-	res.Reconstruction = imgproc.NewGray(p.Width, p.Height)
+	res.Reconstruction = imgproc.GetGray(p.Width, p.Height)
 	var errSum, tgtSum float64
 	for i, v := range f.data {
 		inten := cmplxAbs(v)
@@ -203,6 +271,8 @@ func GenerateFresnel(p FresnelParams, target *imgproc.Gray, z float64) FresnelRe
 	if tgtSum > 0 {
 		res.Error = errSum / tgtSum
 	}
+	recycle.F64.Put(amp)
+	putField(f)
 	return res
 }
 

@@ -10,8 +10,10 @@ package hologram
 import (
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"illixr/internal/parallel"
+	"illixr/internal/recycle"
 )
 
 // Spot is one target focal point in SLM tangent space: lateral position
@@ -58,7 +60,9 @@ type Stats struct {
 	Iterations   int
 }
 
-// Result is the generated hologram.
+// Result is the generated hologram. Phase and SpotAmplitude are recycled
+// buffers: release them with ReleaseResult when the hologram is no longer
+// needed (optional — an unreleased Result is simply garbage-collected).
 type Result struct {
 	Phase []float64 // per-pixel SLM phase in [-π, π]
 	// SpotAmplitude is |V_m| for each target after the final iteration.
@@ -68,6 +72,14 @@ type Result struct {
 	// Efficiency = Σ|V_m|² (relative diffraction efficiency).
 	Efficiency float64
 	Stats      Stats
+}
+
+// ReleaseResult returns the hologram's buffers to the shared pools. The
+// Result must not be used afterwards (DESIGN.md §10).
+func ReleaseResult(r *Result) {
+	recycle.F64.Put(r.Phase)
+	recycle.F64.Put(r.SpotAmplitude)
+	r.Phase, r.SpotAmplitude = nil, nil
 }
 
 // deltaPhase computes Δ_mj: the phase a pixel j contributes toward spot m
@@ -89,22 +101,61 @@ func Generate(p Params, spots []Spot) Result {
 	return GeneratePool(pool, p, spots)
 }
 
-// spotSum is one spot's complex field partial: Σ exp(i(φ_j − Δ_mj)) over a
-// pixel tile.
-type spotSum struct{ re, im float64 }
+// gswCtx carries one GSW invocation's state so the three tile kernels are
+// built once per context and reused; closure literals at the ForTiles call
+// sites would heap-allocate on every frame (DESIGN.md §10).
+type gswCtx struct {
+	p       Params
+	spot    Spot
+	dm      []float64   // current spot's Δ_mj row
+	phase   []float64   // SLM phase being iterated
+	delta   [][]float64 // all Δ_mj rows (reused backing array)
+	theta   []float64
+	weights []float64
+	m       int
 
-// spotField computes Σ_j exp(i(φ_j − Δ_mj)) for one spot via the fixed-tile
-// ordered reduction, so the sum is order-stable for every worker count.
-func spotField(pool *parallel.Pool, kernel string, phase, dm []float64) spotSum {
-	return parallel.MapReduce(pool, kernel, len(phase), holoTile, func(lo, hi int) spotSum {
-		var t spotSum
+	deltaFn func(lo, hi int)
+	spotFn  func(lo, hi int) (re, im float64)
+	phaseFn func(lo, hi int)
+}
+
+var gswCtxPool = sync.Pool{New: func() any {
+	c := &gswCtx{}
+	c.deltaFn = func(lo, hi int) {
+		p, dm, s := c.p, c.dm, c.spot
 		for j := lo; j < hi; j++ {
-			s, c := math.Sincos(phase[j] - dm[j])
-			t.re += c
-			t.im += s
+			dm[j] = deltaPhase(p, j%p.Width, j/p.Width, s)
 		}
-		return t
-	}, func(a, b spotSum) spotSum { return spotSum{a.re + b.re, a.im + b.im} })
+	}
+	c.spotFn = func(lo, hi int) (re, im float64) {
+		phase, dm := c.phase, c.dm
+		for j := lo; j < hi; j++ {
+			s, cv := math.Sincos(phase[j] - dm[j])
+			re += cv
+			im += s
+		}
+		return re, im
+	}
+	c.phaseFn = func(lo, hi int) {
+		phase, delta, theta, weights, m := c.phase, c.delta, c.theta, c.weights, c.m
+		for j := lo; j < hi; j++ {
+			var re, im float64
+			for mi := 0; mi < m; mi++ {
+				s, cv := math.Sincos(delta[mi][j] + theta[mi])
+				re += weights[mi] * cv
+				im += weights[mi] * s
+			}
+			phase[j] = math.Atan2(im, re)
+		}
+	}
+	return c
+}}
+
+// spotField computes Σ_j exp(i(φ_j − Δ_mj)) for spot dm via the fixed-tile
+// ordered reduction, so the sum is order-stable for every worker count.
+func (c *gswCtx) spotField(pool *parallel.Pool, kernel string, dm []float64, n int) (re, im float64) {
+	c.dm = dm
+	return pool.SumTiles2(kernel, n, holoTile, c.spotFn)
 }
 
 // GeneratePool is Generate over a caller-supplied worker pool (nil = serial;
@@ -112,28 +163,29 @@ func spotField(pool *parallel.Pool, kernel string, phase, dm []float64) spotSum 
 func GeneratePool(pool *parallel.Pool, p Params, spots []Spot) Result {
 	n := p.Width * p.Height
 	m := len(spots)
-	res := Result{
-		Phase:         make([]float64, n),
-		SpotAmplitude: make([]float64, m),
-	}
 	if m == 0 || n == 0 {
-		return res
+		return Result{Phase: make([]float64, n), SpotAmplitude: make([]float64, m)}
 	}
+	res := Result{
+		Phase:         recycle.F64.Get(n),
+		SpotAmplitude: recycle.F64.Get(m),
+	}
+	c := gswCtxPool.Get().(*gswCtx)
+	c.p = p
+	c.phase = res.Phase
+	c.m = m
 	// Precompute Δ_mj. For the realistic sizes used here (n up to ~4M,
 	// m tens) this is the dominant memory object, mirroring the
-	// "globally dense accesses to hologram phases" of Table VII.
-	delta := make([][]float64, m)
-	for mi := range delta {
-		delta[mi] = make([]float64, n)
-		dm := delta[mi]
-		s := spots[mi]
-		pool.ForTiles("hologram_delta", n, holoTile, func(lo, hi int) {
-			for j := lo; j < hi; j++ {
-				dm[j] = deltaPhase(p, j%p.Width, j/p.Width, s)
-			}
-		})
+	// "globally dense accesses to hologram phases" of Table VII. The rows
+	// recycle through the shared float64 pool.
+	c.delta = c.delta[:0]
+	for mi := 0; mi < m; mi++ {
+		dm := recycle.F64.Get(n)
+		c.dm, c.spot = dm, spots[mi]
+		pool.ForTiles("hologram_delta", n, holoTile, c.deltaFn)
+		c.delta = append(c.delta, dm)
 	}
-	weights := make([]float64, m)
+	weights := recycle.F64.Get(m)
 	for i := range weights {
 		w := spots[i].Intensity
 		if w <= 0 {
@@ -142,15 +194,16 @@ func GeneratePool(pool *parallel.Pool, p Params, spots []Spot) Result {
 		weights[i] = w
 	}
 	// initial phase: superposition with zero spot phases
-	theta := make([]float64, m)
-	amp := make([]float64, m)
+	theta := recycle.F64.Get(m)
+	amp := recycle.F64.Get(m)
+	c.theta, c.weights = theta, weights
 	for it := 0; it < p.Iterations; it++ {
 		// Task 1: hologram-to-depth. V_m = (1/N) Σ_j exp(i(φ_j − Δ_mj)).
 		for mi := 0; mi < m; mi++ {
-			t := spotField(pool, "hologram_spot", res.Phase, delta[mi])
+			re, im := c.spotField(pool, "hologram_spot", c.delta[mi], n)
 			res.Stats.PixelSpotOps += n
 			// Task 2: sum (the reduction epilogue)
-			v := complex(t.re/float64(n), t.im/float64(n))
+			v := complex(re/float64(n), im/float64(n))
 			amp[mi] = cmplx.Abs(v)
 			theta[mi] = cmplx.Phase(v)
 		}
@@ -168,17 +221,7 @@ func GeneratePool(pool *parallel.Pool, p Params, spots []Spot) Result {
 		// Task 3: depth-to-hologram. φ_j = arg Σ_m w_m exp(i(Δ_mj + θ_m)).
 		// Each pixel is independent (disjoint writes), so this tiles
 		// trivially; the inner spot sum stays sequential per pixel.
-		pool.ForTiles("hologram_phase", n, holoTile, func(lo, hi int) {
-			for j := lo; j < hi; j++ {
-				var re, im float64
-				for mi := 0; mi < m; mi++ {
-					s, c := math.Sincos(delta[mi][j] + theta[mi])
-					re += weights[mi] * c
-					im += weights[mi] * s
-				}
-				res.Phase[j] = math.Atan2(im, re)
-			}
-		})
+		pool.ForTiles("hologram_phase", n, holoTile, c.phaseFn)
 		res.Stats.PixelSpotOps += n * m
 		res.Stats.Iterations++
 	}
@@ -186,9 +229,9 @@ func GeneratePool(pool *parallel.Pool, p Params, spots []Spot) Result {
 	minA, maxA := math.Inf(1), 0.0
 	eff := 0.0
 	for mi := 0; mi < m; mi++ {
-		t := spotField(pool, "hologram_spot", res.Phase, delta[mi])
+		re, im := c.spotField(pool, "hologram_spot", c.delta[mi], n)
 		res.Stats.PixelSpotOps += n
-		a := math.Hypot(t.re, t.im) / float64(n)
+		a := math.Hypot(re, im) / float64(n)
 		res.SpotAmplitude[mi] = a
 		if a < minA {
 			minA = a
@@ -202,6 +245,17 @@ func GeneratePool(pool *parallel.Pool, p Params, spots []Spot) Result {
 		res.Uniformity = minA / maxA
 	}
 	res.Efficiency = eff
+	for mi := range c.delta {
+		recycle.F64.Put(c.delta[mi])
+		c.delta[mi] = nil
+	}
+	c.delta = c.delta[:0]
+	recycle.F64.Put(weights)
+	recycle.F64.Put(theta)
+	recycle.F64.Put(amp)
+	c.dm, c.phase, c.theta, c.weights = nil, nil, nil, nil
+	c.p, c.spot, c.m = Params{}, Spot{}, 0
+	gswCtxPool.Put(c)
 	return res
 }
 

@@ -2,8 +2,10 @@ package imgproc
 
 import (
 	"math"
+	"sync"
 
 	"illixr/internal/parallel"
+	"illixr/internal/recycle"
 )
 
 // filterTileRows is the fixed scanline-tile height for parallel filters.
@@ -12,9 +14,32 @@ import (
 // identical to serial — see DESIGN.md §8.
 const filterTileRows = 16
 
-// GaussianKernel returns a normalized 1-D Gaussian kernel with the given
-// standard deviation, with radius ceil(3σ).
-func GaussianKernel(sigma float64) []float64 {
+// gaussianKernels caches normalized kernel weights by sigma. The cached
+// slices are shared and read-only; GaussianKernel hands out copies, the
+// blur paths use them in place.
+var (
+	gaussianKernelMu sync.RWMutex
+	gaussianKernels  = map[float64][]float64{}
+)
+
+func gaussianKernelCached(sigma float64) []float64 {
+	gaussianKernelMu.RLock()
+	k := gaussianKernels[sigma]
+	gaussianKernelMu.RUnlock()
+	if k != nil {
+		return k
+	}
+	gaussianKernelMu.Lock()
+	defer gaussianKernelMu.Unlock()
+	if k = gaussianKernels[sigma]; k != nil {
+		return k
+	}
+	k = computeGaussianKernel(sigma)
+	gaussianKernels[sigma] = k
+	return k
+}
+
+func computeGaussianKernel(sigma float64) []float64 {
 	if sigma <= 0 {
 		return []float64{1}
 	}
@@ -32,6 +57,55 @@ func GaussianKernel(sigma float64) []float64 {
 	return k
 }
 
+// GaussianKernel returns a normalized 1-D Gaussian kernel with the given
+// standard deviation, with radius ceil(3σ). The weights come from the
+// sigma-keyed cache; the returned slice is the caller's to mutate.
+func GaussianKernel(sigma float64) []float64 {
+	k := gaussianKernelCached(sigma)
+	out := make([]float64, len(k))
+	copy(out, k)
+	return out
+}
+
+// gaussCtx carries one blur invocation's state so the tile closures can be
+// built once per context and reused: a closure literal at the ForTiles
+// call site would heap-allocate on every blur (DESIGN.md §10).
+type gaussCtx struct {
+	src, tmp, dst *Gray
+	k             []float64
+	radius        int
+	hFn, vFn      func(lo, hi int)
+}
+
+var gaussCtxPool = sync.Pool{New: func() any {
+	c := &gaussCtx{}
+	c.hFn = func(lo, hi int) {
+		src, tmp, k, radius := c.src, c.tmp, c.k, c.radius
+		for y := lo; y < hi; y++ {
+			for x := 0; x < src.W; x++ {
+				s := 0.0
+				for i, kv := range k {
+					s += kv * float64(src.At(x+i-radius, y))
+				}
+				tmp.Pix[y*src.W+x] = float32(s)
+			}
+		}
+	}
+	c.vFn = func(lo, hi int) {
+		tmp, dst, k, radius := c.tmp, c.dst, c.k, c.radius
+		for y := lo; y < hi; y++ {
+			for x := 0; x < tmp.W; x++ {
+				s := 0.0
+				for i, kv := range k {
+					s += kv * float64(tmp.At(x, y+i-radius))
+				}
+				dst.Pix[y*tmp.W+x] = float32(s)
+			}
+		}
+	}
+	return c
+}}
+
 // GaussianBlur applies a separable Gaussian blur and returns a new image.
 func GaussianBlur(g *Gray, sigma float64) *Gray {
 	return GaussianBlurPool(nil, g, sigma)
@@ -39,36 +113,20 @@ func GaussianBlur(g *Gray, sigma float64) *Gray {
 
 // GaussianBlurPool is GaussianBlur with the convolution scanlines tiled
 // over a worker pool (nil pool = serial; output is bitwise identical for
-// every worker count).
+// every worker count). The returned image is pooled — the caller owns it
+// and may PutGray it when done.
 func GaussianBlurPool(p *parallel.Pool, g *Gray, sigma float64) *Gray {
-	k := GaussianKernel(sigma)
-	radius := len(k) / 2
-	tmp := NewGray(g.W, g.H)
-	out := NewGray(g.W, g.H)
-	// horizontal pass
-	p.ForTiles("gaussian_h", g.H, filterTileRows, func(lo, hi int) {
-		for y := lo; y < hi; y++ {
-			for x := 0; x < g.W; x++ {
-				s := 0.0
-				for i, kv := range k {
-					s += kv * float64(g.At(x+i-radius, y))
-				}
-				tmp.Pix[y*g.W+x] = float32(s)
-			}
-		}
-	})
-	// vertical pass
-	p.ForTiles("gaussian_v", g.H, filterTileRows, func(lo, hi int) {
-		for y := lo; y < hi; y++ {
-			for x := 0; x < g.W; x++ {
-				s := 0.0
-				for i, kv := range k {
-					s += kv * float64(tmp.At(x, y+i-radius))
-				}
-				out.Pix[y*g.W+x] = float32(s)
-			}
-		}
-	})
+	k := gaussianKernelCached(sigma)
+	tmp := GetGray(g.W, g.H)
+	out := GetGray(g.W, g.H)
+	c := gaussCtxPool.Get().(*gaussCtx)
+	c.src, c.tmp, c.dst, c.k, c.radius = g, tmp, out, k, len(k)/2
+	// horizontal then vertical pass
+	p.ForTiles("gaussian_h", g.H, filterTileRows, c.hFn)
+	p.ForTiles("gaussian_v", g.H, filterTileRows, c.vFn)
+	c.src, c.tmp, c.dst, c.k = nil, nil, nil, nil
+	gaussCtxPool.Put(c)
+	PutGray(tmp)
 	return out
 }
 
@@ -78,8 +136,8 @@ func BoxBlur(g *Gray, r int) *Gray {
 	if r <= 0 {
 		return g.Clone()
 	}
-	tmp := NewGray(g.W, g.H)
-	out := NewGray(g.W, g.H)
+	tmp := GetGray(g.W, g.H)
+	out := GetGray(g.W, g.H)
 	inv := float32(1.0 / float64(2*r+1))
 	for y := 0; y < g.H; y++ {
 		for x := 0; x < g.W; x++ {
@@ -99,18 +157,20 @@ func BoxBlur(g *Gray, r int) *Gray {
 			out.Pix[y*g.W+x] = s * inv
 		}
 	}
+	PutGray(tmp)
 	return out
 }
 
-// Sobel computes image gradients with the 3×3 Sobel operator, returning
-// the horizontal (gx) and vertical (gy) derivative images.
-func Sobel(g *Gray) (gx, gy *Gray) { return SobelPool(nil, g) }
+// sobelCtx carries one Sobel invocation for the persistent tile closure.
+type sobelCtx struct {
+	src, gx, gy *Gray
+	fn          func(lo, hi int)
+}
 
-// SobelPool is Sobel with scanlines tiled over a worker pool.
-func SobelPool(p *parallel.Pool, g *Gray) (gx, gy *Gray) {
-	gx = NewGray(g.W, g.H)
-	gy = NewGray(g.W, g.H)
-	p.ForTiles("sobel", g.H, filterTileRows, func(lo, hi int) {
+var sobelCtxPool = sync.Pool{New: func() any {
+	c := &sobelCtx{}
+	c.fn = func(lo, hi int) {
+		g, gx, gy := c.src, c.gx, c.gy
 		for y := lo; y < hi; y++ {
 			for x := 0; x < g.W; x++ {
 				tl := g.At(x-1, y-1)
@@ -125,7 +185,24 @@ func SobelPool(p *parallel.Pool, g *Gray) (gx, gy *Gray) {
 				gy.Pix[y*g.W+x] = (bl + 2*b + br - tl - 2*t - tr) / 8
 			}
 		}
-	})
+	}
+	return c
+}}
+
+// Sobel computes image gradients with the 3×3 Sobel operator, returning
+// the horizontal (gx) and vertical (gy) derivative images.
+func Sobel(g *Gray) (gx, gy *Gray) { return SobelPool(nil, g) }
+
+// SobelPool is Sobel with scanlines tiled over a worker pool. Both
+// returned images are pooled and owned by the caller.
+func SobelPool(p *parallel.Pool, g *Gray) (gx, gy *Gray) {
+	gx = GetGray(g.W, g.H)
+	gy = GetGray(g.W, g.H)
+	c := sobelCtxPool.Get().(*sobelCtx)
+	c.src, c.gx, c.gy = g, gx, gy
+	p.ForTiles("sobel", g.H, filterTileRows, c.fn)
+	c.src, c.gx, c.gy = nil, nil, nil
+	sobelCtxPool.Put(c)
 	return gx, gy
 }
 
@@ -137,10 +214,10 @@ func Bilateral(g *Gray, sigmaSpace, sigmaRange float64) *Gray {
 	if radius < 1 {
 		radius = 1
 	}
-	out := NewGray(g.W, g.H)
+	out := GetGray(g.W, g.H)
 	// precompute spatial weights
 	size := 2*radius + 1
-	spatial := make([]float64, size*size)
+	spatial := recycle.F64.Get(size * size)
 	for dy := -radius; dy <= radius; dy++ {
 		for dx := -radius; dx <= radius; dx++ {
 			d2 := float64(dx*dx + dy*dy)
@@ -164,13 +241,36 @@ func Bilateral(g *Gray, sigmaSpace, sigmaRange float64) *Gray {
 			out.Pix[y*g.W+x] = float32(num / den)
 		}
 	}
+	recycle.F64.Put(spatial)
 	return out
 }
+
+// downCtx carries one Downsample2 invocation for the persistent closure.
+type downCtx struct {
+	src, dst *Gray
+	fn       func(lo, hi int)
+}
+
+var downCtxPool = sync.Pool{New: func() any {
+	c := &downCtx{}
+	c.fn = func(lo, hi int) {
+		g, out := c.src, c.dst
+		w2 := out.W
+		for y := lo; y < hi; y++ {
+			for x := 0; x < w2; x++ {
+				s := g.At(2*x, 2*y) + g.At(2*x+1, 2*y) + g.At(2*x, 2*y+1) + g.At(2*x+1, 2*y+1)
+				out.Pix[y*w2+x] = s / 4
+			}
+		}
+	}
+	return c
+}}
 
 // Downsample2 halves the image size by averaging 2×2 blocks.
 func Downsample2(g *Gray) *Gray { return Downsample2Pool(nil, g) }
 
 // Downsample2Pool is Downsample2 with scanlines tiled over a worker pool.
+// The returned image is pooled and owned by the caller.
 func Downsample2Pool(p *parallel.Pool, g *Gray) *Gray {
 	w2 := g.W / 2
 	h2 := g.H / 2
@@ -180,15 +280,12 @@ func Downsample2Pool(p *parallel.Pool, g *Gray) *Gray {
 	if h2 < 1 {
 		h2 = 1
 	}
-	out := NewGray(w2, h2)
-	p.ForTiles("downsample2", h2, filterTileRows, func(lo, hi int) {
-		for y := lo; y < hi; y++ {
-			for x := 0; x < w2; x++ {
-				s := g.At(2*x, 2*y) + g.At(2*x+1, 2*y) + g.At(2*x, 2*y+1) + g.At(2*x+1, 2*y+1)
-				out.Pix[y*w2+x] = s / 4
-			}
-		}
-	})
+	out := GetGray(w2, h2)
+	c := downCtxPool.Get().(*downCtx)
+	c.src, c.dst = g, out
+	p.ForTiles("downsample2", h2, filterTileRows, c.fn)
+	c.src, c.dst = nil, nil
+	downCtxPool.Put(c)
 	return out
 }
 
@@ -204,12 +301,14 @@ func BuildPyramid(g *Gray, levels int) *Pyramid {
 }
 
 // BuildPyramidPool is BuildPyramid with each level's blur and downsample
-// tiled over a worker pool.
+// tiled over a worker pool. Levels[0] aliases g (it is not copied); the
+// derived levels are pooled. Recycle the whole structure with
+// ReleasePyramid when the pyramid is no longer needed.
 func BuildPyramidPool(pool *parallel.Pool, g *Gray, levels int) *Pyramid {
 	if levels < 1 {
 		levels = 1
 	}
-	p := &Pyramid{Levels: make([]*Gray, 0, levels)}
+	p := getPyramidHeader()
 	cur := g
 	p.Levels = append(p.Levels, cur)
 	for i := 1; i < levels; i++ {
@@ -218,6 +317,7 @@ func BuildPyramidPool(pool *parallel.Pool, g *Gray, levels int) *Pyramid {
 		}
 		blurred := GaussianBlurPool(pool, cur, 1.0)
 		cur = Downsample2Pool(pool, blurred)
+		PutGray(blurred)
 		p.Levels = append(p.Levels, cur)
 	}
 	return p

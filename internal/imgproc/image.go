@@ -157,14 +157,23 @@ func (im *RGB) SetChannel(c int, g *Gray) {
 	}
 }
 
-// Luminance converts to grayscale with Rec. 709 weights.
+// Luminance converts to grayscale with Rec. 709 weights. The returned
+// image is pooled (caller may PutGray it when done).
 func (im *RGB) Luminance() *Gray {
-	out := NewGray(im.W, im.H)
+	out := GetGray(im.W, im.H)
+	im.LuminanceInto(out)
+	return out
+}
+
+// LuminanceInto writes the Rec. 709 luminance into dst (same size).
+func (im *RGB) LuminanceInto(dst *Gray) {
+	if dst.W != im.W || dst.H != im.H {
+		panic("imgproc: LuminanceInto size mismatch")
+	}
 	for i := 0; i < im.W*im.H; i++ {
 		r, g, b := im.Pix[3*i], im.Pix[3*i+1], im.Pix[3*i+2]
-		out.Pix[i] = 0.2126*r + 0.7152*g + 0.0722*b
+		dst.Pix[i] = 0.2126*r + 0.7152*g + 0.0722*b
 	}
-	return out
 }
 
 // BilinearRGB samples the image at real-valued coordinates.

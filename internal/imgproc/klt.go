@@ -1,6 +1,10 @@
 package imgproc
 
-import "math"
+import (
+	"math"
+
+	"illixr/internal/recycle"
+)
 
 // KLTParams configures the pyramidal Lucas-Kanade tracker.
 type KLTParams struct {
@@ -90,10 +94,23 @@ func lkRefine(src, dst *Gray, sx, sy, tx, ty float64, p KLTParams) (outX, outY, 
 		return 0, 0, 0, false
 	}
 	n := (2*r + 1) * (2*r + 1)
+	// The window scratch recycles through the shared pools: every element
+	// is overwritten before use, so pooling cannot change a track.
+	tvals := recycle.F32.Get(n)
+	gxs := recycle.F64.Get(n)
+	gys := recycle.F64.Get(n)
+	outX, outY, residual, ok = lkRefineBuf(src, dst, sx, sy, tx, ty, p, tvals, gxs, gys)
+	recycle.F32.Put(tvals)
+	recycle.F64.Put(gxs)
+	recycle.F64.Put(gys)
+	return outX, outY, residual, ok
+}
+
+// lkRefineBuf is lkRefine's body with caller-provided window scratch.
+func lkRefineBuf(src, dst *Gray, sx, sy, tx, ty float64, p KLTParams, tvals []float32, gxs, gys []float64) (outX, outY, residual float64, ok bool) {
+	r := p.WindowRadius
+	n := len(tvals)
 	// Precompute template values and gradients at the source location.
-	tvals := make([]float32, n)
-	gxs := make([]float64, n)
-	gys := make([]float64, n)
 	var a11, a12, a22 float64
 	idx := 0
 	for dy := -r; dy <= r; dy++ {

@@ -1,0 +1,101 @@
+package imgproc
+
+import (
+	"fmt"
+	"sync"
+
+	"illixr/internal/recycle"
+)
+
+// Pooled image lifecycles (DESIGN.md §10): GetGray/GetRGB return zeroed
+// images indistinguishable from NewGray/NewRGB; whoever receives a pooled
+// image as a return value owns it and is the only party allowed to Put it
+// back. An image must not be used (or aliased) after Put. Functions in
+// this package that return images always return pooled ones, so their
+// callers may either Put them when done or let the GC take them — a
+// dropped pooled image is a future miss, never a correctness problem.
+
+var (
+	grayHeaders    sync.Pool // *Gray with nil Pix
+	rgbHeaders     sync.Pool // *RGB with nil Pix
+	pyramidHeaders sync.Pool // *Pyramid with empty Levels
+)
+
+// GetGray returns a zeroed W×H grayscale image, recycling both the pixel
+// buffer and the header when possible.
+func GetGray(w, h int) *Gray {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("imgproc: invalid image size %dx%d", w, h))
+	}
+	g, _ := grayHeaders.Get().(*Gray)
+	if g == nil {
+		g = &Gray{}
+	}
+	g.W, g.H = w, h
+	g.Pix = recycle.F32.Get(w * h)
+	return g
+}
+
+// PutGray recycles an image obtained from GetGray (or any *Gray the caller
+// owns outright). g and its Pix must not be used afterwards.
+func PutGray(g *Gray) {
+	if g == nil {
+		return
+	}
+	recycle.F32.Put(g.Pix)
+	g.Pix = nil
+	g.W, g.H = 0, 0
+	grayHeaders.Put(g)
+}
+
+// GetRGB returns a zeroed W×H RGB image from the pools.
+func GetRGB(w, h int) *RGB {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("imgproc: invalid image size %dx%d", w, h))
+	}
+	im, _ := rgbHeaders.Get().(*RGB)
+	if im == nil {
+		im = &RGB{}
+	}
+	im.W, im.H = w, h
+	im.Pix = recycle.F32.Get(3 * w * h)
+	return im
+}
+
+// PutRGB recycles an image obtained from GetRGB. im and its Pix must not
+// be used afterwards.
+func PutRGB(im *RGB) {
+	if im == nil {
+		return
+	}
+	recycle.F32.Put(im.Pix)
+	im.Pix = nil
+	im.W, im.H = 0, 0
+	rgbHeaders.Put(im)
+}
+
+func getPyramidHeader() *Pyramid {
+	p, _ := pyramidHeaders.Get().(*Pyramid)
+	if p == nil {
+		p = &Pyramid{}
+	}
+	return p
+}
+
+// ReleasePyramid recycles the levels of a pyramid built by BuildPyramid /
+// BuildPyramidPool. Levels[0] aliases the caller's source image (it was
+// never copied), so only the derived levels are recycled — the source
+// stays owned by whoever built it. The pyramid must not be used afterwards.
+func ReleasePyramid(p *Pyramid) {
+	if p == nil {
+		return
+	}
+	for i := 1; i < len(p.Levels); i++ {
+		PutGray(p.Levels[i])
+	}
+	for i := range p.Levels {
+		p.Levels[i] = nil
+	}
+	p.Levels = p.Levels[:0]
+	pyramidHeaders.Put(p)
+}

@@ -87,19 +87,24 @@ func (m *Mat) MulMat(n *Mat) *Mat {
 
 // MulVecN returns m * v for a length-Cols vector.
 func (m *Mat) MulVecN(v []float64) []float64 {
-	if len(v) != m.Cols {
-		panic(fmt.Sprintf("mathx: mulvec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
-	}
 	out := make([]float64, m.Rows)
+	m.MulVecNInto(out, v)
+	return out
+}
+
+// MulVecNInto writes m * v into dst (length Rows), allocating nothing.
+func (m *Mat) MulVecNInto(dst, v []float64) {
+	if len(v) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("mathx: mulvec shape mismatch %dx%d * %d -> %d", m.Rows, m.Cols, len(v), len(dst)))
+	}
 	for r := 0; r < m.Rows; r++ {
 		row := m.Data[r*m.Cols : (r+1)*m.Cols]
 		s := 0.0
 		for c, rv := range row {
 			s += rv * v[c]
 		}
-		out[r] = s
+		dst[r] = s
 	}
-	return out
 }
 
 // AddInPlace adds n into m element-wise.

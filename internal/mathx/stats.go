@@ -53,7 +53,11 @@ func Percentile(xs []float64, p float64) float64 {
 		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	// sorted[lo] + frac*(hi-lo) rather than a two-sided weighted sum:
+	// (1-frac)+frac can differ from 1 by an ulp, which pushes the result
+	// outside [sorted[lo], sorted[hi]] when the two order statistics are
+	// equal (e.g. a series of identical subnormals).
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
 }
 
 // Min returns the smallest value in xs (0 for empty).

@@ -1,0 +1,47 @@
+package session
+
+import (
+	"net"
+	"testing"
+
+	"illixr/internal/netxr/wire"
+	"illixr/internal/testutil"
+)
+
+type allocNop struct{}
+
+func (allocNop) SessionStart(*Session) error             { return nil }
+func (allocNop) SessionFrame(*Session, wire.Frame) error { return nil }
+func (allocNop) SessionEnd(*Session, error)              {}
+
+// TestZeroAllocLatestWinsSend pins the LatestWins slot path at zero
+// steady-state allocations: the client never reads after the handshake,
+// so the writer blocks on the synchronous pipe and every Send displaces
+// the previous pose in its slot (payload copied into a recycled buffer,
+// displaced buffer returned to the pool).
+func TestZeroAllocLatestWinsSend(t *testing.T) {
+	srv := NewServer(Config{}, allocNop{})
+	defer srv.Shutdown(t.Context())
+	client, server := net.Pipe()
+	defer client.Close()
+	sess := srv.HandleConn(server)
+	if sess == nil {
+		t.Fatal("conn refused")
+	}
+	w := wire.NewWriter(client)
+	r := wire.NewReader(client)
+	hello := wire.AppendHello(nil, wire.Hello{Proto: wire.Version, App: "alloc"})
+	if err := w.WriteFrame(wire.Frame{Type: wire.TypeHello, Payload: hello}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadFrame(); err != nil { // welcome
+		t.Fatal(err)
+	}
+
+	var payload []byte
+	p := wire.Pose{T: 1}
+	testutil.MustZeroAllocs(t, "Session.Send LatestWins", func() {
+		payload = wire.AppendPose(payload[:0], p)
+		_ = sess.Send(wire.Frame{Type: wire.TypePose, Payload: payload}, LatestWins)
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"illixr/internal/netxr/wire"
+	"illixr/internal/recycle"
 	"illixr/internal/telemetry"
 )
 
@@ -132,20 +133,30 @@ func (s *Session) QueueDepth() int {
 
 // Send enqueues one outbound frame under the given class.
 func (s *Session) Send(f wire.Frame, class Class) error {
-	// the payload escapes to the writer goroutine: copy it so callers may
-	// reuse their encode buffers
-	if len(f.Payload) > 0 {
-		f.Payload = append([]byte(nil), f.Payload...)
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed || s.drainReq {
 		return ErrClosed
 	}
+	if class != LatestWins && len(s.fifo) >= s.srv.cfg.QueueLen {
+		s.dropped.Add(1)
+		s.srv.m.sendDropped.Inc()
+		return ErrBackpressure
+	}
+	// The payload escapes to the writer goroutine: copy it into a recycled
+	// buffer so callers may reuse their encode buffers. The writer returns
+	// the buffer to the pool after the wire write (the rejection checks
+	// above run first so a refused frame never touches the pool).
+	if len(f.Payload) > 0 {
+		buf := recycle.Bytes.Get(len(f.Payload))
+		copy(buf, f.Payload)
+		f.Payload = buf
+	}
 	switch class {
 	case LatestWins:
-		if _, occupied := s.slots[f.Type]; occupied {
-			s.slots[f.Type] = f // displace the stale frame in place
+		if old, occupied := s.slots[f.Type]; occupied {
+			recycle.Bytes.Put(old.Payload) // displaced before reaching the wire
+			s.slots[f.Type] = f
 			s.dropped.Add(1)
 			s.srv.m.sendDropped.Inc()
 		} else {
@@ -153,11 +164,6 @@ func (s *Session) Send(f wire.Frame, class Class) error {
 			s.slotSeq = append(s.slotSeq, f.Type)
 		}
 	default:
-		if len(s.fifo) >= s.srv.cfg.QueueLen {
-			s.dropped.Add(1)
-			s.srv.m.sendDropped.Inc()
-			return ErrBackpressure
-		}
 		s.fifo = append(s.fifo, f)
 	}
 	s.srv.m.queueDepth.Set(float64(len(s.fifo) + len(s.slotSeq)))
@@ -178,6 +184,8 @@ func (s *Session) Drain(reason string) {
 }
 
 // Close terminates the session immediately, abandoning queued frames.
+// Abandoned payloads go back to the buffer pool: the writer can no longer
+// take them once closed is set.
 func (s *Session) Close(cause error) {
 	s.mu.Lock()
 	if s.closed {
@@ -186,6 +194,16 @@ func (s *Session) Close(cause error) {
 	}
 	s.closed = true
 	s.closeErr = cause
+	for i := range s.fifo {
+		recycle.Bytes.Put(s.fifo[i].Payload)
+		s.fifo[i] = wire.Frame{}
+	}
+	s.fifo = s.fifo[:0]
+	for t, f := range s.slots {
+		recycle.Bytes.Put(f.Payload)
+		delete(s.slots, t)
+	}
+	s.slotSeq = s.slotSeq[:0]
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	_ = s.conn.Close()
@@ -260,7 +278,9 @@ func (s *Session) writeLoop(done chan<- struct{}) {
 			_ = s.conn.SetWriteDeadline(time.Now().Add(timeout))
 		}
 		before := w.Bytes()
-		if err := w.WriteFrame(f); err != nil {
+		err := w.WriteFrame(f)
+		recycle.Bytes.Put(f.Payload) // wire.Writer copied it into its own buffer
+		if err != nil {
 			s.Close(fmt.Errorf("session %d: write: %w", s.id, err))
 			return
 		}

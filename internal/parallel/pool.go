@@ -12,6 +12,16 @@
 // tiles write disjoint output regions (per-scanline warps, convolutions)
 // are trivially deterministic; kernels that reduce (SSIM/FLIP means,
 // hologram spot sums) are deterministic because of the ordered fold.
+//
+// Allocation contract (DESIGN.md §10): dispatching a kernel allocates
+// nothing in steady state. The pool keeps its worker goroutines alive
+// across calls (started lazily on the first multi-tile call) and hands
+// them work through pre-allocated channel tokens; per-call state lives in
+// pool fields rather than captured closures, and the ordered-sum partial
+// buffers are reused between calls. Callers that want zero-alloc dispatch
+// must pass persistent func values (created once, parameters passed
+// through struct fields), since a closure literal at the call site is
+// itself a per-call heap allocation.
 package parallel
 
 import (
@@ -25,6 +35,8 @@ import (
 
 // Pool schedules tiled kernels over a fixed number of workers. The zero
 // value and the nil pool are both valid and run every kernel serially.
+// A Pool serializes its own kernel calls (one kernel runs at a time);
+// distinct Pools are independent.
 type Pool struct {
 	workers int
 
@@ -43,6 +55,31 @@ type Pool struct {
 	collectTiles atomic.Bool
 	tileMu       sync.Mutex
 	tileCalls    [][]float64
+
+	// persistent helper goroutines: workers-1 helpers park on start and
+	// hand back completion through done; the calling goroutine computes
+	// tiles too. Channel tokens carry no data, so a dispatch allocates
+	// nothing once the helpers are running.
+	startOnce sync.Once
+	start     chan struct{}
+	done      chan struct{}
+
+	// per-call state, valid between the start tokens and the last done
+	// token of one dispatch; guarded by runMu.
+	runMu      sync.Mutex
+	curFn      func(lo, hi int)
+	curFnIdx   func(ti, lo, hi int)
+	curSum     func(lo, hi int) float64
+	curSum2    func(lo, hi int) (re, im float64)
+	partials   []float64 // reused ordered-sum partial buffer
+	curN       int
+	curTile    int
+	curTiles   int
+	curCollect bool
+	curInstr   bool
+	curTileMs  []float64
+	next       atomic.Int64
+	busyNs     atomic.Int64
 }
 
 // New returns a pool with the given worker count. workers <= 0 selects
@@ -125,13 +162,166 @@ func Tiles(n, tile int) int {
 	return (n + tile - 1) / tile
 }
 
+// ensureWorkers lazily spawns the workers-1 persistent helper goroutines.
+func (p *Pool) ensureWorkers() {
+	p.startOnce.Do(func() {
+		helpers := p.workers - 1
+		p.start = make(chan struct{}, helpers)
+		p.done = make(chan struct{}, helpers)
+		for i := 0; i < helpers; i++ {
+			go p.helperLoop()
+		}
+	})
+}
+
+func (p *Pool) helperLoop() {
+	for range p.start {
+		var t0 time.Time
+		if p.curInstr {
+			t0 = time.Now()
+		}
+		p.runTiles()
+		if p.curInstr {
+			p.busyNs.Add(int64(time.Since(t0)))
+		}
+		p.done <- struct{}{}
+	}
+}
+
+// runTiles pulls tiles off the shared cursor until the call is drained.
+func (p *Pool) runTiles() {
+	for {
+		ti := int(p.next.Add(1)) - 1
+		if ti >= p.curTiles {
+			return
+		}
+		p.runTile(ti)
+	}
+}
+
+func (p *Pool) runTile(ti int) {
+	lo := ti * p.curTile
+	hi := lo + p.curTile
+	if hi > p.curN {
+		hi = p.curN
+	}
+	var t0 time.Time
+	if p.curCollect {
+		t0 = time.Now()
+	}
+	switch {
+	case p.curFn != nil:
+		p.curFn(lo, hi)
+	case p.curFnIdx != nil:
+		p.curFnIdx(ti, lo, hi)
+	case p.curSum != nil:
+		p.partials[ti] = p.curSum(lo, hi)
+	case p.curSum2 != nil:
+		re, im := p.curSum2(lo, hi)
+		p.partials[2*ti] = re
+		p.partials[2*ti+1] = im
+	}
+	if p.curCollect {
+		p.curTileMs[ti] = float64(time.Since(t0)) / 1e6
+	}
+}
+
+// dispatch runs the kernel configured in the cur* fields. The caller must
+// hold runMu and have set exactly one of curFn/curFnIdx/curSum/curSum2.
+func (p *Pool) dispatch(kernel string, n, tile, tiles int) {
+	p.curN, p.curTile, p.curTiles = n, tile, tiles
+	p.curCollect = p.collectTiles.Load()
+	if p.curCollect {
+		p.curTileMs = make([]float64, tiles)
+	}
+	instr := p.reg != nil
+	p.curInstr = instr
+	var startT time.Time
+	if instr {
+		startT = time.Now()
+	}
+
+	helpers := p.workers
+	if helpers > tiles {
+		helpers = tiles
+	}
+	helpers-- // the calling goroutine participates
+	p.next.Store(0)
+	if helpers > 0 {
+		p.ensureWorkers()
+		p.busyNs.Store(0)
+		for i := 0; i < helpers; i++ {
+			p.start <- struct{}{}
+		}
+	}
+	var t0 time.Time
+	if instr {
+		t0 = time.Now()
+	}
+	p.runTiles()
+	if instr {
+		p.busyNs.Add(int64(time.Since(t0)))
+	}
+	for i := 0; i < helpers; i++ {
+		<-p.done
+	}
+
+	if instr {
+		if helpers > 0 {
+			// aggregate idle: worker-seconds the pool held but did not
+			// compute in (scheduling gaps + tail imbalance)
+			elapsed := time.Since(startT)
+			idle := float64(int64(helpers+1)*int64(elapsed)-p.busyNs.Load()) / 1e6
+			if idle > 0 {
+				p.idleH.Observe(idle)
+			}
+		}
+		p.callsC.Inc()
+		p.tilesC.Add(tiles)
+		p.kernelHist(kernel).Observe(float64(time.Since(startT)) / 1e6)
+	}
+	if p.curCollect {
+		p.tileMu.Lock()
+		p.tileCalls = append(p.tileCalls, p.curTileMs)
+		p.tileMu.Unlock()
+		p.curTileMs = nil
+	}
+}
+
+// serialTiles runs the nil-pool path with no state at all.
+func serialTiles(n, tile, tiles int, fn func(lo, hi int)) {
+	for ti := 0; ti < tiles; ti++ {
+		lo := ti * tile
+		hi := lo + tile
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	}
+}
+
 // ForTiles splits [0, n) into fixed tiles of the given size and invokes
 // fn(lo, hi) for each tile, distributing tiles over the pool's workers.
 // Tile boundaries depend only on n and tile, so kernels whose tiles write
 // disjoint outputs are bitwise deterministic for any worker count. fn must
 // not write outside its [lo, hi) output range.
 func (p *Pool) ForTiles(kernel string, n, tile int, fn func(lo, hi int)) {
-	p.forTilesIndexed(kernel, n, tile, func(_, lo, hi int) { fn(lo, hi) })
+	tiles := Tiles(n, tile)
+	if tiles == 0 {
+		return
+	}
+	if tile <= 0 {
+		tile = n
+	}
+	if p == nil {
+		serialTiles(n, tile, tiles, fn)
+		return
+	}
+	p.runMu.Lock()
+	p.curFn = fn
+	p.dispatch(kernel, n, tile, tiles)
+	p.curFn = nil
+	p.runMu.Unlock()
 }
 
 // forTilesIndexed is ForTiles with the tile index exposed (the building
@@ -144,92 +334,135 @@ func (p *Pool) forTilesIndexed(kernel string, n, tile int, fn func(ti, lo, hi in
 	if tile <= 0 {
 		tile = n
 	}
-	collect := p != nil && p.collectTiles.Load()
-	var tileMs []float64
-	if collect {
-		tileMs = make([]float64, tiles)
-	}
-	runTile := func(ti int) {
-		lo := ti * tile
-		hi := lo + tile
-		if hi > n {
-			hi = n
-		}
-		if collect {
-			t0 := time.Now()
-			fn(ti, lo, hi)
-			tileMs[ti] = float64(time.Since(t0)) / 1e6
-			return
-		}
-		fn(ti, lo, hi)
-	}
-
-	workers := p.Workers()
-	if workers > tiles {
-		workers = tiles
-	}
-	instrumented := p != nil && p.reg != nil
-	var start time.Time
-	if instrumented {
-		start = time.Now()
-	}
-
-	if workers <= 1 {
+	if p == nil {
 		for ti := 0; ti < tiles; ti++ {
-			runTile(ti)
+			lo := ti * tile
+			hi := lo + tile
+			if hi > n {
+				hi = n
+			}
+			fn(ti, lo, hi)
 		}
-	} else {
-		var next atomic.Int64
-		var busyNs atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				var t0 time.Time
-				if instrumented {
-					t0 = time.Now()
-				}
-				for {
-					ti := int(next.Add(1)) - 1
-					if ti >= tiles {
-						break
-					}
-					runTile(ti)
-				}
-				if instrumented {
-					busyNs.Add(int64(time.Since(t0)))
-				}
-			}()
-		}
-		wg.Wait()
-		if instrumented {
-			// aggregate idle: worker-seconds the pool held but did not
-			// compute in (scheduling gaps + tail imbalance)
-			elapsed := time.Since(start)
-			idle := float64(int64(workers)*int64(elapsed)-busyNs.Load()) / 1e6
-			if idle > 0 {
-				p.idleH.Observe(idle)
+		return
+	}
+	p.runMu.Lock()
+	p.curFnIdx = fn
+	p.dispatch(kernel, n, tile, tiles)
+	p.curFnIdx = nil
+	p.runMu.Unlock()
+}
+
+// grabPartials returns the reused partial buffer sized to n (allocation
+// only when the high-water mark grows). Caller must hold runMu.
+func (p *Pool) grabPartials(n int) []float64 {
+	if cap(p.partials) < n {
+		p.partials = make([]float64, n)
+	}
+	p.partials = p.partials[:n]
+	return p.partials
+}
+
+// foldOrdered sums tile partials in ascending tile order — the same fold
+// the serial path performs, so the result is bitwise deterministic.
+func foldOrdered(partials []float64) float64 {
+	acc := partials[0]
+	for i := 1; i < len(partials); i++ {
+		acc += partials[i]
+	}
+	return acc
+}
+
+// SumTiles maps each tile of [0, n) to a float64 partial and folds the
+// partials in ascending tile order. It is the allocation-free ordered-sum
+// reduction used by the per-frame kernels: the partial buffer is pool-
+// owned and reused, so steady-state calls allocate nothing (provided fn is
+// a persistent func value).
+func (p *Pool) SumTiles(kernel string, n, tile int, fn func(lo, hi int) float64) float64 {
+	tiles := Tiles(n, tile)
+	if tiles == 0 {
+		return 0
+	}
+	if tile <= 0 {
+		tile = n
+	}
+	if p == nil {
+		var acc float64
+		for ti := 0; ti < tiles; ti++ {
+			lo := ti * tile
+			hi := lo + tile
+			if hi > n {
+				hi = n
+			}
+			v := fn(lo, hi)
+			if ti == 0 {
+				acc = v
+			} else {
+				acc += v
 			}
 		}
+		return acc
 	}
+	p.runMu.Lock()
+	p.grabPartials(tiles)
+	p.curSum = fn
+	p.dispatch(kernel, n, tile, tiles)
+	p.curSum = nil
+	acc := foldOrdered(p.partials)
+	p.runMu.Unlock()
+	return acc
+}
 
-	if instrumented {
-		p.callsC.Inc()
-		p.tilesC.Add(tiles)
-		p.kernelHist(kernel).Observe(float64(time.Since(start)) / 1e6)
+// SumTiles2 is SumTiles for paired sums (e.g. the real and imaginary parts
+// of a complex accumulation). Both components fold in ascending tile
+// order, independently, exactly as the serial loop would.
+func (p *Pool) SumTiles2(kernel string, n, tile int, fn func(lo, hi int) (a, b float64)) (a, b float64) {
+	tiles := Tiles(n, tile)
+	if tiles == 0 {
+		return 0, 0
 	}
-	if collect {
-		p.tileMu.Lock()
-		p.tileCalls = append(p.tileCalls, tileMs)
-		p.tileMu.Unlock()
+	if tile <= 0 {
+		tile = n
 	}
+	if p == nil {
+		var accA, accB float64
+		for ti := 0; ti < tiles; ti++ {
+			lo := ti * tile
+			hi := lo + tile
+			if hi > n {
+				hi = n
+			}
+			va, vb := fn(lo, hi)
+			if ti == 0 {
+				accA, accB = va, vb
+			} else {
+				accA += va
+				accB += vb
+			}
+		}
+		return accA, accB
+	}
+	p.runMu.Lock()
+	p.grabPartials(2 * tiles)
+	p.curSum2 = fn
+	p.dispatch(kernel, n, tile, tiles)
+	p.curSum2 = nil
+	accA := p.partials[0]
+	accB := p.partials[1]
+	for i := 1; i < tiles; i++ {
+		accA += p.partials[2*i]
+		accB += p.partials[2*i+1]
+	}
+	p.runMu.Unlock()
+	return accA, accB
 }
 
 // MapReduce maps each tile of [0, n) to a partial result and folds the
 // partials in ascending tile order: acc = reduce(reduce(t0, t1), t2)...
 // The fold order is fixed regardless of worker count, so floating-point
 // reductions are bitwise deterministic. Returns the zero T when n <= 0.
+//
+// MapReduce allocates a partial buffer per call; per-frame kernels use the
+// pool-owned SumTiles/SumTiles2 reductions instead.
 func MapReduce[T any](p *Pool, kernel string, n, tile int, mapFn func(lo, hi int) T, reduce func(acc, v T) T) T {
 	var zero T
 	tiles := Tiles(n, tile)

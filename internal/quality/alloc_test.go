@@ -1,0 +1,40 @@
+package quality
+
+import (
+	"testing"
+
+	"illixr/internal/imgproc"
+	"illixr/internal/testutil"
+)
+
+func synthAllocGray(w, h int, phase float32) *imgproc.Gray {
+	g := imgproc.NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = 0.5 + 0.4*float32(i%31)/31 + phase
+	}
+	return g
+}
+
+func synthAllocRGB(w, h int, scale float32) *imgproc.RGB {
+	im := imgproc.NewRGB(w, h)
+	for i := range im.Pix {
+		im.Pix[i] = scale * float32(i%53) / 53
+	}
+	return im
+}
+
+// TestZeroAllocSSIM pins the serial SSIM path (pooled mean/variance
+// planes, cached Gaussian kernel) at zero steady-state allocations.
+func TestZeroAllocSSIM(t *testing.T) {
+	a := synthAllocGray(128, 128, 0)
+	b := synthAllocGray(128, 128, 0.02)
+	testutil.MustZeroAllocs(t, "SSIMPool", func() { _ = SSIMPool(nil, a, b) })
+}
+
+// TestZeroAllocFLIP pins the serial FLIP path (ten pooled feature and
+// opponent-space planes per call) at zero steady-state allocations.
+func TestZeroAllocFLIP(t *testing.T) {
+	a := synthAllocRGB(96, 96, 1)
+	b := synthAllocRGB(96, 96, 0.97)
+	testutil.MustZeroAllocs(t, "OneMinusFLIPPool", func() { _ = OneMinusFLIPPool(nil, a, b) })
+}

@@ -1,0 +1,26 @@
+package reprojection
+
+import (
+	"testing"
+
+	"illixr/internal/imgproc"
+	"illixr/internal/mathx"
+	"illixr/internal/testutil"
+)
+
+// TestZeroAllocReproject pins the serial warp at zero steady-state
+// allocations: the output image comes from the pool and goes back each
+// frame, and the distortion meshes come from the params-keyed cache.
+func TestZeroAllocReproject(t *testing.T) {
+	r := New(DefaultParams())
+	src := imgproc.NewRGB(160, 90)
+	for i := range src.Pix {
+		src.Pix[i] = float32(i%97) / 97
+	}
+	renderPose := mathx.PoseIdentity()
+	freshPose := mathx.Pose{Rot: mathx.QuatFromAxisAngle(mathx.Vec3{Z: 1}, 0.02)}
+	testutil.MustZeroAllocs(t, "Reprojector.Reproject", func() {
+		out := r.Reproject(src, renderPose, freshPose)
+		imgproc.PutRGB(out)
+	})
+}

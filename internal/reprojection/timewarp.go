@@ -8,6 +8,7 @@ package reprojection
 
 import (
 	"math"
+	"sync"
 
 	"illixr/internal/imgproc"
 	"illixr/internal/mathx"
@@ -70,25 +71,84 @@ type Stats struct {
 type Reprojector struct {
 	P Params
 	// distortion mesh per channel: for output grid vertex (i, j), the
-	// tangent-space (x, y) direction to sample.
+	// tangent-space (x, y) direction to sample. Shared read-only with the
+	// params-keyed mesh cache.
 	meshR, meshG, meshB [][2]float64
 	meshW, meshH        int
 	Stats               Stats
 	pool                *parallel.Pool
+
+	// Persistent warp state: per-call arguments for the single warp kernel
+	// built once per Reprojector, so steady-state Reproject calls allocate
+	// nothing beyond the pooled output frame (DESIGN.md §10). Reproject is
+	// not safe for concurrent use on one Reprojector (it never was: it
+	// mutates Stats).
+	warpSrc     *imgproc.RGB
+	warpOut     *imgproc.RGB
+	warpDR      mathx.Mat3
+	warpDPos    mathx.Vec3
+	warpTanHalf float64
+	warpAspect  float64
+	warpFn      func(lo, hi int)
 }
 
-// New builds a reprojector and precomputes its distortion meshes.
+// meshKey identifies one cached distortion-mesh triple. Only the optical
+// parameters participate; Workers and the translational settings do not
+// affect the mesh.
+type meshKey struct {
+	fovY, k1, k2, chromaticScale float64
+	meshSize                     int
+}
+
+// meshSet is the per-channel distortion mesh triple for one optical
+// configuration. Meshes are immutable after construction, so every
+// Reprojector with the same optics shares one set.
+type meshSet struct {
+	r, g, b [][2]float64
+}
+
+var (
+	meshCacheMu sync.RWMutex
+	meshCache   = map[meshKey]*meshSet{}
+)
+
+func cachedMeshes(p Params) *meshSet {
+	key := meshKey{fovY: p.FovY, k1: p.K1, k2: p.K2, chromaticScale: p.ChromaticScale, meshSize: p.MeshSize}
+	meshCacheMu.RLock()
+	ms := meshCache[key]
+	meshCacheMu.RUnlock()
+	if ms != nil {
+		return ms
+	}
+	meshCacheMu.Lock()
+	defer meshCacheMu.Unlock()
+	if ms = meshCache[key]; ms != nil {
+		return ms
+	}
+	w := p.MeshSize + 1
+	ms = &meshSet{
+		r: buildMesh(p.FovY, w, w, p.K1*(1+p.ChromaticScale), p.K2),
+		g: buildMesh(p.FovY, w, w, p.K1, p.K2),
+		b: buildMesh(p.FovY, w, w, p.K1*(1-p.ChromaticScale), p.K2),
+	}
+	meshCache[key] = ms
+	return ms
+}
+
+// New builds a reprojector, fetching its distortion meshes from the
+// params-keyed cache (they are rebuilt only for a configuration not seen
+// before).
 func New(p Params) *Reprojector {
 	if p.MeshSize < 2 {
 		p.MeshSize = 2
 	}
 	r := &Reprojector{P: p, meshW: p.MeshSize + 1, meshH: p.MeshSize + 1}
-	r.meshR = r.buildMesh(p.K1*(1+p.ChromaticScale), p.K2)
-	r.meshG = r.buildMesh(p.K1, p.K2)
-	r.meshB = r.buildMesh(p.K1*(1-p.ChromaticScale), p.K2)
+	ms := cachedMeshes(p)
+	r.meshR, r.meshG, r.meshB = ms.r, ms.g, ms.b
 	if p.Workers > 1 {
 		r.pool = parallel.New(p.Workers)
 	}
+	r.warpFn = r.warpTile
 	return r
 }
 
@@ -102,14 +162,14 @@ const warpTileRows = 8
 // buildMesh computes, for each mesh vertex of the output (distorted
 // display) grid, the pre-distorted tangent-space coordinate to sample from
 // the rendered image: the inverse of the lens pincushion distortion.
-func (r *Reprojector) buildMesh(k1, k2 float64) [][2]float64 {
-	tanHalf := math.Tan(r.P.FovY / 2)
-	mesh := make([][2]float64, r.meshW*r.meshH)
-	for j := 0; j < r.meshH; j++ {
-		for i := 0; i < r.meshW; i++ {
+func buildMesh(fovY float64, meshW, meshH int, k1, k2 float64) [][2]float64 {
+	tanHalf := math.Tan(fovY / 2)
+	mesh := make([][2]float64, meshW*meshH)
+	for j := 0; j < meshH; j++ {
+		for i := 0; i < meshW; i++ {
 			// normalized device coords in [-1, 1]
-			nx := 2*float64(i)/float64(r.meshW-1) - 1
-			ny := 2*float64(j)/float64(r.meshH-1) - 1
+			nx := 2*float64(i)/float64(meshW-1) - 1
+			ny := 2*float64(j)/float64(meshH-1) - 1
 			// tangent space
 			tx := nx * tanHalf
 			ty := ny * tanHalf
@@ -117,7 +177,7 @@ func (r *Reprojector) buildMesh(k1, k2 float64) [][2]float64 {
 			// pincushion cancels: x' = x (1 + k1 r² + k2 r⁴)
 			r2 := tx*tx + ty*ty
 			d := 1 + k1*r2 + k2*r2*r2
-			mesh[j*r.meshW+i] = [2]float64{tx * d, ty * d}
+			mesh[j*meshW+i] = [2]float64{tx * d, ty * d}
 		}
 	}
 	return mesh
@@ -148,9 +208,10 @@ func meshLookup(mesh [][2]float64, w, h int, u, v float64) (x, y float64) {
 
 // Reproject warps the source frame (rendered at renderPose) to the fresh
 // pose and applies lens-distortion + chromatic-aberration correction. The
-// output has the same dimensions as the source.
+// output has the same dimensions as the source and is pooled: the caller
+// owns it and may recycle it with imgproc.PutRGB when done.
 func (r *Reprojector) Reproject(src *imgproc.RGB, renderPose, freshPose mathx.Pose) *imgproc.RGB {
-	out := imgproc.NewRGB(src.W, src.H)
+	out := imgproc.GetRGB(src.W, src.H)
 	r.Stats.StateOps += 3 // FBO bind/clear + per-eye draw state (modelled)
 	r.Stats.MeshVertices += 3 * r.meshW * r.meshH
 	r.Stats.Pixels += src.W * src.H
@@ -158,69 +219,78 @@ func (r *Reprojector) Reproject(src *imgproc.RGB, renderPose, freshPose mathx.Po
 	// Rotation from fresh view to render view: a direction seen in the
 	// fresh camera frame is mapped into the render camera frame.
 	dq := renderPose.Rot.Inverse().Mul(freshPose.Rot)
-	dR := dq.RotationMatrix()
-	var dPos mathx.Vec3
+	r.warpDR = dq.RotationMatrix()
+	r.warpDPos = mathx.Vec3{}
 	if r.P.Translational {
 		// displacement of the camera expressed in the render frame
-		dPos = renderPose.Rot.Inverse().Rotate(freshPose.Pos.Sub(renderPose.Pos))
+		r.warpDPos = renderPose.Rot.Inverse().Rotate(freshPose.Pos.Sub(renderPose.Pos))
 	}
 
-	tanHalf := math.Tan(r.P.FovY / 2)
-	aspect := float64(src.W) / float64(src.H)
-	r.pool.ForTiles("reprojection", src.H, warpTileRows, func(lo, hi int) {
-		for py := lo; py < hi; py++ {
-			v := (float64(py) + 0.5) / float64(src.H)
-			for px := 0; px < src.W; px++ {
-				u := (float64(px) + 0.5) / float64(src.W)
-				// per-channel distorted tangent-space direction in the fresh
-				// view (display space)
-				var rgb [3]float32
-				for c := 0; c < 3; c++ {
-					var tx, ty float64
-					switch c {
-					case 0:
-						tx, ty = meshLookup(r.meshR, r.meshW, r.meshH, u, v)
-					case 1:
-						tx, ty = meshLookup(r.meshG, r.meshW, r.meshH, u, v)
-					default:
-						tx, ty = meshLookup(r.meshB, r.meshW, r.meshH, u, v)
-					}
-					// direction in fresh camera space (camera looks down +Z
-					// here with x right, y down in image space)
-					dir := mathx.Vec3{X: tx * aspect, Y: ty, Z: 1}
-					// rotate into the render camera frame
-					rd := dR.MulVec(dir)
-					if r.P.Translational && r.P.PlaneDepth > 0 {
-						// intersect with the constant-depth plane and correct
-						// for camera displacement
-						pt := rd.Scale(r.P.PlaneDepth / math.Max(rd.Z, 1e-6))
-						pt = pt.Add(dPos)
-						rd = pt
-					}
-					if rd.Z <= 1e-6 {
-						continue // behind the render camera: leave black
-					}
-					sx := rd.X / rd.Z / aspect
-					sy := rd.Y / rd.Z
-					// back to pixel coordinates in the source frame
-					fx := (sx/tanHalf + 1) / 2 * float64(src.W)
-					fy := (sy/tanHalf + 1) / 2 * float64(src.H)
-					if fx < 0 || fy < 0 || fx >= float64(src.W) || fy >= float64(src.H) {
-						continue
-					}
-					rr, gg, bb := src.BilinearRGB(fx-0.5, fy-0.5)
-					switch c {
-					case 0:
-						rgb[0] = rr
-					case 1:
-						rgb[1] = gg
-					default:
-						rgb[2] = bb
-					}
-				}
-				out.Set(px, py, rgb[0], rgb[1], rgb[2])
-			}
-		}
-	})
+	r.warpSrc, r.warpOut = src, out
+	r.warpTanHalf = math.Tan(r.P.FovY / 2)
+	r.warpAspect = float64(src.W) / float64(src.H)
+	r.pool.ForTiles("reprojection", src.H, warpTileRows, r.warpFn)
+	r.warpSrc, r.warpOut = nil, nil
 	return out
+}
+
+// warpTile is the per-scanline warp kernel; its arguments live in the
+// Reprojector's warp* fields, set by Reproject before dispatch.
+func (r *Reprojector) warpTile(lo, hi int) {
+	src, out := r.warpSrc, r.warpOut
+	dR, dPos := r.warpDR, r.warpDPos
+	tanHalf, aspect := r.warpTanHalf, r.warpAspect
+	for py := lo; py < hi; py++ {
+		v := (float64(py) + 0.5) / float64(src.H)
+		for px := 0; px < src.W; px++ {
+			u := (float64(px) + 0.5) / float64(src.W)
+			// per-channel distorted tangent-space direction in the fresh
+			// view (display space)
+			var rgb [3]float32
+			for c := 0; c < 3; c++ {
+				var tx, ty float64
+				switch c {
+				case 0:
+					tx, ty = meshLookup(r.meshR, r.meshW, r.meshH, u, v)
+				case 1:
+					tx, ty = meshLookup(r.meshG, r.meshW, r.meshH, u, v)
+				default:
+					tx, ty = meshLookup(r.meshB, r.meshW, r.meshH, u, v)
+				}
+				// direction in fresh camera space (camera looks down +Z
+				// here with x right, y down in image space)
+				dir := mathx.Vec3{X: tx * aspect, Y: ty, Z: 1}
+				// rotate into the render camera frame
+				rd := dR.MulVec(dir)
+				if r.P.Translational && r.P.PlaneDepth > 0 {
+					// intersect with the constant-depth plane and correct
+					// for camera displacement
+					pt := rd.Scale(r.P.PlaneDepth / math.Max(rd.Z, 1e-6))
+					pt = pt.Add(dPos)
+					rd = pt
+				}
+				if rd.Z <= 1e-6 {
+					continue // behind the render camera: leave black
+				}
+				sx := rd.X / rd.Z / aspect
+				sy := rd.Y / rd.Z
+				// back to pixel coordinates in the source frame
+				fx := (sx/tanHalf + 1) / 2 * float64(src.W)
+				fy := (sy/tanHalf + 1) / 2 * float64(src.H)
+				if fx < 0 || fy < 0 || fx >= float64(src.W) || fy >= float64(src.H) {
+					continue
+				}
+				rr, gg, bb := src.BilinearRGB(fx-0.5, fy-0.5)
+				switch c {
+				case 0:
+					rgb[0] = rr
+				case 1:
+					rgb[1] = gg
+				default:
+					rgb[2] = bb
+				}
+			}
+			out.Set(px, py, rgb[0], rgb[1], rgb[2])
+		}
+	}
 }

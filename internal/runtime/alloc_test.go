@@ -1,0 +1,20 @@
+package runtime
+
+import (
+	"testing"
+
+	"illixr/internal/testutil"
+)
+
+// TestZeroAllocPublish pins the uninstrumented publish fan-out at zero
+// steady-state allocations, including the latest-wins displacement path
+// (the subscriber below is never drained, so every publish displaces).
+func TestZeroAllocPublish(t *testing.T) {
+	sb := NewSwitchboard()
+	topic := sb.GetTopic("alloc_probe")
+	sub := topic.Subscribe(1)
+	defer sub.Cancel()
+	val := &struct{ seq int }{1} // pre-boxed so Publish never re-boxes
+	ev := Event{T: 1, Value: val}
+	testutil.MustZeroAllocs(t, "Topic.Publish", func() { topic.Publish(ev) })
+}

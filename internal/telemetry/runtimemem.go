@@ -1,0 +1,69 @@
+package telemetry
+
+import "runtime"
+
+// RuntimeMem publishes the Go runtime's memory and GC statistics into a
+// registry: heap occupancy, cumulative allocation, GC cycle count, and a
+// histogram of individual GC stop-the-world pause times. It is the
+// observability face of the zero-steady-state-allocation work: with the
+// recycling pools on, illixr_runtime_num_gc should stay near-flat while
+// frames flow (DESIGN.md §10).
+type RuntimeMem struct {
+	heapAlloc    *Gauge // illixr_runtime_heap_alloc_bytes
+	heapSys      *Gauge // illixr_runtime_heap_sys_bytes
+	heapObjects  *Gauge // illixr_runtime_heap_objects
+	totalAlloc   *Gauge // illixr_runtime_total_alloc_bytes (monotonic)
+	mallocs      *Gauge // illixr_runtime_mallocs_total (monotonic)
+	numGC        *Gauge // illixr_runtime_num_gc (monotonic)
+	nextGC       *Gauge // illixr_runtime_next_gc_bytes
+	gcCPUPercent *Gauge // illixr_runtime_gc_cpu_percent
+	gcPauseNs    *Histogram
+
+	lastNumGC uint32
+}
+
+// NewRuntimeMem registers the runtime memory instruments. A nil registry
+// yields a valid no-op collector (all instruments are nil-safe).
+func NewRuntimeMem(reg *Registry) *RuntimeMem {
+	n := func(name string) string { return MetricName("runtime", name) }
+	return &RuntimeMem{
+		heapAlloc:    reg.Gauge(n("heap_alloc_bytes")),
+		heapSys:      reg.Gauge(n("heap_sys_bytes")),
+		heapObjects:  reg.Gauge(n("heap_objects")),
+		totalAlloc:   reg.Gauge(n("total_alloc_bytes")),
+		mallocs:      reg.Gauge(n("mallocs_total")),
+		numGC:        reg.Gauge(n("num_gc")),
+		nextGC:       reg.Gauge(n("next_gc_bytes")),
+		gcCPUPercent: reg.Gauge(n("gc_cpu_percent")),
+		gcPauseNs:    reg.Histogram(n("gc_pause_ns")),
+	}
+}
+
+// Observe reads runtime.MemStats and updates the instruments. Pauses of
+// GC cycles completed since the previous Observe call land in the
+// gc_pause_ns histogram exactly once each. Safe on a nil receiver.
+func (m *RuntimeMem) Observe() {
+	if m == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.heapAlloc.Set(float64(ms.HeapAlloc))
+	m.heapSys.Set(float64(ms.HeapSys))
+	m.heapObjects.Set(float64(ms.HeapObjects))
+	m.totalAlloc.Set(float64(ms.TotalAlloc))
+	m.mallocs.Set(float64(ms.Mallocs))
+	m.numGC.Set(float64(ms.NumGC))
+	m.nextGC.Set(float64(ms.NextGC))
+	m.gcCPUPercent.Set(ms.GCCPUFraction * 100)
+	// PauseNs is a circular buffer of the last 256 pause times indexed by
+	// (cycle-1) % 256; replay the cycles completed since the last call.
+	from := m.lastNumGC
+	if ms.NumGC > from+256 {
+		from = ms.NumGC - 256 // older pauses have been overwritten
+	}
+	for c := from; c < ms.NumGC; c++ {
+		m.gcPauseNs.Observe(float64(ms.PauseNs[c%256]))
+	}
+	m.lastNumGC = ms.NumGC
+}

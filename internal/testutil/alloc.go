@@ -1,0 +1,28 @@
+package testutil
+
+import (
+	"runtime"
+	"testing"
+)
+
+// MustZeroAllocs asserts that f performs zero steady-state heap
+// allocations per call (DESIGN.md §10): it warms the path so pools and
+// plan caches are populated, settles the heap, re-pins the sync.Pool
+// per-P locals a GC cycle detaches, and then measures with
+// testing.AllocsPerRun (which already pins GOMAXPROCS to 1). Skipped
+// under -race: the detector instruments allocation and the counts stop
+// meaning anything.
+func MustZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if RaceEnabled {
+		t.Skip("alloc counting is skipped under -race")
+	}
+	for i := 0; i < 3; i++ {
+		f()
+	}
+	runtime.GC()
+	f() // re-pin pool locals the GC detached
+	if n := testing.AllocsPerRun(100, f); n != 0 {
+		t.Errorf("%s: %v allocs/run, want 0", name, n)
+	}
+}

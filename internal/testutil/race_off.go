@@ -1,0 +1,8 @@
+//go:build !race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// AllocsPerRun regression tests skip under -race: race instrumentation
+// adds bookkeeping allocations that are not present in production builds.
+const RaceEnabled = false

@@ -134,6 +134,11 @@ func (f *ImageFrontend) ProcessImage(img *imgproc.Gray) ([]TrackedFeature, Front
 			stats.Detected++
 		}
 	}
+	if f.prevPyr != nil {
+		// recycle the outgoing pyramid's derived levels (Levels[0] aliases
+		// the previous caller-owned image and is left alone)
+		imgproc.ReleasePyramid(f.prevPyr)
+	}
 	f.prevPyr = pyr
 	f.prevPts = pts
 	f.prevIDs = ids

@@ -1,0 +1,130 @@
+// Command alloccheck validates a BENCH_memory.json produced by
+// `illixr-bench -exp memory`: the per-frame hot paths must be
+// allocation-free in steady state, and the pooling must keep its
+// headline heap-traffic reduction.
+//
+// Usage: alloccheck BENCH_memory.json [BASELINE.json]
+//
+// Checks:
+//  1. Every gated path (reprojection, ssim, flip, hologram, audio,
+//     switchboard publish) shows exactly 0 allocs/frame and 0 bytes/frame.
+//  2. The end-to-end loop is allocation-free and its bytes/frame
+//     reduction vs the unpooled baseline is >= 10x.
+//  3. With a baseline (the checked-in BENCH_memory.json): every baseline
+//     path must still be present, still gated if it was gated, and must
+//     not allocate more than it did at the baseline — so allocation
+//     regressions fail CI instead of landing silently.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type path struct {
+	Name           string  `json:"name"`
+	Gated          bool    `json:"gated"`
+	AllocsPerFrame float64 `json:"allocs_per_frame"`
+	BytesPerFrame  float64 `json:"bytes_per_frame"`
+}
+
+type endToEnd struct {
+	AllocsPerFrame float64 `json:"allocs_per_frame"`
+	BytesReduction float64 `json:"bytes_reduction"`
+}
+
+type report struct {
+	Paths    []path   `json:"paths"`
+	EndToEnd endToEnd `json:"end_to_end"`
+}
+
+func load(name string) (*report, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if len(rep.Paths) == 0 {
+		return nil, fmt.Errorf("%s: no paths in report", name)
+	}
+	return &rep, nil
+}
+
+func main() {
+	if len(os.Args) != 2 && len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: alloccheck BENCH_memory.json [BASELINE.json]")
+		os.Exit(2)
+	}
+	rep, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alloccheck:", err)
+		os.Exit(1)
+	}
+
+	fail := false
+	gated := 0
+	for _, p := range rep.Paths {
+		if !p.Gated {
+			continue
+		}
+		gated++
+		if p.AllocsPerFrame != 0 || p.BytesPerFrame != 0 {
+			fmt.Fprintf(os.Stderr, "alloccheck: FAIL %s: %.2f allocs/frame %.0f bytes/frame in steady state, want 0\n",
+				p.Name, p.AllocsPerFrame, p.BytesPerFrame)
+			fail = true
+		}
+	}
+	if gated == 0 {
+		fmt.Fprintln(os.Stderr, "alloccheck: FAIL no gated paths in report")
+		fail = true
+	}
+	if rep.EndToEnd.AllocsPerFrame != 0 {
+		fmt.Fprintf(os.Stderr, "alloccheck: FAIL end-to-end loop: %.2f allocs/frame, want 0\n",
+			rep.EndToEnd.AllocsPerFrame)
+		fail = true
+	}
+	if rep.EndToEnd.BytesReduction < 10 {
+		fmt.Fprintf(os.Stderr, "alloccheck: FAIL end-to-end bytes/frame reduction %.1fx < 10x\n",
+			rep.EndToEnd.BytesReduction)
+		fail = true
+	}
+
+	if len(os.Args) == 3 {
+		base, err := load(os.Args[2])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alloccheck:", err)
+			os.Exit(1)
+		}
+		fresh := map[string]path{}
+		for _, p := range rep.Paths {
+			fresh[p.Name] = p
+		}
+		for _, b := range base.Paths {
+			p, ok := fresh[b.Name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "alloccheck: FAIL baseline path %q missing from fresh report\n", b.Name)
+				fail = true
+				continue
+			}
+			if b.Gated && !p.Gated {
+				fmt.Fprintf(os.Stderr, "alloccheck: FAIL path %q was gated at the baseline but is not any more\n", b.Name)
+				fail = true
+			}
+			if p.AllocsPerFrame > b.AllocsPerFrame {
+				fmt.Fprintf(os.Stderr, "alloccheck: FAIL path %q regressed: %.2f allocs/frame vs %.2f at the baseline\n",
+					b.Name, p.AllocsPerFrame, b.AllocsPerFrame)
+				fail = true
+			}
+		}
+	}
+
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Printf("alloccheck: OK — %d gated paths allocation-free, end-to-end reduction %.0fx\n",
+		gated, rep.EndToEnd.BytesReduction)
+}

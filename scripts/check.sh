@@ -53,4 +53,18 @@ echo "== network bench smoke"
 go run ./cmd/illixr-bench -exp network -network-sessions 8 \
 	-network-out "$TMP/network.json" >/dev/null
 go run ./scripts/netcheck "$TMP/network.json"
+
+echo "== zero-allocation regression tests"
+# AllocsPerRun needs real allocation counts, so this pass runs without
+# -race (the tests skip themselves when the detector is compiled in)
+go test -run 'TestZeroAlloc' ./internal/runtime ./internal/netxr/session \
+	./internal/reprojection ./internal/quality ./internal/hologram \
+	./internal/audio ./internal/imgproc ./internal/dsp >/dev/null
+
+echo "== memory bench + alloccheck gate"
+# the steady-state hot paths must stay allocation-free and must not
+# regress against the checked-in BENCH_memory.json baseline
+go run ./cmd/illixr-bench -exp memory -duration 5 \
+	-memory-out "$TMP/memory.json" >/dev/null
+go run ./scripts/alloccheck "$TMP/memory.json" BENCH_memory.json
 echo "check: OK"
