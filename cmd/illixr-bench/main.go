@@ -8,7 +8,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 // fig3 fig4 fig5 fig6 fig7 fig8 ablation-vio faults observability
-// parallel network memory all
+// parallel network memory fleet all
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table7, fig3..fig8, ablation-vio, faults, observability, parallel, network, memory, all)")
+	exp := flag.String("exp", "all", "experiment id (table1..table7, fig3..fig8, ablation-vio, faults, observability, parallel, network, memory, fleet, all)")
 	duration := flag.Float64("duration", 30, "virtual seconds per integrated run (the paper uses ~30)")
 	qualityFrames := flag.Int("quality-frames", 8, "sampled frames for the Table V image-quality pipeline")
 	faultScenario := flag.String("fault-scenario", "light", "fault scenario for -exp faults (vio-stall|light|stress)")
@@ -39,6 +39,10 @@ func main() {
 	memoryIters := flag.Int("memory-iters", 64, "steady-state frames per path for -exp memory")
 	memoryOut := flag.String("memory-out", "BENCH_memory.json",
 		"output file for -exp memory (empty to skip the file)")
+	fleetSessions := flag.Int("fleet-sessions", 120, "sessions in the -exp fleet chaos cell (>=100)")
+	fleetSeed := flag.Int64("fleet-seed", 42, "seed for the -exp fleet crash schedule, links, and backoff")
+	fleetOut := flag.String("fleet-out", "BENCH_fleet.json",
+		"output file for -exp fleet (empty to skip the file)")
 	flag.Parse()
 
 	w := os.Stdout
@@ -141,6 +145,13 @@ func main() {
 	}
 	if all || wants["memory"] {
 		if _, err := bench.MemoryExperiment(w, *memoryIters, *duration, *memoryOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+	if all || wants["fleet"] {
+		if _, err := bench.FleetExperiment(w, *fleetSessions, *fleetSeed, *fleetOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,105 @@
+// Command illixr-gateway fronts a fleet of illixr-serve replicas: clients
+// connect here, the fleet coordinator places each session on the
+// least-loaded live replica, and the gateway relays frames both ways.
+// When the fleet is saturated the client gets a Bye with a Retry-After
+// hint instead of a hard error; when a replica dies mid-session the
+// client's stored resume token lets it reconnect and land on a survivor
+// with its session state (acked seq, pose epoch) intact (DESIGN.md §11).
+//
+// Usage:
+//
+//	illixr-gateway -addr :7400 -replicas localhost:7425,localhost:7426
+//	illixr-gateway -replicas host-a:7425,host-b:7425 -capacity 16 -retry-after 0.5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"illixr/internal/config"
+	"illixr/internal/debughttp"
+	"illixr/internal/netxr/fleet"
+	"illixr/internal/telemetry"
+)
+
+func main() {
+	defaults := config.DefaultNet()
+	addr := flag.String("addr", ":7400", "TCP listen address for client sessions")
+	replicas := flag.String("replicas", "localhost:7425",
+		"comma-separated illixr-serve replica addresses")
+	capacity := flag.Int("capacity", defaults.MaxSessions, "per-replica session cap")
+	retryAfter := flag.Float64("retry-after", 0.25,
+		"seconds clients are told to wait when the fleet pushes back")
+	resumeBurst := flag.Int("resume-burst", 16,
+		"resume admissions allowed per window before push-back (crash-storm damping)")
+	tokenSeed := flag.Int64("token-seed", 0, "seed for resume-token issuance (0 = fixed default)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve /metrics /health /debug/pprof/ on this address (e.g. :8080)")
+	flag.Parse()
+
+	backends := strings.Split(*replicas, ",")
+	for i := range backends {
+		backends[i] = strings.TrimSpace(backends[i])
+	}
+
+	reg := telemetry.NewRegistry()
+	coord := fleet.NewCoordinator(fleet.Config{
+		ReplicaCapacity: *capacity,
+		RetryAfter:      time.Duration(*retryAfter * float64(time.Second)),
+		ResumeBurst:     *resumeBurst,
+		TokenSeed:       *tokenSeed,
+		Metrics:         reg,
+	})
+	for i := range backends {
+		coord.AddReplica(i, nil)
+	}
+	gw := &fleet.Gateway{
+		Coord: coord,
+		Dial: func(id int) (net.Conn, error) {
+			return net.DialTimeout("tcp", backends[id], 5*time.Second)
+		},
+		Metrics: reg,
+	}
+
+	if *debugAddr != "" {
+		dbg := &debughttp.Server{Metrics: reg, Mem: telemetry.NewRuntimeMem(reg)}
+		bound, _, err := dbg.Serve(*debugAddr)
+		if err != nil {
+			log.Fatalf("debug endpoint: %v", err)
+		}
+		fmt.Printf("debug endpoint on http://%s\n", bound)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("illixr-gateway on %s fronting %d replicas (capacity %d each, retry-after %.2fs)\n",
+		ln.Addr(), len(backends), *capacity, *retryAfter)
+	for i, b := range backends {
+		fmt.Printf("  replica %d: %s\n", i, b)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("\ndraining relays…")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = gw.Shutdown(ctx)
+	}()
+
+	if err := gw.Serve(ln); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	fmt.Println("gateway stopped")
+}

@@ -1,0 +1,590 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"illixr/internal/faults"
+	"illixr/internal/netxr/bridge"
+	"illixr/internal/netxr/fleet"
+	"illixr/internal/netxr/netsim"
+	"illixr/internal/netxr/session"
+	"illixr/internal/netxr/wire"
+	"illixr/internal/sensors"
+)
+
+// The fleet experiment (-exp fleet) is the survivability chaos cell of
+// DESIGN.md §11: N sessions placed across three virtual replicas by the
+// real fleet.Coordinator, one replica killed mid-run by the
+// replica-crash fault scenario, every displaced session reconnecting
+// through the coordinator's admission control (resume-burst limiter and
+// Retry-After push-back included) under the production backoff policy.
+// Two halves, mirroring -exp network:
+//
+//   - A deterministic discrete-event simulation in virtual time: the
+//     crash instant comes from the seeded fault schedule, reconnect
+//     attempts are processed fleet-wide in timestamp order, and every
+//     message crosses the real codec and the seeded netsim delay
+//     process. Same seed, byte-identical report.
+//
+//   - A real concurrency soak: raw wire clients behind the actual
+//     fleet.Gateway and three live session servers, one of which is
+//     Abort()ed mid-stream; clients redial with their resume tokens.
+//     Scheduler-dependent observations live in wall_* fields.
+//
+// The survivability contract the fleetcheck gate enforces: zero lost
+// sessions, every displaced session resumed, recovery p99 within
+// RecoveryBoundMs.
+const (
+	// fleetVirtualSec is the simulated duration of the chaos cell.
+	fleetVirtualSec = 10.0
+	// fleetIMUHz and fleetVsyncHz fix stream and display rates. IMU runs
+	// at half the network cell's rate to keep the 100+-session cell fast.
+	fleetIMUHz   = 250.0
+	fleetVsyncHz = 120.0
+	// fleetReplicas and fleetCapacity shape the fleet: capacity is sized
+	// so the survivors can absorb the dead replica's whole population
+	// (2 x 64 >= the default 120 sessions).
+	fleetReplicas = 3
+	fleetCapacity = 64
+	// fleetServerProcMs is the per-sample server turnaround.
+	fleetServerProcMs = 0.3
+	// fleetDetectSec is the client-side failure-detection delay beyond
+	// one-way propagation (a missed-heartbeat allowance).
+	fleetDetectSec = 0.010
+	// fleetRecoveryBoundMs is the survivability bound fleetcheck asserts
+	// on recovery p99: detection + a resume storm spread over the burst
+	// windows + the backoff schedule all must land inside it.
+	fleetRecoveryBoundMs = 1500.0
+	// fleetSoakSessions / fleetSoakFrames size the real-concurrency half.
+	fleetSoakSessions = 18
+	fleetSoakFrames   = 150
+	fleetSoakCapacity = 12
+)
+
+// FleetSessionResult is one simulated session's row.
+type FleetSessionResult struct {
+	Session   int  `json:"session"`
+	Replica   int  `json:"replica"`
+	Displaced bool `json:"displaced"`
+	// ResumedOn is the replica the session landed on after the crash
+	// (-1 when not displaced).
+	ResumedOn int `json:"resumed_on"`
+	// ResumeAttempts counts reconnect dials, including refused ones.
+	ResumeAttempts int `json:"resume_attempts"`
+	// RecoveryMs is crash-to-first-fresh-pose-displayed (0 if not
+	// displaced).
+	RecoveryMs     float64  `json:"recovery_ms"`
+	IMUSent        int      `json:"imu_sent"`
+	PosesDelivered int      `json:"poses_delivered"`
+	MTP            MTPStats `json:"mtp"`
+}
+
+// FleetSoakResult is the real-concurrency half. wall_* fields depend on
+// the host scheduler; Lost and CleanShutdown are invariants.
+type FleetSoakResult struct {
+	Sessions         int     `json:"sessions"`
+	FramesPerSession int     `json:"frames_per_session"`
+	Lost             int     `json:"lost"`
+	CleanShutdown    bool    `json:"clean_shutdown"`
+	WallDisplaced    int     `json:"wall_displaced"`
+	WallResumed      int     `json:"wall_resumed"`
+	WallFramesRecv   uint64  `json:"wall_frames_received"`
+	WallRedials      int     `json:"wall_redials"`
+	WallMs           float64 `json:"wall_ms"`
+}
+
+// FleetReport is the BENCH_fleet.json document.
+type FleetReport struct {
+	Seed            int64   `json:"seed"`
+	Sessions        int     `json:"sessions"`
+	Replicas        int     `json:"replicas"`
+	ReplicaCapacity int     `json:"replica_capacity"`
+	VirtualSec      float64 `json:"virtual_sec"`
+	IMUHz           float64 `json:"imu_hz"`
+	VsyncHz         float64 `json:"vsync_hz"`
+	Scenario        string  `json:"scenario"`
+	// ScheduleFingerprint pins the fault schedule (faults.Fingerprint).
+	ScheduleFingerprint string  `json:"schedule_fingerprint"`
+	CrashedReplica      int     `json:"crashed_replica"`
+	CrashTimeSec        float64 `json:"crash_time_sec"`
+	Displaced           int     `json:"displaced"`
+	Resumed             int     `json:"resumed"`
+	Lost                int     `json:"lost"`
+	AdmissionRefusals   int     `json:"admission_refusals"`
+	ResumeAttempts      int     `json:"resume_attempts"`
+	RecoveryBoundMs     float64 `json:"recovery_bound_ms"`
+	// Recovery is the crash-to-recovered distribution over displaced
+	// sessions; MTP aggregates all sessions' vsync samples (mean of
+	// per-session means, worst p99/max).
+	Recovery MTPStats             `json:"recovery"`
+	MTP      MTPStats             `json:"aggregate_mtp"`
+	Note     string               `json:"note"`
+	Per      []FleetSessionResult `json:"sessions_detail"`
+	Soak     FleetSoakResult      `json:"soak"`
+}
+
+const fleetNote = "deterministic replica-crash chaos cell: sessions placed by " +
+	"the real fleet coordinator, one replica killed at the seeded fault " +
+	"schedule's instant, displaced sessions resume through admission " +
+	"control (burst limiter + Retry-After) under the production backoff " +
+	"policy, all in virtual time; recovery is crash-to-first-fresh-pose. " +
+	"wall_* fields come from the live gateway soak and vary run to run " +
+	"(DESIGN.md §11)."
+
+// fleetResume is the outcome of the global resume storm for one
+// displaced session.
+type fleetResume struct {
+	resumeT  float64 // virtual time the resume handshake completes
+	attempts int
+	landedOn int
+}
+
+// runResumeStorm replays every displaced session's reconnect schedule
+// fleet-wide in timestamp order (the burst limiter is global state, so
+// per-session replay would be wrong). Returns per-session outcomes and
+// the total refusal count.
+func runResumeStorm(coord *fleet.Coordinator, displaced []fleet.Record,
+	sessionOf map[uint64]int, crashT, rttSec float64, seed int64) (map[int]fleetResume, int, int) {
+
+	type attempt struct {
+		t   float64
+		idx int // session index, tie-break
+		n   int // 0-based attempt number
+		rec fleet.Record
+		bo  *bridge.Backoff
+	}
+	var pending []attempt
+	for _, rec := range displaced {
+		idx := sessionOf[rec.Token]
+		pending = append(pending, attempt{
+			t:   crashT + rttSec/2 + fleetDetectSec,
+			idx: idx,
+			rec: rec,
+			bo:  bridge.NewBackoff(seed + int64(idx)*7919),
+		})
+	}
+	out := map[int]fleetResume{}
+	refusals, totalAttempts := 0, 0
+	for len(pending) > 0 {
+		// pop the earliest attempt (ties by session index): fleet order
+		best := 0
+		for i := 1; i < len(pending); i++ {
+			if pending[i].t < pending[best].t ||
+				(pending[i].t == pending[best].t && pending[i].idx < pending[best].idx) {
+				best = i
+			}
+		}
+		a := pending[best]
+		pending = append(pending[:best], pending[best+1:]...)
+
+		totalAttempts++
+		hello := a.rec.Hello
+		hello.ResumeToken = a.rec.Token
+		// the admission decision lands one-way propagation after the dial
+		now := a.t + rttSec/2
+		var admitErr error
+		replica, admitErr := coord.Pick(now, hello)
+		if admitErr == nil {
+			_, admitErr = coord.AdmitOn(now, replica, uint64(1000+a.idx), hello)
+		}
+		if admitErr == nil {
+			out[a.idx] = fleetResume{resumeT: a.t + rttSec, attempts: a.n + 1, landedOn: replica}
+			continue
+		}
+		refusals++
+		var ae *session.AdmissionError
+		delay := a.bo.Delay(a.n)
+		if errors.As(admitErr, &ae) && ae.RetryAfter > delay {
+			delay = ae.RetryAfter
+		}
+		a.t = now + rttSec/2 + delay.Seconds() // refusal Bye reaches the client, then wait
+		a.n++
+		pending = append(pending, a)
+	}
+	return out, refusals, totalAttempts
+}
+
+// simulateFleetSession runs one session's DES. A displaced session goes
+// dark during [crashT, res.resumeT): uplink samples are unsent, poses
+// in flight at the crash never arrive, and after resume a fresh link
+// pair (the new replica) carries the stream.
+func simulateFleetSession(idx int, prof netsim.Profile, seed int64,
+	crashT float64, res *fleetResume) FleetSessionResult {
+
+	out := FleetSessionResult{Session: idx, ResumedOn: -1}
+	up := netsim.NewLink(prof, seed+int64(idx)*2)
+	down := netsim.NewLink(prof, seed+int64(idx)*2+1)
+	var up2, down2 *netsim.Link
+	resumeT := fleetVirtualSec + 1 // never, unless displaced
+	if res != nil {
+		out.Displaced = true
+		out.ResumedOn = res.landedOn
+		out.ResumeAttempts = res.attempts
+		resumeT = res.resumeT
+		up2 = netsim.NewLink(prof, seed+int64(idx)*2+500_000)
+		down2 = netsim.NewLink(prof, seed+int64(idx)*2+500_001)
+	}
+
+	type poseArrival struct{ recvT, sampleT float64 }
+	var arrivals []poseArrival
+	var encBuf []byte
+	firstFresh := -1.0
+
+	n := int(fleetVirtualSec * fleetIMUHz)
+	for i := 0; i < n; i++ {
+		t := float64(i) / fleetIMUHz
+		if res != nil && t >= crashT && t < resumeT {
+			continue // disconnected: nothing to send
+		}
+		preCrash := res != nil && t < crashT
+		ul, dl := up, down
+		if res != nil && t >= resumeT {
+			ul, dl = up2, down2
+		}
+
+		// real codec on both directions, as in the network cell
+		encBuf = wire.AppendFrame(encBuf[:0], wire.Frame{
+			Type: wire.TypeIMU, Payload: wire.AppendIMU(nil, sensors.IMUSample{T: t})})
+		if _, _, err := wire.Decode(encBuf); err != nil {
+			continue
+		}
+		out.IMUSent++
+		serverT := ul.Arrive(t)
+		if preCrash && serverT >= crashT {
+			continue // died in flight with the replica
+		}
+		sendT := serverT + fleetServerProcMs/1000
+		if preCrash && sendT >= crashT {
+			continue
+		}
+		encBuf = wire.AppendFrame(encBuf[:0], wire.Frame{
+			Type: wire.TypePose, Payload: wire.AppendPose(nil, wire.Pose{T: t})})
+		if _, _, err := wire.Decode(encBuf); err != nil {
+			continue
+		}
+		recvT := dl.Arrive(sendT)
+		if preCrash && recvT >= crashT {
+			continue // pose was on the wire when the replica died
+		}
+		arrivals = append(arrivals, poseArrival{recvT: recvT, sampleT: t})
+		if res != nil && t >= resumeT && firstFresh < 0 {
+			firstFresh = recvT
+		}
+	}
+	out.PosesDelivered = len(arrivals)
+	if res != nil && firstFresh >= 0 {
+		out.RecoveryMs = (firstFresh - crashT) * 1000
+	}
+
+	// display loop: newest delivered pose at each vsync
+	var samples []float64
+	ptr, newest := 0, -1
+	vsyncs := int(fleetVirtualSec * fleetVsyncHz)
+	for v := 1; v <= vsyncs; v++ {
+		tv := float64(v) / fleetVsyncHz
+		for ptr < len(arrivals) && arrivals[ptr].recvT <= tv {
+			newest = ptr
+			ptr++
+		}
+		if newest < 0 {
+			continue
+		}
+		samples = append(samples, (tv-arrivals[newest].sampleT)*1000)
+	}
+	out.MTP = mtpStats(samples)
+	return out
+}
+
+// runFleetSoak drives real clients through a live gateway and kills one
+// replica mid-stream; every client carries its resume token and redials.
+func runFleetSoak() FleetSoakResult {
+	res := FleetSoakResult{Sessions: fleetSoakSessions, FramesPerSession: fleetSoakFrames}
+	coord := fleet.NewCoordinator(fleet.Config{ReplicaCapacity: fleetSoakCapacity,
+		TokenSeed: 1, RetryAfter: 5 * time.Millisecond, ResumeBurst: 64, ResumeWindowSec: 1})
+	var srvs []*session.Server
+	var downMu sync.Mutex
+	down := map[int]bool{}
+	for i := 0; i < fleetReplicas; i++ {
+		srvs = append(srvs, session.NewServer(session.Config{IdleTimeout: -1,
+			MaxSessions: fleetSoakSessions}, &soakHandler{}))
+		coord.AddReplica(i, nil)
+	}
+	gw := &fleet.Gateway{Coord: coord, Dial: func(id int) (net.Conn, error) {
+		downMu.Lock()
+		dead := down[id]
+		downMu.Unlock()
+		if dead {
+			return nil, fmt.Errorf("replica %d down", id)
+		}
+		c, s := net.Pipe()
+		if srvs[id].HandleConn(s) == nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("replica %d refused", id)
+		}
+		return c, nil
+	}}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var displacedN, resumedN, redials, lost atomic.Int64
+	var framesRecv atomic.Uint64
+	for i := 0; i < fleetSoakSessions; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			var token uint64
+			sent := 0
+			bo := bridge.NewBackoff(int64(idx))
+			bo.Base, bo.Cap = 2*time.Millisecond, 50*time.Millisecond
+			for attempt := 0; sent < fleetSoakFrames; attempt++ {
+				if attempt > 64 {
+					lost.Add(1)
+					return
+				}
+				if attempt > 0 {
+					time.Sleep(bo.Delay(attempt - 1))
+				}
+				c, g := net.Pipe()
+				gw.HandleConn(g)
+				r, w := wire.NewReader(c), wire.NewWriter(c)
+				hello := wire.AppendHello(nil, wire.Hello{Proto: wire.Version, App: "fleet-soak",
+					IMURateHz: fleetIMUHz, ResumeToken: token})
+				if w.WriteFrame(wire.Frame{Type: wire.TypeHello, Payload: hello}) != nil {
+					_ = c.Close()
+					continue
+				}
+				f, err := r.ReadFrame()
+				if err != nil || f.Type != wire.TypeWelcome {
+					_ = c.Close()
+					continue // refused or severed: back off and redial
+				}
+				wel, err := wire.DecodeWelcome(f.Payload)
+				if err != nil {
+					_ = c.Close()
+					continue
+				}
+				token = wel.ResumeToken
+				if wel.Resumed {
+					resumedN.Add(1)
+				}
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for {
+						if df, err := r.ReadFrame(); err != nil {
+							return
+						} else if df.Type == wire.TypePose {
+							framesRecv.Add(1)
+						}
+					}
+				}()
+				var buf []byte
+				streamErr := false
+				for ; sent < fleetSoakFrames; sent++ {
+					buf = wire.AppendIMU(buf[:0], sensors.IMUSample{T: float64(sent) / fleetIMUHz})
+					if w.WriteFrame(wire.Frame{Type: wire.TypeIMU, Payload: buf}) != nil {
+						streamErr = true
+						break
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+				if !streamErr {
+					_ = w.WriteFrame(wire.Frame{Type: wire.TypeBye,
+						Payload: wire.AppendBye(nil, wire.Bye{Reason: "done"})})
+					_ = c.Close()
+					<-done
+					return
+				}
+				displacedN.Add(1)
+				redials.Add(1)
+				_ = c.Close()
+				<-done
+			}
+		}(i)
+	}
+
+	// let streams establish, then crash the busiest replica
+	time.Sleep(10 * time.Millisecond)
+	victim := 0
+	for i := 1; i < fleetReplicas; i++ {
+		if coord.Sessions(i) > coord.Sessions(victim) {
+			victim = i
+		}
+	}
+	downMu.Lock()
+	down[victim] = true
+	downMu.Unlock()
+	srvs[victim].Abort(nil)
+	coord.KillReplica(victim)
+
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	clean := gw.Shutdown(ctx) == nil
+	for _, s := range srvs {
+		clean = s.Shutdown(ctx) == nil && clean
+	}
+	res.CleanShutdown = clean
+	res.Lost = int(lost.Load())
+	res.WallDisplaced = int(displacedN.Load())
+	res.WallResumed = int(resumedN.Load())
+	res.WallRedials = int(redials.Load())
+	res.WallFramesRecv = framesRecv.Load()
+	res.WallMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	return res
+}
+
+// FleetExperiment runs the chaos cell and the soak, prints the summary,
+// and writes BENCH_fleet.json to outPath.
+func FleetExperiment(w io.Writer, nSessions int, seed int64, outPath string) (*FleetReport, error) {
+	if nSessions <= 0 {
+		nSessions = 120
+	}
+	if nSessions > fleetCapacity*(fleetReplicas-1) {
+		// the survivors must be able to absorb everyone, or zero-loss is
+		// arithmetically impossible — refuse rather than report a rigged cell
+		return nil, fmt.Errorf("bench: %d sessions exceed survivor capacity %d",
+			nSessions, fleetCapacity*(fleetReplicas-1))
+	}
+
+	// the crash instant comes from the seeded fault schedule
+	fc, err := faults.Scenario("replica-crash", seed, fleetVirtualSec)
+	if err != nil {
+		return nil, err
+	}
+	sched := faults.Generate(fc)
+	crashes := sched.ByKind(faults.ReplicaCrash)
+	if len(crashes) != 1 {
+		return nil, fmt.Errorf("bench: replica-crash scenario yielded %d windows", len(crashes))
+	}
+	crashT := crashes[0].Start
+	crashed := 0
+	if _, err := fmt.Sscanf(crashes[0].Component, "replica-%d", &crashed); err != nil {
+		return nil, fmt.Errorf("bench: bad crash component %q", crashes[0].Component)
+	}
+
+	rep := &FleetReport{
+		Seed: seed, Sessions: nSessions, Replicas: fleetReplicas,
+		ReplicaCapacity: fleetCapacity, VirtualSec: fleetVirtualSec,
+		IMUHz: fleetIMUHz, VsyncHz: fleetVsyncHz,
+		Scenario:            "replica-crash",
+		ScheduleFingerprint: fmt.Sprintf("%#x", sched.Fingerprint()),
+		CrashedReplica:      crashed, CrashTimeSec: crashT,
+		RecoveryBoundMs: fleetRecoveryBoundMs, Note: fleetNote,
+	}
+
+	// place the fleet through the real coordinator
+	coord := fleet.NewCoordinator(fleet.Config{ReplicaCapacity: fleetCapacity, TokenSeed: seed})
+	for i := 0; i < fleetReplicas; i++ {
+		coord.AddReplica(i, nil)
+	}
+	prof := netsim.DefaultProfile()
+	rttSec := prof.RTTMs() / 1000
+	placedOn := make([]int, nSessions)
+	sessionOf := map[uint64]int{} // resume token -> session index
+	for i := 0; i < nSessions; i++ {
+		hello := wire.Hello{App: "fleet-bench", Seed: seed + int64(i), IMURateHz: fleetIMUHz}
+		id, err := coord.Pick(0, hello)
+		if err != nil {
+			return nil, fmt.Errorf("bench: place session %d: %w", i, err)
+		}
+		wel, err := coord.AdmitOn(0, id, uint64(i+1), hello)
+		if err != nil {
+			return nil, fmt.Errorf("bench: admit session %d: %w", i, err)
+		}
+		placedOn[i] = id
+		sessionOf[wel.ResumeToken] = i
+	}
+
+	// crash, then replay the resume storm fleet-wide in time order
+	displaced := coord.KillReplica(crashed)
+	resumes, refusals, attempts := runResumeStorm(coord, displaced, sessionOf, crashT, rttSec, seed)
+	rep.Displaced = len(displaced)
+	rep.Resumed = len(resumes)
+	rep.Lost = len(displaced) - len(resumes)
+	rep.AdmissionRefusals = refusals
+	rep.ResumeAttempts = attempts
+
+	// per-session DES
+	var recoveries, mtpMeans []float64
+	agg := MTPStats{}
+	for i := 0; i < nSessions; i++ {
+		var res *fleetResume
+		if placedOn[i] == crashed {
+			if r, ok := resumes[i]; ok {
+				res = &r
+			}
+		}
+		sres := simulateFleetSession(i, prof, seed, crashT, res)
+		sres.Replica = placedOn[i]
+		rep.Per = append(rep.Per, sres)
+		if sres.Displaced {
+			recoveries = append(recoveries, sres.RecoveryMs)
+		}
+		mtpMeans = append(mtpMeans, sres.MTP.MeanMs)
+		agg.N += sres.MTP.N
+		if sres.MTP.P99Ms > agg.P99Ms {
+			agg.P99Ms = sres.MTP.P99Ms
+		}
+		if sres.MTP.MaxMs > agg.MaxMs {
+			agg.MaxMs = sres.MTP.MaxMs
+		}
+	}
+	rep.Recovery = mtpStats(recoveries)
+	meanStats := mtpStats(mtpMeans)
+	agg.MeanMs, agg.P50Ms = meanStats.MeanMs, meanStats.P50Ms
+	rep.MTP = agg
+
+	fmt.Fprintf(w, "Fleet survivability experiment: %d sessions, %d replicas, seed %d\n",
+		nSessions, fleetReplicas, seed)
+	fmt.Fprintf(w, "  replica %d crashes at t=%.3fs (schedule %s)\n",
+		crashed, crashT, rep.ScheduleFingerprint)
+	fmt.Fprintf(w, "  displaced %d  resumed %d  lost %d  refusals %d  attempts %d\n",
+		rep.Displaced, rep.Resumed, rep.Lost, rep.AdmissionRefusals, rep.ResumeAttempts)
+	fmt.Fprintf(w, "  recovery ms: mean %.1f  p50 %.1f  p99 %.1f  max %.1f (bound %.0f)\n",
+		rep.Recovery.MeanMs, rep.Recovery.P50Ms, rep.Recovery.P99Ms, rep.Recovery.MaxMs,
+		rep.RecoveryBoundMs)
+	fmt.Fprintf(w, "  mtp ms: mean %.2f  p99 %.2f  max %.2f over %d vsyncs\n",
+		rep.MTP.MeanMs, rep.MTP.P99Ms, rep.MTP.MaxMs, rep.MTP.N)
+
+	fmt.Fprintf(w, "\nlive gateway soak: %d clients x %d frames, one replica killed mid-stream\n",
+		fleetSoakSessions, fleetSoakFrames)
+	rep.Soak = runFleetSoak()
+	fmt.Fprintf(w, "  displaced %d  resumed %d  lost %d  redials %d  clean shutdown %v (%.0f ms wall)\n",
+		rep.Soak.WallDisplaced, rep.Soak.WallResumed, rep.Soak.Lost,
+		rep.Soak.WallRedials, rep.Soak.CleanShutdown, rep.Soak.WallMs)
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return nil, err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", outPath)
+	}
+	return rep, nil
+}
+
+// EncodeFleetReport marshals the report exactly as the file writer
+// does, for determinism tests.
+func EncodeFleetReport(rep *FleetReport) []byte {
+	b, _ := json.MarshalIndent(rep, "", "  ")
+	return append(b, '\n')
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+// stripFleetWall zeroes the scheduler-dependent soak fields so the rest
+// of the report can be compared byte-for-byte.
+func stripFleetWall(rep *FleetReport) {
+	rep.Soak = FleetSoakResult{}
+}
+
+func TestFleetExperimentDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet bench in -short mode")
+	}
+	dir := t.TempDir()
+	a, err := FleetExperiment(io.Discard, 120, 42, filepath.Join(dir, "a.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FleetExperiment(io.Discard, 120, 42, filepath.Join(dir, "b.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripFleetWall(a)
+	stripFleetWall(b)
+	if !bytes.Equal(EncodeFleetReport(a), EncodeFleetReport(b)) {
+		t.Fatal("same seed produced different fleet reports")
+	}
+
+	c, err := FleetExperiment(io.Discard, 120, 43, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripFleetWall(c)
+	if bytes.Equal(EncodeFleetReport(a), EncodeFleetReport(c)) {
+		t.Fatal("different seeds produced identical fleet reports")
+	}
+}
+
+func TestFleetExperimentSurvivability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet bench in -short mode")
+	}
+	rep, err := FleetExperiment(io.Discard, 120, 42, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions < 100 || rep.Replicas < 3 {
+		t.Fatalf("cell too small: %d sessions, %d replicas", rep.Sessions, rep.Replicas)
+	}
+	if rep.Displaced == 0 {
+		t.Fatal("crash displaced no sessions — the chaos cell is inert")
+	}
+	if rep.Lost != 0 {
+		t.Fatalf("lost %d sessions", rep.Lost)
+	}
+	if rep.Resumed != rep.Displaced {
+		t.Fatalf("resumed %d of %d displaced", rep.Resumed, rep.Displaced)
+	}
+	if rep.CrashTimeSec < 0.3*fleetVirtualSec || rep.CrashTimeSec > 0.7*fleetVirtualSec {
+		t.Fatalf("crash at %.3fs outside the scenario's middle window", rep.CrashTimeSec)
+	}
+	if rep.Recovery.P99Ms <= 0 || rep.Recovery.P99Ms > rep.RecoveryBoundMs {
+		t.Fatalf("recovery p99 %.1fms outside (0, %.0fms]", rep.Recovery.P99Ms, rep.RecoveryBoundMs)
+	}
+	// every displaced session measured a real recovery and landed on a
+	// surviving replica
+	for _, s := range rep.Per {
+		if !s.Displaced {
+			continue
+		}
+		if s.RecoveryMs <= 0 {
+			t.Fatalf("session %d displaced but recovery %.1fms", s.Session, s.RecoveryMs)
+		}
+		if s.ResumedOn == rep.CrashedReplica || s.ResumedOn < 0 {
+			t.Fatalf("session %d resumed on replica %d", s.Session, s.ResumedOn)
+		}
+	}
+	// soak invariants: nobody lost, everyone who was displaced resumed
+	if rep.Soak.Lost != 0 {
+		t.Fatalf("soak lost %d sessions", rep.Soak.Lost)
+	}
+	if !rep.Soak.CleanShutdown {
+		t.Fatal("soak shutdown was not clean")
+	}
+	if rep.Soak.WallResumed < rep.Soak.WallDisplaced {
+		t.Fatalf("soak resumed %d < displaced %d", rep.Soak.WallResumed, rep.Soak.WallDisplaced)
+	}
+}
+
+func TestFleetExperimentRejectsOverCapacity(t *testing.T) {
+	if _, err := FleetExperiment(io.Discard, fleetCapacity*(fleetReplicas-1)+1, 1, ""); err == nil {
+		t.Fatal("over-capacity cell accepted: zero-loss would be impossible")
+	}
+}

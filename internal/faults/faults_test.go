@@ -180,3 +180,49 @@ func TestLinkDropsDoNotPerturbExistingSchedules(t *testing.T) {
 		t.Fatal("zero LinkDrops changed the schedule")
 	}
 }
+
+func TestReplicaCrashScenario(t *testing.T) {
+	cfg, err := Scenario("replica-crash", 42, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Generate(cfg)
+	if len(s.Windows) != 1 {
+		t.Fatalf("windows = %d, want 1", len(s.Windows))
+	}
+	w := s.Windows[0]
+	if w.Kind != ReplicaCrash {
+		t.Fatalf("kind = %v, want ReplicaCrash", w.Kind)
+	}
+	if w.Component != "replica-1" {
+		t.Fatalf("component = %q, want replica-1", w.Component)
+	}
+	if w.Start != w.End {
+		t.Fatalf("crash window not instantaneous: %v", w)
+	}
+	if w.Start < 0.3*cfg.Duration || w.Start > 0.7*cfg.Duration {
+		t.Fatalf("crash at %.3fs, want middle 40%% of a %.0fs run", w.Start, cfg.Duration)
+	}
+
+	// golden fingerprint: the replica-crash schedule for this seed is
+	// pinned — bench reports and the fleetcheck gate replay it exactly,
+	// so silent drift in the generator would invalidate archived results
+	const golden = uint64(0x3c5a5cce5d51c009)
+	if got := s.Fingerprint(); got != golden {
+		t.Fatalf("fingerprint = %#x, want %#x", got, golden)
+	}
+}
+
+func TestReplicaCrashesDoNotPerturbExistingSchedules(t *testing.T) {
+	// the ReplicaCrashes stage draws last: configs without it keep their
+	// schedules bit-for-bit, so archived scenario fingerprints survive
+	for _, name := range []string{"vio-stall", "light", "stress", "flaky-link"} {
+		cfg, _ := Scenario(name, 7, 30)
+		base := Generate(cfg).Fingerprint()
+		cfg2 := cfg
+		cfg2.ReplicaCrashes = 0
+		if Generate(cfg2).Fingerprint() != base {
+			t.Fatalf("%s: zero ReplicaCrashes changed the schedule", name)
+		}
+	}
+}

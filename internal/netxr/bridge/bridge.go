@@ -79,11 +79,12 @@ type Pipeline struct {
 }
 
 type pipeState struct {
-	loader  *runtime.Loader
-	tracer  *telemetry.SpanCollector
-	poseSub *runtime.Subscription
-	fwdDone chan struct{}
-	qoe     *telemetry.Histogram
+	loader    *runtime.Loader
+	tracer    *telemetry.SpanCollector
+	poseSub   *runtime.Subscription
+	fwdDone   chan struct{}
+	qoe       *telemetry.Histogram
+	sendRetry *telemetry.Counter
 }
 
 // SessionStart implements session.Handler.
@@ -128,11 +129,12 @@ func (p *Pipeline) SessionStart(s *session.Session) error {
 	}
 
 	st := &pipeState{
-		loader:  loader,
-		tracer:  tracer,
-		poseSub: ctx.Switchboard.GetTopic(runtime.TopicFastPose).Subscribe(1024),
-		fwdDone: make(chan struct{}),
-		qoe:     p.Metrics.Histogram(telemetry.MetricName("netxr", "qoe_mtp_ms")),
+		loader:    loader,
+		tracer:    tracer,
+		poseSub:   ctx.Switchboard.GetTopic(runtime.TopicFastPose).Subscribe(1024),
+		fwdDone:   make(chan struct{}),
+		qoe:       p.Metrics.Histogram(telemetry.MetricName("netxr", "qoe_mtp_ms")),
+		sendRetry: p.Metrics.Counter(telemetry.MetricName("netxr", "bridge_send_retry_total")),
 	}
 	p.mu.Lock()
 	if p.states == nil {
@@ -155,7 +157,16 @@ func (p *Pipeline) SessionStart(s *session.Session) error {
 			ref := st.tracer.Emit(CompNetDown, ev.Trace.Trace, ev.T, ev.T, ev.Trace.Span)
 			buf = wire.AppendPose(buf[:0], wire.Pose{T: ev.T, Pose: mp})
 			err := s.Send(wire.Frame{Type: wire.TypePose, Trace: ref, Payload: buf}, session.LatestWins)
-			if errors.Is(err, session.ErrClosed) {
+			switch {
+			case err == nil:
+			case errors.Is(err, session.ErrClosed):
+				return
+			case session.IsRetryable(err):
+				// transient pushback (session.BackpressureError): the next
+				// pose supersedes this one anyway, so account for it and
+				// keep forwarding instead of killing the session.
+				st.sendRetry.Inc()
+			default:
 				return
 			}
 		}
@@ -257,10 +268,29 @@ type Client struct {
 	mu       sync.Mutex
 	err      error
 	closed   bool
-	byeR     string
+	bye      wire.Bye
+	byeSeen  bool
+	recvSeq  uint64
 	pongs    map[uint64]chan wire.Ping
 	lastPose atomic64
 }
+
+// RefusedError is returned by Dial when the server answers the Hello
+// with a Bye instead of a Welcome. A Retry-After hint on the Bye marks
+// the refusal transient: back off and redial (Redialer does this).
+type RefusedError struct {
+	Bye wire.Bye
+}
+
+func (e *RefusedError) Error() string {
+	if e.Bye.RetryAfterMs > 0 {
+		return fmt.Sprintf("bridge: refused: %s (retry after %dms)", e.Bye.Reason, e.Bye.RetryAfterMs)
+	}
+	return "bridge: refused: " + e.Bye.Reason
+}
+
+// Retryable reports whether the server invited the client back.
+func (e *RefusedError) Retryable() bool { return e.Bye.Retryable() }
 
 // atomic64 stores a float64 bit pattern without pulling sync/atomic into
 // the struct literal noise.
@@ -309,7 +339,7 @@ func Dial(conn net.Conn, hello wire.Hello, tracer *telemetry.SpanCollector) (*Cl
 	case wire.TypeBye:
 		b, _ := wire.DecodeBye(f.Payload)
 		_ = conn.Close()
-		return nil, fmt.Errorf("bridge: refused: %s", b.Reason)
+		return nil, &RefusedError{Bye: b}
 	default:
 		_ = conn.Close()
 		return nil, fmt.Errorf("bridge: unexpected %v before welcome", f.Type)
@@ -318,6 +348,18 @@ func Dial(conn net.Conn, hello wire.Hello, tracer *telemetry.SpanCollector) (*Cl
 
 // Session returns the server-assigned session id.
 func (c *Client) Session() uint64 { return c.welcome.Session }
+
+// Welcome returns the handshake result: the resume token to present on
+// reconnect and, on a resumed session, the restored snapshot.
+func (c *Client) Welcome() wire.Welcome { return c.welcome }
+
+// RecvSeq returns the number of downlink frames this client has seen —
+// the LastSeq a resume Hello should carry.
+func (c *Client) RecvSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recvSeq
+}
 
 // write serializes frame writes (uplink plugin, pings, QoE share the conn).
 func (c *Client) write(f wire.Frame) error {
@@ -346,7 +388,16 @@ func (c *Client) Err() error {
 func (c *Client) ByeReason() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.byeR
+	return c.bye.Reason
+}
+
+// Bye returns the server's terminal Bye (and whether one arrived). A
+// retryable Bye — nonzero RetryAfterMs — means the server drained the
+// session expecting the client to reconnect and resume.
+func (c *Client) Bye() (wire.Bye, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bye, c.byeSeen
 }
 
 // Close sends a Bye and closes the connection.
@@ -486,6 +537,9 @@ func (p *downlinkPlugin) Start(ctx *runtime.Context) error {
 				}
 				return
 			}
+			c.mu.Lock()
+			c.recvSeq++
+			c.mu.Unlock()
 			switch f.Type {
 			case wire.TypePose:
 				pm, derr := wire.DecodePose(f.Payload)
@@ -526,7 +580,7 @@ func (p *downlinkPlugin) Start(ctx *runtime.Context) error {
 			case wire.TypeBye:
 				b, _ := wire.DecodeBye(f.Payload)
 				c.mu.Lock()
-				c.byeR = b.Reason
+				c.bye, c.byeSeen = b, true
 				c.mu.Unlock()
 				return
 			}

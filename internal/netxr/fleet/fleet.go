@@ -1,0 +1,450 @@
+// Package fleet coordinates a replicated set of netxr session servers
+// behind one admission-control point (DESIGN.md §11). The Coordinator
+// owns the fleet-wide view: which replicas are up, how loaded each one
+// is, and — critically — the resume registry that lets a session survive
+// the replica it was placed on. Placement is two-phase: Pick chooses a
+// replica read-only at dial time, AdmitOn commits (and revalidates) the
+// placement during the session handshake, so the inherent race between
+// choosing and landing is handled honestly instead of assumed away.
+//
+// Admission control is push-back, not failure: a full fleet or a resume
+// burst refuses with a *session.AdmissionError carrying a Retry-After
+// hint, which the transport turns into a retryable Bye — the client
+// backs off and redials rather than erroring out.
+//
+// Time enters as an explicit float64 (seconds); the caller chooses wall
+// or virtual time, so the deterministic chaos bench (internal/bench
+// -exp fleet) drives the same coordinator code under the netsim clock.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"illixr/internal/config"
+	"illixr/internal/netxr/session"
+	"illixr/internal/netxr/wire"
+	"illixr/internal/telemetry"
+)
+
+// Status is a replica's lifecycle state.
+type Status int
+
+// Replica states: Up takes placements and resumes; Draining finishes
+// what it has but takes nothing new (graceful restart); Down is crashed
+// or unreachable — its sessions are displaced and resume elsewhere.
+const (
+	Up Status = iota
+	Draining
+	Down
+)
+
+func (s Status) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Draining:
+		return "draining"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// LoadProbe reports a replica's live load for placement scoring: its
+// session count and aggregate reliable-queue depth (the backpressure
+// signal). nil probes fall back to the coordinator's own placement
+// counts, which track sessions but not queue depth.
+type LoadProbe func() (sessions int, queueDepth float64)
+
+// Record is one session's fleet-side state: everything needed to resume
+// it on a different replica than the one it was placed on.
+type Record struct {
+	// Token is the resume token the client presents on reconnect.
+	Token uint64
+	// Hello is the original handshake (rates, seed, app).
+	Hello wire.Hello
+	// Replica currently hosting the session.
+	Replica int
+	// Epoch counts placements: 1 on first admission, +1 per resume. The
+	// client uses it to discard stale poses from a previous placement.
+	Epoch uint64
+	// LastAckSeq is the highest uplink frame seq the fleet acknowledged;
+	// on resume the client learns how much of its uplink survived.
+	LastAckSeq uint64
+}
+
+// Config tunes the coordinator. The zero value is usable.
+type Config struct {
+	// ReplicaCapacity caps sessions per replica (0 = config default).
+	ReplicaCapacity int
+	// QueueWeight scales a replica's queue depth against its session
+	// count in the placement score (0 = default 4: a deep queue repels
+	// new placements harder than a warm body).
+	QueueWeight float64
+	// RetryAfter is the base reconnect hint on refusals (0 = 250ms).
+	RetryAfter time.Duration
+	// ResumeBurst bounds resumes admitted per ResumeWindow — a dead
+	// replica's whole population redialing at once is spread out instead
+	// of thundering onto the survivors (0 = 16).
+	ResumeBurst int
+	// ResumeWindowSec is the sliding burst window in seconds (0 = 0.25).
+	ResumeWindowSec float64
+	// TokenSeed namespaces resume tokens (deterministic issuance).
+	TokenSeed int64
+	// Metrics receives illixr_fleet_* instruments; nil = uninstrumented.
+	Metrics *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReplicaCapacity == 0 {
+		c.ReplicaCapacity = config.DefaultNet().MaxSessions
+	}
+	if c.QueueWeight == 0 {
+		c.QueueWeight = 4
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = 250 * time.Millisecond
+	}
+	if c.ResumeBurst == 0 {
+		c.ResumeBurst = 16
+	}
+	if c.ResumeWindowSec == 0 {
+		c.ResumeWindowSec = 0.25
+	}
+	return c
+}
+
+// ErrUnknownToken refuses a resume Hello whose token was never issued
+// (or was ended): terminal, not retryable — retrying cannot help.
+var ErrUnknownToken = errors.New("fleet: unknown resume token")
+
+// ErrNoReplica means Pick found no Up replica with headroom.
+var ErrNoReplica = errors.New("fleet: no replica available")
+
+type replica struct {
+	status Status
+	probe  LoadProbe
+	count  int // sessions placed here by this coordinator
+}
+
+type fleetMetrics struct {
+	placed  *telemetry.Counter
+	resumed *telemetry.Counter
+	refused *telemetry.Counter
+	up      *telemetry.Gauge
+}
+
+// Coordinator is the fleet brain. All methods are safe for concurrent
+// use; time is always an explicit argument so the same instance runs
+// under wall or virtual clocks.
+type Coordinator struct {
+	cfg Config
+	m   fleetMetrics
+
+	mu       sync.Mutex
+	replicas map[int]*replica
+	records  map[uint64]*Record
+	tokState uint64    // splitmix64 state for token issuance
+	window   []float64 // admit times of recent resumes (sliding window)
+}
+
+// NewCoordinator builds a coordinator with no replicas.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:      cfg,
+		replicas: map[int]*replica{},
+		records:  map[uint64]*Record{},
+		tokState: uint64(cfg.TokenSeed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+	}
+	c.m = fleetMetrics{
+		placed:  cfg.Metrics.Counter(telemetry.MetricName("fleet", "placed_total")),
+		resumed: cfg.Metrics.Counter(telemetry.MetricName("fleet", "resumed_total")),
+		refused: cfg.Metrics.Counter(telemetry.MetricName("fleet", "refused_total")),
+		up:      cfg.Metrics.Gauge(telemetry.MetricName("fleet", "replicas_up")),
+	}
+	return c
+}
+
+// splitmix64 — the repo-wide deterministic generator.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// AddReplica registers replica id as Up. probe may be nil (placement
+// then scores by the coordinator's own counts alone).
+func (c *Coordinator) AddReplica(id int, probe LoadProbe) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.replicas[id] = &replica{status: Up, probe: probe}
+	c.gaugeUpLocked()
+}
+
+// SetStatus transitions a replica's lifecycle state.
+func (c *Coordinator) SetStatus(id int, st Status) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.replicas[id]; ok {
+		r.status = st
+	}
+	c.gaugeUpLocked()
+}
+
+// StatusOf returns a replica's state (Down for unknown ids).
+func (c *Coordinator) StatusOf(id int) Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.replicas[id]; ok {
+		return r.status
+	}
+	return Down
+}
+
+func (c *Coordinator) gaugeUpLocked() {
+	n := 0
+	for _, r := range c.replicas {
+		if r.status == Up {
+			n++
+		}
+	}
+	c.m.up.Set(float64(n))
+}
+
+// load returns a replica's placement score inputs. Caller holds c.mu.
+func (r *replica) load() (int, float64) {
+	if r.probe != nil {
+		return r.probe()
+	}
+	return r.count, 0
+}
+
+// Pick chooses the replica a new connection should dial: the Up replica
+// with headroom minimizing sessions + QueueWeight·queueDepth (ties go
+// to the lowest id — deterministic). A resume Hello prefers any replica
+// other than the one the session died on. Read-only: nothing is
+// committed until AdmitOn lands the handshake there.
+func (c *Coordinator) Pick(now float64, h wire.Hello) (int, error) {
+	_ = now
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	avoid := -1
+	if h.ResumeToken != 0 {
+		if rec, ok := c.records[h.ResumeToken]; ok {
+			if r, live := c.replicas[rec.Replica]; live && r.status != Up {
+				avoid = rec.Replica
+			}
+		}
+	}
+	best, bestScore := -1, 0.0
+	ids := make([]int, 0, len(c.replicas))
+	for id := range c.replicas {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := c.replicas[id]
+		if r.status != Up || id == avoid {
+			continue
+		}
+		sessions, queue := r.load()
+		if sessions >= c.cfg.ReplicaCapacity {
+			continue
+		}
+		score := float64(sessions) + c.cfg.QueueWeight*queue
+		if best == -1 || score < bestScore {
+			best, bestScore = id, score
+		}
+	}
+	if best == -1 {
+		return -1, ErrNoReplica
+	}
+	return best, nil
+}
+
+// AdmitOn commits a handshake onto a replica: it validates the replica
+// is still Up with headroom, enforces the resume-burst limiter, issues
+// or validates the resume token, and returns the Welcome the client
+// should see. Refusals that retrying can fix return a
+// *session.AdmissionError with a Retry-After hint.
+func (c *Coordinator) AdmitOn(now float64, replicaID int, sessionID uint64, h wire.Hello) (wire.Welcome, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.replicas[replicaID]
+	if !ok || r.status != Up {
+		c.m.refused.Inc()
+		return wire.Welcome{}, &session.AdmissionError{
+			Reason: fmt.Sprintf("replica %d %s", replicaID, c.statusNameLocked(replicaID)), RetryAfter: c.cfg.RetryAfter}
+	}
+	sessions, _ := r.load()
+	if sessions >= c.cfg.ReplicaCapacity {
+		c.m.refused.Inc()
+		return wire.Welcome{}, &session.AdmissionError{
+			Reason: fmt.Sprintf("replica %d full", replicaID), RetryAfter: c.cfg.RetryAfter}
+	}
+
+	if h.ResumeToken == 0 {
+		// fresh placement: issue a token, epoch 1
+		tok := splitmix64(&c.tokState)
+		for tok == 0 || c.records[tok] != nil {
+			tok = splitmix64(&c.tokState)
+		}
+		c.records[tok] = &Record{Token: tok, Hello: h, Replica: replicaID, Epoch: 1}
+		r.count++
+		c.m.placed.Inc()
+		return wire.Welcome{Session: sessionID, ResumeToken: tok, PoseEpoch: 1}, nil
+	}
+
+	rec, ok := c.records[h.ResumeToken]
+	if !ok {
+		c.m.refused.Inc()
+		return wire.Welcome{}, fmt.Errorf("%w: %#x", ErrUnknownToken, h.ResumeToken)
+	}
+	// resume-burst limiter: slide the window, refuse past the budget so
+	// a dead replica's population trickles back instead of stampeding.
+	keep := c.window[:0]
+	for _, t := range c.window {
+		if now-t < c.cfg.ResumeWindowSec {
+			keep = append(keep, t)
+		}
+	}
+	c.window = keep
+	if len(c.window) >= c.cfg.ResumeBurst {
+		c.m.refused.Inc()
+		return wire.Welcome{}, &session.AdmissionError{Reason: "resume burst", RetryAfter: c.cfg.RetryAfter}
+	}
+	c.window = append(c.window, now)
+
+	// move the placement: the old replica (dead or draining) loses it
+	if old, live := c.replicas[rec.Replica]; live && rec.Replica != replicaID && old.count > 0 {
+		old.count--
+	}
+	if rec.Replica != replicaID {
+		r.count++
+	}
+	rec.Replica = replicaID
+	rec.Epoch++
+	c.m.resumed.Inc()
+	return wire.Welcome{
+		Session:     sessionID,
+		ResumeToken: rec.Token,
+		Resumed:     true,
+		LastAckSeq:  rec.LastAckSeq,
+		PoseEpoch:   rec.Epoch,
+	}, nil
+}
+
+func (c *Coordinator) statusNameLocked(id int) string {
+	if r, ok := c.replicas[id]; ok {
+		return r.status.String()
+	}
+	return "unknown"
+}
+
+// Ack records uplink progress for a session so a later resume can tell
+// the client how much of its stream survived.
+func (c *Coordinator) Ack(token, seq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec, ok := c.records[token]; ok && seq > rec.LastAckSeq {
+		rec.LastAckSeq = seq
+	}
+}
+
+// End retires a session terminally (client said Bye): the token is
+// forgotten and the placement count released. Server-side deaths do NOT
+// End — the record is exactly what lets the session come back.
+func (c *Coordinator) End(token uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.records[token]
+	if !ok {
+		return
+	}
+	if r, live := c.replicas[rec.Replica]; live && r.count > 0 {
+		r.count--
+	}
+	delete(c.records, token)
+}
+
+// Lookup returns a copy of a token's record.
+func (c *Coordinator) Lookup(token uint64) (Record, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec, ok := c.records[token]; ok {
+		return *rec, true
+	}
+	return Record{}, false
+}
+
+// Sessions returns how many sessions the coordinator has placed on a
+// replica (its own count, not the probe's).
+func (c *Coordinator) Sessions(replicaID int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.replicas[replicaID]; ok {
+		return r.count
+	}
+	return 0
+}
+
+// Placed returns copies of every record currently placed on a replica —
+// the displaced population when that replica dies or drains.
+func (c *Coordinator) Placed(replicaID int) []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Record
+	for _, rec := range c.records {
+		if rec.Replica == replicaID {
+			out = append(out, *rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Token < out[j].Token })
+	return out
+}
+
+// DrainReplica marks a replica Draining and returns its population; the
+// caller shuts the underlying server down gracefully (its Bye carries
+// Retry-After, so every session is invited to resume elsewhere).
+func (c *Coordinator) DrainReplica(replicaID int) []Record {
+	c.SetStatus(replicaID, Draining)
+	return c.Placed(replicaID)
+}
+
+// KillReplica marks a replica Down and returns the displaced records.
+// Their resume tokens stay valid — that is the survivability contract.
+func (c *Coordinator) KillReplica(replicaID int) []Record {
+	c.SetStatus(replicaID, Down)
+	return c.Placed(replicaID)
+}
+
+// admission adapts the coordinator to one replica's session.Admission.
+type admission struct {
+	c       *Coordinator
+	replica int
+	now     func() float64
+}
+
+// Admit implements session.Admission.
+func (a admission) Admit(sessionID uint64, h wire.Hello) (wire.Welcome, error) {
+	return a.c.AdmitOn(a.now(), a.replica, sessionID, h)
+}
+
+// Admission returns the session.Admission a replica's server config
+// should embed, binding the coordinator to that replica under the given
+// clock (wall for production, virtual for the bench).
+func (c *Coordinator) Admission(replicaID int, now func() float64) session.Admission {
+	if now == nil {
+		start := time.Now()
+		now = func() float64 { return time.Since(start).Seconds() }
+	}
+	return admission{c: c, replica: replicaID, now: now}
+}

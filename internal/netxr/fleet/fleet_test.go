@@ -1,0 +1,378 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"illixr/internal/netxr/session"
+	"illixr/internal/netxr/wire"
+	"illixr/internal/sensors"
+)
+
+func TestPickLeastLoadedWithQueueWeight(t *testing.T) {
+	c := NewCoordinator(Config{ReplicaCapacity: 10, QueueWeight: 4})
+	c.AddReplica(0, func() (int, float64) { return 2, 0 })   // score 2
+	c.AddReplica(1, func() (int, float64) { return 1, 0.5 }) // score 3: queue repels
+	c.AddReplica(2, func() (int, float64) { return 10, 0 })  // full
+	id, err := c.Pick(0, wire.Hello{})
+	if err != nil || id != 0 {
+		t.Fatalf("pick = %d, %v; want replica 0", id, err)
+	}
+
+	c.SetStatus(0, Draining)
+	if id, _ = c.Pick(0, wire.Hello{}); id != 1 {
+		t.Fatalf("pick = %d, want 1 (0 draining, 2 full)", id)
+	}
+	c.SetStatus(1, Down)
+	if _, err = c.Pick(0, wire.Hello{}); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("err = %v, want ErrNoReplica", err)
+	}
+}
+
+func TestAdmitFreshThenResumeAfterKill(t *testing.T) {
+	c := NewCoordinator(Config{ReplicaCapacity: 4, TokenSeed: 9})
+	c.AddReplica(0, nil)
+	c.AddReplica(1, nil)
+
+	w, err := c.AdmitOn(0, 0, 11, wire.Hello{App: "xr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.ResumeToken == 0 || w.Resumed || w.PoseEpoch != 1 {
+		t.Fatalf("fresh welcome = %+v", w)
+	}
+	if c.Sessions(0) != 1 {
+		t.Fatalf("placement count = %d, want 1", c.Sessions(0))
+	}
+	c.Ack(w.ResumeToken, 640)
+
+	displaced := c.KillReplica(0)
+	if len(displaced) != 1 || displaced[0].Token != w.ResumeToken {
+		t.Fatalf("displaced = %+v", displaced)
+	}
+
+	// the resume Hello routes away from the corpse and restores state
+	id, err := c.Pick(1, wire.Hello{ResumeToken: w.ResumeToken})
+	if err != nil || id != 1 {
+		t.Fatalf("pick = %d, %v; want survivor 1", id, err)
+	}
+	w2, err := c.AdmitOn(1, 1, 12, wire.Hello{App: "xr", ResumeToken: w.ResumeToken, LastSeq: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w2.Resumed || w2.ResumeToken != w.ResumeToken || w2.PoseEpoch != 2 || w2.LastAckSeq != 640 {
+		t.Fatalf("resume welcome = %+v", w2)
+	}
+	if c.Sessions(1) != 1 {
+		t.Fatalf("survivor count = %d, want 1", c.Sessions(1))
+	}
+
+	// terminal departure forgets the token
+	c.End(w.ResumeToken)
+	if _, err := c.AdmitOn(2, 1, 13, wire.Hello{ResumeToken: w.ResumeToken}); !errors.Is(err, ErrUnknownToken) {
+		t.Fatalf("err = %v, want ErrUnknownToken", err)
+	}
+}
+
+func TestResumeBurstLimiter(t *testing.T) {
+	c := NewCoordinator(Config{ReplicaCapacity: 64, ResumeBurst: 2, ResumeWindowSec: 1})
+	c.AddReplica(0, nil)
+	c.AddReplica(1, nil)
+
+	var tokens []uint64
+	for i := 0; i < 3; i++ {
+		w, err := c.AdmitOn(0, 0, uint64(i), wire.Hello{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens = append(tokens, w.ResumeToken)
+	}
+	c.KillReplica(0)
+
+	// two resumes fit the window; the third is pushed back, retryable
+	for i := 0; i < 2; i++ {
+		if _, err := c.AdmitOn(5.0, 1, uint64(10+i), wire.Hello{ResumeToken: tokens[i]}); err != nil {
+			t.Fatalf("resume %d refused: %v", i, err)
+		}
+	}
+	_, err := c.AdmitOn(5.0, 1, 12, wire.Hello{ResumeToken: tokens[2]})
+	var ae *session.AdmissionError
+	if !errors.As(err, &ae) || !ae.Retryable() {
+		t.Fatalf("err = %v, want retryable AdmissionError", err)
+	}
+	// past the window the same session gets in
+	if _, err := c.AdmitOn(6.5, 1, 12, wire.Hello{ResumeToken: tokens[2]}); err != nil {
+		t.Fatalf("post-window resume refused: %v", err)
+	}
+}
+
+func TestAdmitOnDownReplicaRefused(t *testing.T) {
+	c := NewCoordinator(Config{})
+	c.AddReplica(0, nil)
+	c.SetStatus(0, Down)
+	_, err := c.AdmitOn(0, 0, 1, wire.Hello{})
+	var ae *session.AdmissionError
+	if !errors.As(err, &ae) || !ae.Retryable() {
+		t.Fatalf("err = %v, want retryable AdmissionError", err)
+	}
+}
+
+func TestTokenIssuanceDeterministic(t *testing.T) {
+	mk := func() []uint64 {
+		c := NewCoordinator(Config{TokenSeed: 123})
+		c.AddReplica(0, nil)
+		var out []uint64
+		for i := 0; i < 5; i++ {
+			w, err := c.AdmitOn(0, 0, uint64(i), wire.Hello{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, w.ResumeToken)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("token stream diverged at %d: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Gateway end-to-end: real session servers behind the relay.
+
+// poseOnFrame answers every uplink frame with one latest-wins pose, so
+// the test can observe the downlink path through the relay.
+type poseOnFrame struct{}
+
+func (poseOnFrame) SessionStart(*session.Session) error { return nil }
+func (poseOnFrame) SessionEnd(*session.Session, error)  {}
+func (poseOnFrame) SessionFrame(s *session.Session, f wire.Frame) error {
+	if f.Type == wire.TypeIMU {
+		imu, err := wire.DecodeIMU(f.Payload)
+		if err != nil {
+			return err
+		}
+		return s.Send(wire.Frame{Type: wire.TypePose,
+			Payload: wire.AppendPose(nil, wire.Pose{T: imu.T})}, session.LatestWins)
+	}
+	return nil
+}
+
+// testFleet wires N real servers behind a gateway over net.Pipe.
+type testFleet struct {
+	coord *Coordinator
+	gw    *Gateway
+	srvs  []*session.Server
+
+	mu   sync.Mutex
+	down map[int]bool
+}
+
+func newTestFleet(t *testing.T, n, capacity int) *testFleet {
+	t.Helper()
+	tf := &testFleet{down: map[int]bool{}}
+	tf.coord = NewCoordinator(Config{ReplicaCapacity: capacity, TokenSeed: 1,
+		RetryAfter: 50 * time.Millisecond, ResumeBurst: 64, ResumeWindowSec: 1})
+	for i := 0; i < n; i++ {
+		srv := session.NewServer(session.Config{IdleTimeout: -1}, poseOnFrame{})
+		tf.srvs = append(tf.srvs, srv)
+		tf.coord.AddReplica(i, nil)
+	}
+	tf.gw = &Gateway{Coord: tf.coord, Dial: tf.dial}
+	t.Cleanup(func() {
+		_ = tf.gw.Shutdown(context.Background())
+		for _, s := range tf.srvs {
+			_ = s.Shutdown(context.Background())
+		}
+	})
+	return tf
+}
+
+func (tf *testFleet) dial(id int) (net.Conn, error) {
+	tf.mu.Lock()
+	dead := tf.down[id]
+	tf.mu.Unlock()
+	if dead {
+		return nil, fmt.Errorf("replica %d: connection refused", id)
+	}
+	c, s := net.Pipe()
+	if tf.srvs[id].HandleConn(s) == nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("replica %d: connection refused", id)
+	}
+	return c, nil
+}
+
+// kill crashes a replica the hard way.
+func (tf *testFleet) kill(id int) {
+	tf.mu.Lock()
+	tf.down[id] = true
+	tf.mu.Unlock()
+	tf.srvs[id].Abort(nil)
+	tf.coord.KillReplica(id)
+}
+
+// connect opens a client conn through the gateway and handshakes.
+func (tf *testFleet) connect(t *testing.T, hello wire.Hello) (net.Conn, *wire.Reader, *wire.Writer, wire.Welcome) {
+	t.Helper()
+	c, g := net.Pipe()
+	tf.gw.HandleConn(g)
+	r, w := wire.NewReader(c), wire.NewWriter(c)
+	hello.Proto = wire.Version
+	if err := w.WriteFrame(wire.Frame{Type: wire.TypeHello,
+		Payload: wire.AppendHello(nil, hello)}); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	f, err := r.ReadFrame()
+	if err != nil {
+		t.Fatalf("awaiting welcome: %v", err)
+	}
+	if f.Type == wire.TypeBye {
+		b, _ := wire.DecodeBye(f.Payload)
+		t.Fatalf("refused: %+v", b)
+	}
+	wel, err := wire.DecodeWelcome(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, r, w, wel
+}
+
+func TestGatewayCrashResume(t *testing.T) {
+	tf := newTestFleet(t, 2, 8)
+
+	conn, r, w, wel := tf.connect(t, wire.Hello{App: "xr", IMURateHz: 500})
+	if wel.ResumeToken == 0 || wel.Resumed {
+		t.Fatalf("fresh welcome = %+v", wel)
+	}
+	placedOn := -1
+	for id := range tf.srvs {
+		if tf.coord.Sessions(id) == 1 {
+			placedOn = id
+		}
+	}
+	if placedOn == -1 {
+		t.Fatal("session not placed")
+	}
+
+	// uplink flows and poses come back through the relay
+	imu := wire.AppendIMU(nil, wireIMU(0.01))
+	if err := w.WriteFrame(wire.Frame{Type: wire.TypeIMU, Payload: imu}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.ReadFrame()
+	if err != nil || f.Type != wire.TypePose {
+		t.Fatalf("downlink = %v err %v, want pose", f.Type, err)
+	}
+
+	// kill the hosting replica: the client's stream severs without a Bye
+	tf.kill(placedOn)
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			break
+		}
+		if f.Type == wire.TypeBye {
+			t.Fatal("crash produced a graceful Bye")
+		}
+	}
+	_ = conn.Close()
+
+	// reconnect with the token: placed on the survivor, state restored
+	_, r2, w2, wel2 := tf.connect(t, wire.Hello{App: "xr", IMURateHz: 500, ResumeToken: wel.ResumeToken, LastSeq: 1})
+	if !wel2.Resumed || wel2.ResumeToken != wel.ResumeToken || wel2.PoseEpoch != 2 {
+		t.Fatalf("resume welcome = %+v", wel2)
+	}
+	survivor := 1 - placedOn
+	if tf.coord.Sessions(survivor) != 1 {
+		t.Fatalf("survivor sessions = %d, want 1", tf.coord.Sessions(survivor))
+	}
+	// the resumed session is live end to end
+	if err := w2.WriteFrame(wire.Frame{Type: wire.TypeIMU, Payload: imu}); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := r2.ReadFrame(); err != nil || f.Type != wire.TypePose {
+		t.Fatalf("post-resume downlink = %v err %v, want pose", f.Type, err)
+	}
+}
+
+func TestGatewayFleetFullRefusesWithRetryAfter(t *testing.T) {
+	tf := newTestFleet(t, 1, 1)
+	tf.connect(t, wire.Hello{App: "one"}) // fills the only replica
+
+	c, g := net.Pipe()
+	tf.gw.HandleConn(g)
+	r, w := wire.NewReader(c), wire.NewWriter(c)
+	if err := w.WriteFrame(wire.Frame{Type: wire.TypeHello,
+		Payload: wire.AppendHello(nil, wire.Hello{Proto: wire.Version, App: "two"})}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.ReadFrame()
+	if err != nil || f.Type != wire.TypeBye {
+		t.Fatalf("reply = %v err %v, want bye", f.Type, err)
+	}
+	bye, err := wire.DecodeBye(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bye.Retryable() || bye.Reason != "fleet full" {
+		t.Fatalf("bye = %+v, want retryable fleet-full push-back", bye)
+	}
+}
+
+func TestGatewayDrainMigration(t *testing.T) {
+	tf := newTestFleet(t, 2, 8)
+
+	conn, r, _, wel := tf.connect(t, wire.Hello{App: "xr"})
+	placedOn := -1
+	for id := range tf.srvs {
+		if tf.coord.Sessions(id) == 1 {
+			placedOn = id
+		}
+	}
+
+	// graceful drain: the replica's Bye (Retry-After attached) relays to
+	// the client — an invitation to resume, not an error
+	displaced := tf.coord.DrainReplica(placedOn)
+	if len(displaced) != 1 {
+		t.Fatalf("displaced = %d, want 1", len(displaced))
+	}
+	go func() { _ = tf.srvs[placedOn].Shutdown(context.Background()) }()
+	var bye wire.Bye
+	sawBye := false
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			break
+		}
+		if f.Type == wire.TypeBye {
+			bye, _ = wire.DecodeBye(f.Payload)
+			sawBye = true
+		}
+	}
+	_ = conn.Close()
+	if !sawBye || !bye.Retryable() {
+		t.Fatalf("drain bye = %+v (seen=%v), want retryable invitation", bye, sawBye)
+	}
+
+	// resume on the survivor
+	_, _, _, wel2 := tf.connect(t, wire.Hello{App: "xr", ResumeToken: wel.ResumeToken})
+	if !wel2.Resumed || wel2.PoseEpoch != 2 {
+		t.Fatalf("post-drain resume = %+v", wel2)
+	}
+	if tf.coord.Sessions(1-placedOn) != 1 {
+		t.Fatal("session did not migrate to the survivor")
+	}
+}
+
+// wireIMU builds a minimal IMU sample for relay tests.
+func wireIMU(ts float64) sensors.IMUSample {
+	return sensors.IMUSample{T: ts}
+}

@@ -1,0 +1,351 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"illixr/internal/netxr/session"
+	"illixr/internal/netxr/wire"
+	"illixr/internal/telemetry"
+)
+
+// ackEvery is how many uplink frames the gateway relays between Ack
+// checkpoints into the coordinator's resume registry.
+const ackEvery = 64
+
+// Gateway fronts the fleet: clients dial it, it places each session on
+// a replica via the coordinator and then relays frames both ways. The
+// relay is frame-level, not byte-level, because the gateway must own
+// the handshake — it intercepts the client Hello, dials the chosen
+// replica with a fresh (resume-stripped) Hello, and rewrites the
+// replica's Welcome with the fleet's resume token, epoch and ack
+// snapshot. Replicas stay resume-ignorant; all survivability state
+// lives in the coordinator, which is exactly why it outlives them.
+//
+// Failure mapping, client's view:
+//   - no replica available / admission refused → Bye with Retry-After
+//   - replica dies mid-session → connection drops, the client redials
+//     the gateway with its resume token and lands on a survivor
+//   - replica drains → its Bye (Retry-After attached) is relayed
+type Gateway struct {
+	// Coord places sessions and owns resume state. Required.
+	Coord *Coordinator
+	// Dial opens a connection to a replica. Required.
+	Dial func(replica int) (net.Conn, error)
+	// Now is the admission clock in seconds; nil = wall clock from the
+	// first connection.
+	Now func() float64
+	// HandshakeTimeout bounds the client Hello wait and the replica
+	// handshake (0 = 5s).
+	HandshakeTimeout time.Duration
+	// DialAttempts bounds placement retries when a picked replica fails
+	// to dial — each failure marks that replica Down and re-Picks
+	// (0 = 3).
+	DialAttempts int
+	// Metrics receives illixr_fleet_* gateway instruments; nil = off.
+	Metrics *telemetry.Registry
+
+	startNow sync.Once
+	nowFn    func() float64
+
+	initOnce sync.Once
+	relayed  *telemetry.Counter
+	dialFail *telemetry.Counter
+
+	mu     sync.Mutex
+	closed bool
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+func (g *Gateway) init() {
+	g.initOnce.Do(func() {
+		g.relayed = g.Metrics.Counter(telemetry.MetricName("fleet", "gateway_frames_relayed_total"))
+		g.dialFail = g.Metrics.Counter(telemetry.MetricName("fleet", "gateway_dial_failures_total"))
+		if g.HandshakeTimeout == 0 {
+			g.HandshakeTimeout = 5 * time.Second
+		}
+		if g.DialAttempts == 0 {
+			g.DialAttempts = 3
+		}
+	})
+}
+
+func (g *Gateway) now() float64 {
+	g.startNow.Do(func() {
+		if g.Now != nil {
+			g.nowFn = g.Now
+			return
+		}
+		start := time.Now()
+		g.nowFn = func() float64 { return time.Since(start).Seconds() }
+	})
+	return g.nowFn()
+}
+
+// Serve accepts client connections on ln until Shutdown. It blocks.
+func (g *Gateway) Serve(ln net.Listener) error {
+	g.init()
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return session.ErrClosed
+	}
+	g.ln = ln
+	g.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			g.mu.Lock()
+			closed := g.closed
+			g.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		g.HandleConn(conn)
+	}
+}
+
+// HandleConn adopts one client connection (tests feed pipe ends
+// directly) and relays it asynchronously.
+func (g *Gateway) HandleConn(conn net.Conn) {
+	g.init()
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if g.conns == nil {
+		g.conns = map[net.Conn]struct{}{}
+	}
+	g.conns[conn] = struct{}{}
+	g.wg.Add(1)
+	g.mu.Unlock()
+	go func() {
+		defer g.wg.Done()
+		g.relay(conn)
+		g.mu.Lock()
+		delete(g.conns, conn)
+		g.mu.Unlock()
+	}()
+}
+
+// Shutdown stops accepting and closes every relayed connection, then
+// waits for the relay goroutines up to the context deadline.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	ln := g.ln
+	conns := make([]net.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	done := make(chan struct{})
+	go func() { g.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// refuse sends a terminal Bye to the client, best-effort.
+func (g *Gateway) refuse(conn net.Conn, w *wire.Writer, reason string, retry time.Duration) {
+	_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_ = w.WriteFrame(wire.Frame{Type: wire.TypeBye,
+		Payload: wire.AppendBye(nil, wire.Bye{Reason: reason, RetryAfterMs: uint32(retry.Milliseconds())})})
+	_ = conn.Close()
+}
+
+// place picks a replica and dials it, marking dial failures Down and
+// re-picking, up to DialAttempts.
+func (g *Gateway) place(now float64, h wire.Hello) (int, net.Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt < g.DialAttempts; attempt++ {
+		id, err := g.Coord.Pick(now, h)
+		if err != nil {
+			return -1, nil, err
+		}
+		conn, err := g.Dial(id)
+		if err == nil {
+			return id, conn, nil
+		}
+		// a replica that refuses a dial is treated as crashed: mark it
+		// Down so placement stops routing there, and try the next one.
+		g.dialFail.Inc()
+		g.Coord.SetStatus(id, Down)
+		lastErr = fmt.Errorf("fleet: dial replica %d: %w", id, err)
+	}
+	return -1, nil, lastErr
+}
+
+// relay runs one client's full lifecycle on the calling goroutine.
+func (g *Gateway) relay(client net.Conn) {
+	defer func() { _ = client.Close() }()
+	cr, cw := wire.NewReader(client), wire.NewWriter(client)
+
+	// 1. client Hello
+	_ = client.SetReadDeadline(time.Now().Add(g.HandshakeTimeout))
+	f, err := cr.ReadFrame()
+	if err != nil || f.Type != wire.TypeHello {
+		return
+	}
+	hello, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		return
+	}
+	_ = client.SetReadDeadline(time.Time{})
+	helloTrace := f.Trace
+
+	// 2. place + dial
+	now := g.now()
+	replicaID, backend, err := g.place(now, hello)
+	if err != nil {
+		retry := g.Coord.cfg.RetryAfter
+		if errors.Is(err, ErrNoReplica) {
+			g.refuse(client, cw, "fleet full", retry)
+		} else {
+			g.refuse(client, cw, "fleet unavailable", retry)
+		}
+		return
+	}
+	defer func() { _ = backend.Close() }()
+	br, bw := wire.NewReader(backend), wire.NewWriter(backend)
+
+	// 3. handshake the replica with a resume-stripped Hello: the replica
+	// admits it as a brand-new session; resume is a fleet-level fiction.
+	backendHello := hello
+	backendHello.ResumeToken, backendHello.LastSeq = 0, 0
+	if err := bw.WriteFrame(wire.Frame{Type: wire.TypeHello, Trace: helloTrace,
+		Payload: wire.AppendHello(nil, backendHello)}); err != nil {
+		g.refuse(client, cw, "fleet unavailable", g.Coord.cfg.RetryAfter)
+		return
+	}
+	_ = backend.SetReadDeadline(time.Now().Add(g.HandshakeTimeout))
+	bf, err := br.ReadFrame()
+	if err != nil {
+		g.refuse(client, cw, "fleet unavailable", g.Coord.cfg.RetryAfter)
+		return
+	}
+	_ = backend.SetReadDeadline(time.Time{})
+	if bf.Type == wire.TypeBye {
+		// replica-level refusal (e.g. its own MaxSessions): relay the
+		// push-back as-is — the hint tells the client when to come back.
+		b, _ := wire.DecodeBye(bf.Payload)
+		if b.RetryAfterMs == 0 {
+			b.RetryAfterMs = uint32(g.Coord.cfg.RetryAfter.Milliseconds())
+		}
+		g.refuse(client, cw, b.Reason, time.Duration(b.RetryAfterMs)*time.Millisecond)
+		return
+	}
+	if bf.Type != wire.TypeWelcome {
+		g.refuse(client, cw, "fleet protocol error", 0)
+		return
+	}
+	backendWelcome, err := wire.DecodeWelcome(bf.Payload)
+	if err != nil {
+		g.refuse(client, cw, "fleet protocol error", 0)
+		return
+	}
+
+	// 4. commit the placement; this can still refuse (the replica filled
+	// up between Pick and now, or a resume burst is in flight).
+	welcome, err := g.Coord.AdmitOn(g.now(), replicaID, backendWelcome.Session, hello)
+	if err != nil {
+		var ae *session.AdmissionError
+		if errors.As(err, &ae) {
+			g.refuse(client, cw, ae.Reason, ae.RetryAfter)
+		} else {
+			g.refuse(client, cw, err.Error(), 0)
+		}
+		return
+	}
+	welcome.Proto = wire.Version
+	if err := cw.WriteFrame(wire.Frame{Type: wire.TypeWelcome, Trace: bf.Trace,
+		Payload: wire.AppendWelcome(nil, welcome)}); err != nil {
+		return
+	}
+	token := welcome.ResumeToken
+	baseSeq := welcome.LastAckSeq
+
+	// 5. relay. Uplink (client→replica) counts frames for the ack
+	// checkpoint; a client Bye retires the token — that departure is
+	// intentional, not a failure to survive. Downlink (replica→client)
+	// relays until the replica closes or says Bye.
+	var once sync.Once
+	var severed atomic.Bool
+	closeBoth := func() { severed.Store(true); _ = client.Close(); _ = backend.Close() }
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // uplink
+		defer wg.Done()
+		defer once.Do(closeBoth)
+		n := uint64(0)
+		for {
+			uf, err := cr.ReadFrame()
+			if err != nil {
+				g.Coord.Ack(token, baseSeq+n)
+				return
+			}
+			if uf.Type == wire.TypeBye {
+				_ = bw.WriteFrame(uf)
+				g.Coord.End(token)
+				return
+			}
+			if err := bw.WriteFrame(uf); err != nil {
+				g.Coord.Ack(token, baseSeq+n)
+				return
+			}
+			n++
+			g.relayed.Inc()
+			if n%ackEvery == 0 {
+				g.Coord.Ack(token, baseSeq+n)
+			}
+		}
+	}()
+	// downlink, on this goroutine
+	for {
+		df, err := br.ReadFrame()
+		if err != nil {
+			// the clean path ends with a relayed Bye, so an error here
+			// without one means the replica went away under a session the
+			// client still wanted: mark it Down (unless this end of the
+			// relay was torn down first by the client side) and sever the
+			// client so it redials with its token.
+			if !severed.Load() {
+				g.Coord.SetStatus(replicaID, Down)
+			}
+			break
+		}
+		if err := cw.WriteFrame(df); err != nil {
+			break
+		}
+		g.relayed.Inc()
+		if df.Type == wire.TypeBye {
+			break
+		}
+	}
+	once.Do(closeBoth)
+	wg.Wait()
+}

@@ -2,6 +2,7 @@ package session
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -28,9 +29,45 @@ type Config struct {
 	HandshakeTimeout time.Duration
 	// WriteTimeout bounds each frame write.
 	WriteTimeout time.Duration
+	// RetryAfter is the reconnect hint attached to capacity refusals: a
+	// full server refuses with a Bye telling the client to come back in
+	// this long instead of a terminal error. 0 = default (1 s).
+	RetryAfter time.Duration
+	// Admission, when non-nil, decides every handshake: it issues resume
+	// tokens, restores resumed-session state, and refuses admission with
+	// Retry-After hints. nil admits every session fresh with the session
+	// id as its resume token.
+	Admission Admission
 	// Metrics receives illixr_netxr_* instruments; nil = uninstrumented.
 	Metrics *telemetry.Registry
 }
+
+// Admission decides handshake outcomes; the fleet coordinator implements
+// it (internal/netxr/fleet). Admit runs on the session's reader goroutine
+// after the Hello is validated; the returned Welcome's Proto and Session
+// fields are overwritten by the transport. Returning an error refuses the
+// session — return an *AdmissionError to carry a Retry-After hint onto
+// the refusal Bye.
+type Admission interface {
+	Admit(sessionID uint64, h wire.Hello) (wire.Welcome, error)
+}
+
+// AdmissionError is a transient admission refusal: the client should
+// reconnect (with its resume token) after RetryAfter.
+type AdmissionError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("session: admission refused: %s (retry after %s)", e.Reason, e.RetryAfter)
+}
+
+// Unwrap lets errors.Is(err, ErrAdmission) hold.
+func (e *AdmissionError) Unwrap() error { return ErrAdmission }
+
+// Retryable marks the refusal transient when a retry hint is present.
+func (e *AdmissionError) Retryable() bool { return e.RetryAfter > 0 }
 
 func (c Config) withDefaults() Config {
 	d := config.DefaultNet()
@@ -48,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 10 * time.Second
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
 	}
 	return c
 }
@@ -77,9 +117,10 @@ type Server struct {
 	closed   bool
 	ln       net.Listener
 
-	wg       sync.WaitGroup
-	janitorC chan struct{}
-	janitor  sync.Once
+	wg          sync.WaitGroup
+	janitorC    chan struct{}
+	janitor     sync.Once
+	janitorStop sync.Once
 }
 
 // NewServer builds a server with the given handler.
@@ -128,14 +169,18 @@ func (s *Server) HandleConn(conn net.Conn) *Session {
 		full := !s.closed
 		s.mu.Unlock()
 		if full {
-			// best-effort refusal so the client sees why; written off the
-			// accept path because synchronous transports (net.Pipe) block
-			// the write until the peer reads
+			// best-effort refusal so the client sees why; the Retry-After
+			// hint makes it an admission-control push-back rather than a
+			// hard error — the client backs off and redials. Written off
+			// the accept path because synchronous transports (net.Pipe)
+			// block the write until the peer reads.
+			retryMs := uint32(s.cfg.RetryAfter.Milliseconds())
+			s.m.refused.Inc()
 			go func() {
 				w := wire.NewWriter(conn)
 				_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
 				_ = w.WriteFrame(wire.Frame{Type: wire.TypeBye,
-					Payload: wire.AppendBye(nil, wire.Bye{Reason: "server full"})})
+					Payload: wire.AppendBye(nil, wire.Bye{Reason: "server full", RetryAfterMs: retryMs})})
 				_ = conn.Close()
 			}()
 		} else {
@@ -149,12 +194,15 @@ func (s *Server) HandleConn(conn net.Conn) *Session {
 	sess.slots = map[wire.Type]wire.Frame{}
 	s.sessions[sess.id] = sess
 	active := len(s.sessions)
+	// Add under the lock: it must be ordered against the closed check,
+	// or a racing Abort/Shutdown could be inside wg.Wait when the
+	// counter goes 0→1 (undefined per sync.WaitGroup).
+	s.wg.Add(1)
 	s.mu.Unlock()
 
 	s.m.sessionsTotal.Inc()
 	s.m.sessionsActive.Set(float64(active))
 
-	s.wg.Add(1)
 	go s.run(sess)
 	return sess
 }
@@ -170,8 +218,14 @@ func (s *Server) run(sess *Session) {
 	if err != nil {
 		// terminal error: flush what's queued and tell the peer why —
 		// every write is deadline-bounded, so a stalled peer cannot pin
-		// the teardown
-		sess.Drain(err.Error())
+		// the teardown. Admission refusals carry their Retry-After hint
+		// onto the Bye so a refused client knows to come back.
+		var ae *AdmissionError
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			sess.DrainRetry(err.Error(), uint32(ae.RetryAfter.Milliseconds()))
+		} else {
+			sess.Drain(err.Error())
+		}
 	} else {
 		// clean end-of-stream: flush what's queued, then close
 		sess.Drain("eof")
@@ -273,12 +327,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.closed = true
 	ln := s.ln
 	s.mu.Unlock()
-	close(s.janitorC)
+	s.janitorStop.Do(func() { close(s.janitorC) })
 	if ln != nil {
 		_ = ln.Close()
 	}
 	for _, sess := range s.snapshotSessions() {
-		sess.Drain("server shutdown")
+		// a drained session is invited back: the fleet will re-place it
+		sess.DrainRetry("server shutdown", uint32(s.cfg.RetryAfter.Milliseconds()))
 	}
 
 	done := make(chan struct{})
@@ -293,4 +348,35 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 		return ctx.Err()
 	}
+}
+
+// ErrAborted is the cause sessions observe when their server crashes.
+var ErrAborted = errors.New("session: server aborted")
+
+// Abort kills the server the way a process crash would: the listener
+// closes and every session dies immediately — no drain, no Bye, queued
+// frames abandoned. Clients see a severed connection, exactly as they
+// would from a dead replica. This is the chaos hook behind the
+// replica-crash fault scenario (internal/faults); graceful teardown is
+// Shutdown.
+func (s *Server) Abort(cause error) {
+	if cause == nil {
+		cause = ErrAborted
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	s.janitorStop.Do(func() { close(s.janitorC) })
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, sess := range s.snapshotSessions() {
+		sess.Close(cause)
+	}
+	s.wg.Wait()
 }

@@ -42,7 +42,37 @@ var (
 	ErrBackpressure = errors.New("session: reliable send queue full")
 	ErrIdleTimeout  = errors.New("session: idle timeout")
 	ErrHandshake    = errors.New("session: handshake failed")
+	ErrAdmission    = errors.New("session: admission refused")
 )
+
+// BackpressureError is the typed, retryable rejection of a reliable Send
+// when the queue is full: the producer should back off and retry (or drop
+// deliberately), never treat it as session death. errors.Is matches both
+// ErrBackpressure and the generic retryable test below.
+type BackpressureError struct {
+	Session uint64
+	Queued  int // frames waiting when the send was refused
+}
+
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("session %d: reliable send queue full (%d queued)", e.Session, e.Queued)
+}
+
+// Unwrap lets errors.Is(err, ErrBackpressure) hold.
+func (e *BackpressureError) Unwrap() error { return ErrBackpressure }
+
+// Retryable marks the error transient.
+func (e *BackpressureError) Retryable() bool { return true }
+
+// IsRetryable reports whether a send/admission failure is transient: the
+// caller should retry (after backoff) instead of tearing the session down.
+func IsRetryable(err error) bool {
+	if errors.Is(err, ErrBackpressure) {
+		return true
+	}
+	var r interface{ Retryable() bool }
+	return errors.As(err, &r) && r.Retryable()
+}
 
 // metrics bundles the per-server instruments (nil-safe when no registry
 // is installed).
@@ -52,6 +82,9 @@ type metrics struct {
 	recvFrames     *telemetry.Counter
 	sentFrames     *telemetry.Counter
 	sendDropped    *telemetry.Counter
+	backpressure   *telemetry.Counter
+	resumed        *telemetry.Counter
+	refused        *telemetry.Counter
 	decodeErrors   *telemetry.Counter
 	bytesIn        *telemetry.Counter
 	bytesOut       *telemetry.Counter
@@ -66,6 +99,9 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		recvFrames:     reg.Counter(n("recv_frames_total")),
 		sentFrames:     reg.Counter(n("sent_frames_total")),
 		sendDropped:    reg.Counter(n("send_dropped_total")),
+		backpressure:   reg.Counter(n("backpressure_total")),
+		resumed:        reg.Counter(n("sessions_resumed_total")),
+		refused:        reg.Counter(n("admission_refused_total")),
 		decodeErrors:   reg.Counter(n("decode_errors_total")),
 		bytesIn:        reg.Counter(n("bytes_in_total")),
 		bytesOut:       reg.Counter(n("bytes_out_total")),
@@ -93,6 +129,7 @@ type Session struct {
 	drainReq bool   // close the connection once the queues are empty
 	byeSent  bool   // terminal Bye already handed to the writer
 	byeWhy   string // reason carried by the terminal Bye
+	byeRetry uint32 // Retry-After hint carried by the terminal Bye (ms)
 
 	lastRecv atomic.Int64 // unix nanos of the last decoded frame
 
@@ -141,7 +178,8 @@ func (s *Session) Send(f wire.Frame, class Class) error {
 	if class != LatestWins && len(s.fifo) >= s.srv.cfg.QueueLen {
 		s.dropped.Add(1)
 		s.srv.m.sendDropped.Inc()
-		return ErrBackpressure
+		s.srv.m.backpressure.Inc()
+		return &BackpressureError{Session: s.id, Queued: len(s.fifo)}
 	}
 	// The payload escapes to the writer goroutine: copy it into a recycled
 	// buffer so callers may reuse their encode buffers. The writer returns
@@ -172,13 +210,27 @@ func (s *Session) Send(f wire.Frame, class Class) error {
 }
 
 // Drain asks the writer to flush everything queued, send a terminal Bye,
-// and then close the connection. Used by graceful shutdown.
-func (s *Session) Drain(reason string) {
+// and then close the connection. Used by graceful shutdown. Drain is
+// idempotent: the first call wins the reason; later Drain or Close calls —
+// including after the drain deadline has force-closed the session — are
+// no-ops and can never re-arm a second Bye (the byeSent latch is checked
+// by the writer, never reset).
+func (s *Session) Drain(reason string) { s.DrainRetry(reason, 0) }
+
+// DrainRetry is Drain with a Retry-After hint: a non-zero retryMs tells
+// the client the disconnect is transient (replica drain, admission
+// refusal) and it should reconnect with its resume token after at least
+// that many milliseconds. Same idempotence contract as Drain.
+func (s *Session) DrainRetry(reason string, retryMs uint32) {
 	s.mu.Lock()
-	if !s.closed && !s.drainReq {
-		s.drainReq = true
-		s.byeWhy = reason
+	if s.closed || s.drainReq {
+		// already draining or gone: the first reason and hint stand
+		s.mu.Unlock()
+		return
 	}
+	s.drainReq = true
+	s.byeWhy = reason
+	s.byeRetry = retryMs
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }
@@ -249,7 +301,7 @@ func (s *Session) nextOut() (f wire.Frame, ok, terminal bool) {
 			if !s.byeSent {
 				s.byeSent = true
 				bye := wire.Frame{Type: wire.TypeBye,
-					Payload: wire.AppendBye(nil, wire.Bye{Reason: s.byeWhy})}
+					Payload: wire.AppendBye(nil, wire.Bye{Reason: s.byeWhy, RetryAfterMs: s.byeRetry})}
 				return bye, true, true
 			}
 			return wire.Frame{}, false, false // flushed everything, incl. the Bye
@@ -351,6 +403,9 @@ func (s *Session) isClosed() bool {
 }
 
 // handshake expects a Hello as the very first frame and answers Welcome.
+// When an Admission is configured it decides the Welcome — issuing resume
+// tokens, restoring snapshots for reconnecting clients, or refusing with
+// a Retry-After hint (the refusal rides the terminal drain Bye).
 func (s *Session) handshake(r *wire.Reader) error {
 	if s.srv.cfg.HandshakeTimeout > 0 {
 		_ = s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.HandshakeTimeout))
@@ -373,8 +428,23 @@ func (s *Session) handshake(r *wire.Reader) error {
 	}
 	s.hello = h
 	s.lastRecv.Store(time.Now().UnixNano())
-	welcome := wire.AppendWelcome(nil, wire.Welcome{Proto: wire.Version, Session: s.id})
-	return s.Send(wire.Frame{Type: wire.TypeWelcome, Payload: welcome}, Reliable)
+	welcome := wire.Welcome{Proto: wire.Version, Session: s.id, ResumeToken: s.id}
+	if adm := s.srv.cfg.Admission; adm != nil {
+		w, aerr := adm.Admit(s.id, h)
+		if aerr != nil {
+			s.srv.m.refused.Inc()
+			return aerr
+		}
+		welcome = w
+		// the transport owns these fields regardless of the admission
+		welcome.Proto = wire.Version
+		welcome.Session = s.id
+	}
+	if welcome.Resumed {
+		s.srv.m.resumed.Inc()
+	}
+	payload := wire.AppendWelcome(nil, welcome)
+	return s.Send(wire.Frame{Type: wire.TypeWelcome, Payload: payload}, Reliable)
 }
 
 // Info is the introspection snapshot of one live session (the /sessions

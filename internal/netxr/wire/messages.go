@@ -128,13 +128,18 @@ func (d *dec) pose() mathx.Pose {
 // Hello is the client's opening message: protocol version, a label for
 // the session, the deterministic seed driving the client's sensors, and
 // the nominal stream rates (the server sizes queues and watchdogs off
-// them).
+// them). ResumeToken is zero for a fresh session; on reconnect the client
+// presents the token from its last Welcome plus the highest downlink
+// sequence it observed, and the fleet re-places the session instead of
+// starting a new one (DESIGN.md §11).
 type Hello struct {
-	Proto     uint32
-	App       string
-	Seed      int64
-	IMURateHz float64
-	CamRateHz float64
+	Proto       uint32
+	App         string
+	Seed        int64
+	IMURateHz   float64
+	CamRateHz   float64
+	ResumeToken uint64 // 0 = fresh session; else the token from a prior Welcome
+	LastSeq     uint64 // highest downlink seq the client saw before disconnecting
 }
 
 // AppendHello encodes h onto dst.
@@ -144,7 +149,9 @@ func AppendHello(dst []byte, h Hello) []byte {
 	dst = append(dst, h.App...)
 	dst = binary.AppendVarint(dst, h.Seed)
 	dst = appendF64(dst, h.IMURateHz)
-	return appendF64(dst, h.CamRateHz)
+	dst = appendF64(dst, h.CamRateHz)
+	dst = binary.AppendUvarint(dst, h.ResumeToken)
+	return binary.AppendUvarint(dst, h.LastSeq)
 }
 
 // DecodeHello parses a Hello payload.
@@ -157,26 +164,53 @@ func DecodeHello(p []byte) (Hello, error) {
 	}
 	h.IMURateHz = d.f64()
 	h.CamRateHz = d.f64()
+	h.ResumeToken = d.uvarint()
+	h.LastSeq = d.uvarint()
 	return h, d.finish()
 }
 
 // Welcome is the server's handshake reply: the protocol version it
-// speaks and the session id it assigned.
+// speaks, the session id it assigned, and the resume state. ResumeToken
+// is what the client must present to reconnect; Resumed reports whether
+// this handshake restored a prior session; LastAckSeq is the last uplink
+// sequence the fleet acknowledged before the disconnect (the client may
+// skip replaying anything at or below it); PoseEpoch increments on every
+// placement, so a client can tell that downstream pose lineage restarted.
 type Welcome struct {
-	Proto   uint32
-	Session uint64
+	Proto       uint32
+	Session     uint64
+	ResumeToken uint64
+	Resumed     bool
+	LastAckSeq  uint64
+	PoseEpoch   uint64
 }
 
 // AppendWelcome encodes w onto dst.
 func AppendWelcome(dst []byte, w Welcome) []byte {
 	dst = binary.AppendUvarint(dst, uint64(w.Proto))
-	return binary.AppendUvarint(dst, w.Session)
+	dst = binary.AppendUvarint(dst, w.Session)
+	dst = binary.AppendUvarint(dst, w.ResumeToken)
+	var resumed uint64
+	if w.Resumed {
+		resumed = 1
+	}
+	dst = binary.AppendUvarint(dst, resumed)
+	dst = binary.AppendUvarint(dst, w.LastAckSeq)
+	return binary.AppendUvarint(dst, w.PoseEpoch)
 }
 
 // DecodeWelcome parses a Welcome payload.
 func DecodeWelcome(p []byte) (Welcome, error) {
 	d := &dec{b: p}
 	w := Welcome{Proto: uint32(d.uvarint()), Session: d.uvarint()}
+	w.ResumeToken = d.uvarint()
+	resumed := d.uvarint()
+	if d.err == nil && resumed > 1 {
+		return w, fmt.Errorf("%w: resumed flag %d", ErrShortPay, resumed)
+	}
+	w.Resumed = resumed == 1
+	w.LastAckSeq = d.uvarint()
+	w.PoseEpoch = d.uvarint()
 	return w, d.finish()
 }
 
@@ -345,20 +379,33 @@ func DecodePing(p []byte) (Ping, error) {
 }
 
 // Bye announces a graceful close with a human-readable reason; after
-// sending it a peer flushes and closes.
+// sending it a peer flushes and closes. RetryAfterMs is the admission
+// control hint: non-zero means the refusal (or drain) is transient and
+// the client should reconnect — with its resume token — after at least
+// that many milliseconds. Zero means the close is final.
 type Bye struct {
-	Reason string
+	Reason       string
+	RetryAfterMs uint32
 }
+
+// Retryable reports whether the peer invited a reconnect.
+func (b Bye) Retryable() bool { return b.RetryAfterMs > 0 }
 
 // AppendBye encodes a Bye.
 func AppendBye(dst []byte, b Bye) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(b.Reason)))
-	return append(dst, b.Reason...)
+	dst = append(dst, b.Reason...)
+	return binary.AppendUvarint(dst, uint64(b.RetryAfterMs))
 }
 
 // DecodeBye parses a Bye payload.
 func DecodeBye(p []byte) (Bye, error) {
 	d := &dec{b: p}
 	b := Bye{Reason: string(d.bytes())}
+	retry := d.uvarint()
+	if d.err == nil && retry > math.MaxUint32 {
+		return b, fmt.Errorf("%w: retry_after %d ms", ErrTooLarge, retry)
+	}
+	b.RetryAfterMs = uint32(retry)
 	return b, d.finish()
 }

@@ -42,8 +42,12 @@ const (
 
 // Version is the protocol version this build speaks. A decoder receiving
 // any other version returns ErrVersion — the session layer then refuses
-// the peer instead of misparsing its stream.
-const Version = 1
+// the peer instead of misparsing its stream. v2 added session resume:
+// Hello carries a resume token and the client's last-seen downlink seq,
+// Welcome answers with the token to present on reconnect plus the resume
+// snapshot (last acked uplink seq, pose epoch), and Bye carries a
+// machine-readable Retry-After hint for admission-control refusals.
+const Version = 2
 
 // MaxPayload bounds a single frame's payload (1 MiB) so a corrupted or
 // hostile length prefix cannot make the reader allocate unbounded memory.

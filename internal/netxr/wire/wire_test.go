@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math"
@@ -122,18 +123,41 @@ func TestReaderMidFrameEOF(t *testing.T) {
 // --- message round trips ---------------------------------------------------
 
 func TestHelloRoundTrip(t *testing.T) {
-	in := Hello{Proto: Version, App: "sponza", Seed: -7, IMURateHz: 500, CamRateHz: 15}
-	out, err := DecodeHello(AppendHello(nil, in))
-	if err != nil || out != in {
-		t.Fatalf("got %+v err %v", out, err)
+	for _, in := range []Hello{
+		{Proto: Version, App: "sponza", Seed: -7, IMURateHz: 500, CamRateHz: 15},
+		{Proto: Version, App: "sponza", Seed: 3, IMURateHz: 500, CamRateHz: 15,
+			ResumeToken: 0xfeed_beef_cafe, LastSeq: 1 << 40},
+	} {
+		out, err := DecodeHello(AppendHello(nil, in))
+		if err != nil || out != in {
+			t.Fatalf("got %+v err %v", out, err)
+		}
 	}
 }
 
 func TestWelcomeRoundTrip(t *testing.T) {
-	in := Welcome{Proto: Version, Session: 1 << 50}
-	out, err := DecodeWelcome(AppendWelcome(nil, in))
-	if err != nil || out != in {
-		t.Fatalf("got %+v err %v", out, err)
+	for _, in := range []Welcome{
+		{Proto: Version, Session: 1 << 50},
+		{Proto: Version, Session: 9, ResumeToken: 0xabcdef, Resumed: true,
+			LastAckSeq: 4096, PoseEpoch: 3},
+	} {
+		out, err := DecodeWelcome(AppendWelcome(nil, in))
+		if err != nil || out != in {
+			t.Fatalf("got %+v err %v", out, err)
+		}
+	}
+}
+
+func TestWelcomeBadResumedFlag(t *testing.T) {
+	// a resumed flag other than 0/1 must be rejected, not truncated
+	p := binary.AppendUvarint(nil, uint64(Version))
+	p = binary.AppendUvarint(p, 1) // session
+	p = binary.AppendUvarint(p, 2) // token
+	p = binary.AppendUvarint(p, 7) // bad resumed flag
+	p = binary.AppendUvarint(p, 0) // last ack
+	p = binary.AppendUvarint(p, 0) // epoch
+	if _, err := DecodeWelcome(p); err == nil {
+		t.Fatal("resumed flag 7 accepted")
 	}
 }
 
@@ -224,6 +248,14 @@ func TestPingByeRoundTrip(t *testing.T) {
 	bout, err := DecodeBye(AppendBye(nil, bin))
 	if err != nil || bout != bin {
 		t.Fatalf("bye: %+v err %v", bout, err)
+	}
+	if bout.Retryable() {
+		t.Fatal("bye without retry hint reported retryable")
+	}
+	rin := Bye{Reason: "fleet full", RetryAfterMs: 250}
+	rout, err := DecodeBye(AppendBye(nil, rin))
+	if err != nil || rout != rin || !rout.Retryable() {
+		t.Fatalf("retryable bye: %+v err %v", rout, err)
 	}
 }
 

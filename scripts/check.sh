@@ -54,6 +54,13 @@ go run ./cmd/illixr-bench -exp network -network-sessions 8 \
 	-network-out "$TMP/network.json" >/dev/null
 go run ./scripts/netcheck "$TMP/network.json"
 
+echo "== fleet bench smoke"
+# the replica-crash chaos cell must lose zero of its 120 sessions and
+# recover every displaced one inside the bound (see scripts/fleetcheck)
+go run ./cmd/illixr-bench -exp fleet -fleet-sessions 120 \
+	-fleet-out "$TMP/fleet.json" >/dev/null
+go run ./scripts/fleetcheck "$TMP/fleet.json"
+
 echo "== zero-allocation regression tests"
 # AllocsPerRun needs real allocation counts, so this pass runs without
 # -race (the tests skip themselves when the detector is compiled in)

@@ -1,0 +1,170 @@
+// Command fleetcheck validates a BENCH_fleet.json produced by
+// `illixr-bench -exp fleet`: the replica-crash chaos cell must lose
+// zero sessions and recover every displaced one inside the bound.
+//
+// Usage: fleetcheck BENCH_fleet.json
+//
+// Checks:
+//  1. Cell shape: >= 100 sessions across >= 3 replicas, a crash that
+//     actually displaced sessions, inside the scenario's middle window.
+//  2. Survivability: lost == 0 and resumed == displaced, both in the
+//     deterministic cell and the live gateway soak (soak additionally
+//     must shut down cleanly).
+//  3. Bounded recovery: recovery p99 (and max) within recovery_bound_ms,
+//     and every displaced session reports a positive recovery landed on
+//     a surviving replica.
+//  4. Admission did real work: the resume storm was shaped by at least
+//     one push-back refusal (otherwise the burst limiter is inert and
+//     the cell proves nothing about admission control).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type mtp struct {
+	MeanMs float64 `json:"mean_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	N      int     `json:"n"`
+}
+
+type sessionRow struct {
+	Session    int     `json:"session"`
+	Displaced  bool    `json:"displaced"`
+	ResumedOn  int     `json:"resumed_on"`
+	RecoveryMs float64 `json:"recovery_ms"`
+	Poses      int     `json:"poses_delivered"`
+}
+
+type report struct {
+	Sessions          int          `json:"sessions"`
+	Replicas          int          `json:"replicas"`
+	VirtualSec        float64      `json:"virtual_sec"`
+	CrashedReplica    int          `json:"crashed_replica"`
+	CrashTimeSec      float64      `json:"crash_time_sec"`
+	Displaced         int          `json:"displaced"`
+	Resumed           int          `json:"resumed"`
+	Lost              int          `json:"lost"`
+	AdmissionRefusals int          `json:"admission_refusals"`
+	RecoveryBoundMs   float64      `json:"recovery_bound_ms"`
+	Recovery          mtp          `json:"recovery"`
+	Per               []sessionRow `json:"sessions_detail"`
+	Soak              struct {
+		Sessions      int  `json:"sessions"`
+		Lost          int  `json:"lost"`
+		CleanShutdown bool `json:"clean_shutdown"`
+		WallDisplaced int  `json:"wall_displaced"`
+		WallResumed   int  `json:"wall_resumed"`
+	} `json:"soak"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: fleetcheck BENCH_fleet.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetcheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "fleetcheck: "+format+"\n", args...)
+	}
+	bad := false
+
+	// 1. cell shape
+	if rep.Sessions < 100 {
+		fail("cell ran %d sessions, need >= 100", rep.Sessions)
+		bad = true
+	}
+	if rep.Replicas < 3 {
+		fail("cell ran %d replicas, need >= 3", rep.Replicas)
+		bad = true
+	}
+	if rep.Displaced == 0 {
+		fail("crash displaced no sessions — the chaos cell is inert")
+		bad = true
+	}
+	if rep.CrashTimeSec < 0.3*rep.VirtualSec || rep.CrashTimeSec > 0.7*rep.VirtualSec {
+		fail("crash at %.3fs outside the middle window of a %.0fs run",
+			rep.CrashTimeSec, rep.VirtualSec)
+		bad = true
+	}
+
+	// 2. survivability
+	if rep.Lost != 0 {
+		fail("lost %d sessions", rep.Lost)
+		bad = true
+	}
+	if rep.Resumed != rep.Displaced {
+		fail("resumed %d of %d displaced sessions", rep.Resumed, rep.Displaced)
+		bad = true
+	}
+
+	// 3. bounded recovery
+	if rep.Recovery.N != rep.Displaced {
+		fail("recovery distribution has %d samples for %d displaced", rep.Recovery.N, rep.Displaced)
+		bad = true
+	}
+	if rep.Recovery.P99Ms <= 0 || rep.Recovery.P99Ms > rep.RecoveryBoundMs {
+		fail("recovery p99 %.1fms outside (0, %.0fms]", rep.Recovery.P99Ms, rep.RecoveryBoundMs)
+		bad = true
+	}
+	if rep.Recovery.MaxMs > rep.RecoveryBoundMs {
+		fail("recovery max %.1fms exceeds bound %.0fms", rep.Recovery.MaxMs, rep.RecoveryBoundMs)
+		bad = true
+	}
+	for _, s := range rep.Per {
+		if !s.Displaced {
+			continue
+		}
+		if s.RecoveryMs <= 0 {
+			fail("session %d displaced but recovery %.1fms", s.Session, s.RecoveryMs)
+			bad = true
+		}
+		if s.ResumedOn == rep.CrashedReplica || s.ResumedOn < 0 {
+			fail("session %d resumed on replica %d", s.Session, s.ResumedOn)
+			bad = true
+		}
+		if s.Poses == 0 {
+			fail("session %d delivered no poses", s.Session)
+			bad = true
+		}
+	}
+
+	// 4. admission actually pushed back
+	if rep.AdmissionRefusals == 0 {
+		fail("resume storm saw zero admission refusals — burst limiter untested")
+		bad = true
+	}
+
+	// soak invariants
+	if rep.Soak.Lost != 0 {
+		fail("soak lost %d sessions", rep.Soak.Lost)
+		bad = true
+	}
+	if !rep.Soak.CleanShutdown {
+		fail("soak shutdown was not clean")
+		bad = true
+	}
+	if rep.Soak.WallResumed < rep.Soak.WallDisplaced {
+		fail("soak resumed %d of %d displaced clients", rep.Soak.WallResumed, rep.Soak.WallDisplaced)
+		bad = true
+	}
+
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Printf("fleetcheck: OK (%d sessions, %d displaced, %d resumed, 0 lost, recovery p99 %.1fms <= %.0fms)\n",
+		rep.Sessions, rep.Displaced, rep.Resumed, rep.Recovery.P99Ms, rep.RecoveryBoundMs)
+}
