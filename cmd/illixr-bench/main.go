@@ -8,7 +8,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 // fig3 fig4 fig5 fig6 fig7 fig8 ablation-vio faults observability
-// parallel network memory fleet all
+// parallel network memory fleet fleetobs all
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table7, fig3..fig8, ablation-vio, faults, observability, parallel, network, memory, fleet, all)")
+	exp := flag.String("exp", "all", "experiment id (table1..table7, fig3..fig8, ablation-vio, faults, observability, parallel, network, memory, fleet, fleetobs, all)")
 	duration := flag.Float64("duration", 30, "virtual seconds per integrated run (the paper uses ~30)")
 	qualityFrames := flag.Int("quality-frames", 8, "sampled frames for the Table V image-quality pipeline")
 	faultScenario := flag.String("fault-scenario", "light", "fault scenario for -exp faults (vio-stall|light|stress)")
@@ -43,6 +43,10 @@ func main() {
 	fleetSeed := flag.Int64("fleet-seed", 42, "seed for the -exp fleet crash schedule, links, and backoff")
 	fleetOut := flag.String("fleet-out", "BENCH_fleet.json",
 		"output file for -exp fleet (empty to skip the file)")
+	fleetObsSessions := flag.Int("fleetobs-sessions", 30, "sessions in the -exp fleetobs placement ramp")
+	fleetObsSeed := flag.Int64("fleetobs-seed", 42, "seed for the -exp fleetobs links and placement ramp")
+	fleetObsOut := flag.String("fleetobs-out", "BENCH_fleetobs.json",
+		"output file for -exp fleetobs (empty to skip the file)")
 	flag.Parse()
 
 	w := os.Stdout
@@ -152,6 +156,13 @@ func main() {
 	}
 	if all || wants["fleet"] {
 		if _, err := bench.FleetExperiment(w, *fleetSessions, *fleetSeed, *fleetOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+	if all || wants["fleetobs"] {
+		if _, err := bench.FleetObsExperiment(w, *fleetObsSessions, *fleetObsSeed, *fleetObsOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -8,12 +8,14 @@
 //	illixr-serve -addr :7425
 //	illixr-serve -addr :7425 -vio -debug-addr :8080   # /sessions live table
 //	illixr-serve -max-sessions 8 -idle-timeout 10
+//	illixr-serve -node replica-0 -trace-out trace.json -metrics-out metrics.txt
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
@@ -30,6 +32,7 @@ import (
 	"illixr/internal/recycle"
 	"illixr/internal/sensors"
 	"illixr/internal/telemetry"
+	"illixr/internal/telemetry/stitch"
 )
 
 func main() {
@@ -42,15 +45,22 @@ func main() {
 	vio := flag.Bool("vio", false, "host the MSCKF VIO per session (heavier; default hosts only the integrator)")
 	debugAddr := flag.String("debug-addr", "",
 		"serve /metrics /health /spans /sessions /debug/pprof/ on this address (e.g. :8080)")
+	node := flag.String("node", "replica",
+		"node label for this process in stitched traces and span dumps")
+	traceOut := flag.String("trace-out", "",
+		"on shutdown, write all sessions' causal spans as Chrome trace JSON to this file")
+	metricsOut := flag.String("metrics-out", "",
+		"on shutdown, write the metrics registry as text to this file")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
 	recycle.Instrument(reg)
 	pipe := &bridge.Pipeline{
-		Metrics: reg,
-		VIO:     *vio,
-		Init:    func(wire.Hello) integrator.State { return integrator.State{} },
-		Cam:     func(wire.Hello) sensors.CameraModel { return sensors.VGACamera() },
+		Metrics:       reg,
+		VIO:           *vio,
+		Init:          func(wire.Hello) integrator.State { return integrator.State{} },
+		Cam:           func(wire.Hello) sensors.CameraModel { return sensors.VGACamera() },
+		RetainTracers: 64,
 	}
 	srv := session.NewServer(session.Config{
 		MaxSessions: *maxSessions,
@@ -60,7 +70,10 @@ func main() {
 	}, pipe)
 
 	if *debugAddr != "" {
-		dbg := &debughttp.Server{Metrics: reg, Sessions: srv, Mem: telemetry.NewRuntimeMem(reg)}
+		dbg := &debughttp.Server{Metrics: reg, Sessions: srv, Mem: telemetry.NewRuntimeMem(reg),
+			Node:      *node,
+			SpanDumps: func() []stitch.Dump { return pipe.Dumps(*node) },
+		}
 		bound, _, err := dbg.Serve(*debugAddr)
 		if err != nil {
 			log.Fatalf("debug endpoint: %v", err)
@@ -88,5 +101,37 @@ func main() {
 	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
+	if *traceOut != "" {
+		write := func(w io.Writer) error {
+			tr, err := stitch.Stitch(pipe.Dumps(*node)...)
+			if err != nil {
+				return err
+			}
+			return tr.WriteChromeTrace(w)
+		}
+		if err := writeFile(*traceOut, write); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, reg.WriteText); err != nil {
+			log.Fatalf("metrics-out: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
+	}
 	fmt.Println("server stopped")
+}
+
+// writeFile streams write(w) into path.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

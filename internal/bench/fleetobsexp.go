@@ -1,0 +1,450 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"illixr/internal/netxr/fleet"
+	"illixr/internal/netxr/netsim"
+	"illixr/internal/netxr/wire"
+	"illixr/internal/sensors"
+	"illixr/internal/telemetry"
+	"illixr/internal/telemetry/slo"
+	"illixr/internal/telemetry/stitch"
+)
+
+// The fleet observability experiment (-exp fleetobs) proves the
+// telemetry loop of DESIGN.md §12 end to end, in virtual time:
+//
+//   - Placement cells: the same session ramp placed twice, once by a
+//     coordinator flying blind (static: its own admission counts only)
+//     and once fed by the real fleet.Scraper over synthetic replica
+//     /metrics snapshots (live). In the balanced cell the two must tie;
+//     in the skewed cell — hidden background load on replica 0 that
+//     only the scrape can see — live placement must deliver a strictly
+//     better MTP p99. The scrape→fold→probe→Pick path is the production
+//     code; only the fetch is synthetic.
+//
+//   - Stitched-trace cell: three span collectors (client, gateway,
+//     replica) with disjoint ID bases record one frame pipeline across
+//     simulated links; stitch.Stitch merges the dumps and
+//     stitch.Attribute's per-hop critical path must telescope to the
+//     end-to-end MTPSample within ObsAttrBoundMs for every frame.
+//
+//   - SLO cell: both placement cells' MTP streams feed the real
+//     slo.Engine; the report carries the resulting burn rates, and the
+//     flight recorder's event counts close the audit trail.
+//
+// obscheck gates the report: live <= static + eps when balanced,
+// live strictly better when skewed, attribution error under 1 ms,
+// three nodes stitched, finite burn rates, events recorded.
+const (
+	obsReplicas   = 3
+	obsCapacity   = 64
+	obsVirtualSec = 8.0
+	obsIMUHz      = 250.0
+	obsVsyncHz    = 120.0
+	// obsRampSec spreads session arrivals so scrape cadence matters.
+	obsRampSec = 2.0
+	// obsBaseProcMs + obsPerSessionMs*load is a replica's service time:
+	// the queueing model that makes placement quality visible in MTP.
+	obsBaseProcMs   = 0.3
+	obsPerSessionMs = 0.25
+	// obsBackgroundSessions is the hidden load on replica 0 in the skewed
+	// cell: admitted outside this gateway, visible only via scraping.
+	obsBackgroundSessions = 40
+	// obsScrapeIntervalSec is the virtual scrape cadence during the ramp.
+	obsScrapeIntervalSec = 0.25
+	// obsAttrFrames sizes the stitched-trace cell.
+	obsAttrFrames = 120
+	// ObsAttrBoundMs is the attribution gate: per-hop segments must
+	// telescope to the end-to-end MTP sample within this.
+	ObsAttrBoundMs = 1.0
+	// ObsBalancedEpsMs is the balanced-cell tie tolerance.
+	ObsBalancedEpsMs = 0.5
+	// SLO objective: per-frame MTP within obsSLOBoundMs, 5% error budget.
+	obsSLOBoundMs   = 30.0
+	obsSLOBudget    = 0.05
+	obsSLOWindowSec = obsVirtualSec
+)
+
+// ObsPlacementVariant is one placement strategy's outcome.
+type ObsPlacementVariant struct {
+	Probe      string   `json:"probe"` // "static" | "live"
+	PerReplica []int    `json:"placed_per_replica"`
+	MTP        MTPStats `json:"mtp"`
+}
+
+// ObsPlacementCell compares static vs live placement under one load shape.
+type ObsPlacementCell struct {
+	Background []int               `json:"background_sessions"`
+	Static     ObsPlacementVariant `json:"static"`
+	Live       ObsPlacementVariant `json:"live"`
+	// LiveP99AdvantageMs = static p99 - live p99 (positive: live wins).
+	LiveP99AdvantageMs float64 `json:"live_p99_advantage_ms"`
+}
+
+// ObsStitchCell is the cross-node attribution result.
+type ObsStitchCell struct {
+	Frames int `json:"frames"`
+	Nodes  int `json:"nodes"`
+	Spans  int `json:"spans"`
+	// MaxAttrErrMs is the worst |sum(per-hop segments) - MTPSample.Total|
+	// over all frames.
+	MaxAttrErrMs float64 `json:"max_attr_err_ms"`
+	// MeanHopMs is the average critical-path share per stage (spans and
+	// the gaps attributed to the hop downstream of them).
+	MeanHopMs map[string]float64 `json:"mean_hop_ms"`
+}
+
+// ObsEventsCell summarizes the flight recorder after the skewed live run.
+type ObsEventsCell struct {
+	Recorded uint64            `json:"recorded"`
+	ByKind   map[string]uint64 `json:"by_kind"`
+}
+
+// FleetObsReport is the BENCH_fleetobs.json document.
+type FleetObsReport struct {
+	Seed          int64            `json:"seed"`
+	Sessions      int              `json:"sessions"`
+	Replicas      int              `json:"replicas"`
+	VirtualSec    float64          `json:"virtual_sec"`
+	IMUHz         float64          `json:"imu_hz"`
+	VsyncHz       float64          `json:"vsync_hz"`
+	AttrBoundMs   float64          `json:"attr_bound_ms"`
+	BalancedEpsMs float64          `json:"balanced_eps_ms"`
+	Balanced      ObsPlacementCell `json:"balanced"`
+	Skewed        ObsPlacementCell `json:"skewed"`
+	Stitch        ObsStitchCell    `json:"stitch"`
+	SLO           []slo.Status     `json:"slo"`
+	Events        ObsEventsCell    `json:"events"`
+	Note          string           `json:"note"`
+}
+
+const fleetObsNote = "fleet observability cells (DESIGN.md §12): placement ramp " +
+	"run static (own counts) vs live (real fleet.Scraper over synthetic " +
+	"replica /metrics snapshots feeding coordinator LoadProbes); skewed " +
+	"cell hides background load on replica 0 that only scraping reveals. " +
+	"Stitch cell merges client/gateway/replica span dumps with stitch.Stitch " +
+	"and checks per-hop attribution telescopes to the end-to-end MTP sample. " +
+	"All virtual-time and seed-deterministic."
+
+// simulateObsSession returns per-vsync MTP samples (ms) for one session
+// streaming through a replica with the given service time.
+func simulateObsSession(idx int, prof netsim.Profile, seed int64, startT, procMs float64) []float64 {
+	up := netsim.NewLink(prof, seed+int64(idx)*2)
+	down := netsim.NewLink(prof, seed+int64(idx)*2+1)
+
+	type poseArrival struct{ recvT, sampleT float64 }
+	var arrivals []poseArrival
+	var encBuf []byte
+	n := int((obsVirtualSec - startT) * obsIMUHz)
+	for i := 0; i < n; i++ {
+		t := startT + float64(i)/obsIMUHz
+		// real codec on both directions, as in the other network cells
+		encBuf = wire.AppendFrame(encBuf[:0], wire.Frame{
+			Type: wire.TypeIMU, Payload: wire.AppendIMU(nil, sensors.IMUSample{T: t})})
+		if _, _, err := wire.Decode(encBuf); err != nil {
+			continue
+		}
+		serverT := up.Arrive(t)
+		sendT := serverT + procMs/1000
+		encBuf = wire.AppendFrame(encBuf[:0], wire.Frame{
+			Type: wire.TypePose, Payload: wire.AppendPose(nil, wire.Pose{T: t})})
+		if _, _, err := wire.Decode(encBuf); err != nil {
+			continue
+		}
+		arrivals = append(arrivals, poseArrival{recvT: down.Arrive(sendT), sampleT: t})
+	}
+
+	var samples []float64
+	ptr, newest := 0, -1
+	firstVsync := int(math.Ceil(startT*obsVsyncHz)) + 1
+	for v := firstVsync; v <= int(obsVirtualSec*obsVsyncHz); v++ {
+		tv := float64(v) / obsVsyncHz
+		for ptr < len(arrivals) && arrivals[ptr].recvT <= tv {
+			newest = ptr
+			ptr++
+		}
+		if newest < 0 {
+			continue
+		}
+		samples = append(samples, (tv-arrivals[newest].sampleT)*1000)
+	}
+	return samples
+}
+
+// runObsVariant places the ramp with or without live probes and returns
+// the variant row, the pooled MTP samples, and the flight recorder.
+func runObsVariant(nSessions int, seed int64, background []int, live bool) (ObsPlacementVariant, []float64, *telemetry.FlightRecorder, error) {
+	v := ObsPlacementVariant{Probe: "static"}
+	if live {
+		v.Probe = "live"
+	}
+	events := telemetry.NewFlightRecorder(telemetry.DefaultFlightCap)
+	coord := fleet.NewCoordinator(fleet.Config{
+		ReplicaCapacity: obsCapacity, TokenSeed: seed, Events: events})
+
+	placed := make([]int, obsReplicas)
+	var scraper *fleet.Scraper
+	if live {
+		scraper = fleet.NewScraper(coord, fleet.ScrapeConfig{
+			Events: events,
+			// synthetic replica /metrics: what a scrape at this instant
+			// would see — our placements so far plus the background load
+			// this coordinator has no other way to know about
+			Fetch: func(id int, _ string) (telemetry.RegistrySnapshot, error) {
+				return telemetry.RegistrySnapshot{Gauges: map[string]float64{
+					fleet.ScrapeSessionsGauge: float64(background[id] + placed[id]),
+					fleet.ScrapeQueueGauge:    0,
+				}}, nil
+			},
+		})
+		for i := 0; i < obsReplicas; i++ {
+			scraper.AddTarget(i, fmt.Sprintf("http://replica-%d/metrics", i))
+		}
+	}
+	for i := 0; i < obsReplicas; i++ {
+		if live {
+			coord.AddReplica(i, scraper.Probe(i))
+		} else {
+			coord.AddReplica(i, nil)
+		}
+	}
+
+	starts := make([]float64, nSessions)
+	replicas := make([]int, nSessions)
+	lastScrape := math.Inf(-1)
+	for i := 0; i < nSessions; i++ {
+		t := float64(i) * obsRampSec / float64(nSessions)
+		if live && t >= lastScrape+obsScrapeIntervalSec {
+			scraper.ScrapeOnce(t)
+			lastScrape = t
+		}
+		hello := wire.Hello{App: "fleetobs", Seed: seed + int64(i), IMURateHz: obsIMUHz}
+		id, err := coord.Pick(t, hello)
+		if err != nil {
+			return v, nil, nil, fmt.Errorf("bench: place session %d: %w", i, err)
+		}
+		if _, err := coord.AdmitOn(t, id, uint64(i+1), hello); err != nil {
+			return v, nil, nil, fmt.Errorf("bench: admit session %d: %w", i, err)
+		}
+		placed[id]++
+		replicas[i], starts[i] = id, t
+	}
+	v.PerReplica = placed
+
+	// steady-state DES: each replica's service time reflects everything
+	// running there — background load included, wherever sessions landed
+	prof := netsim.DefaultProfile()
+	var samples []float64
+	for i := 0; i < nSessions; i++ {
+		load := background[replicas[i]] + placed[replicas[i]]
+		procMs := obsBaseProcMs + obsPerSessionMs*float64(load)
+		samples = append(samples, simulateObsSession(i, prof, seed, starts[i], procMs)...)
+	}
+	v.MTP = mtpStats(samples)
+	return v, samples, events, nil
+}
+
+// runObsCell runs one load shape through both placement strategies.
+func runObsCell(nSessions int, seed int64, background []int) (ObsPlacementCell, []float64, []float64, *telemetry.FlightRecorder, error) {
+	cell := ObsPlacementCell{Background: background}
+	st, stSamples, _, err := runObsVariant(nSessions, seed, background, false)
+	if err != nil {
+		return cell, nil, nil, nil, err
+	}
+	lv, lvSamples, events, err := runObsVariant(nSessions, seed, background, true)
+	if err != nil {
+		return cell, nil, nil, nil, err
+	}
+	cell.Static, cell.Live = st, lv
+	cell.LiveP99AdvantageMs = st.MTP.P99Ms - lv.MTP.P99Ms
+	return cell, stSamples, lvSamples, events, nil
+}
+
+// runObsStitch drives obsAttrFrames frames across three nodes' span
+// collectors and checks that stitched per-hop attribution telescopes to
+// the end-to-end MTP sample.
+func runObsStitch(seed int64) (ObsStitchCell, error) {
+	cell := ObsStitchCell{Frames: obsAttrFrames, MeanHopMs: map[string]float64{}}
+
+	client := telemetry.NewSpanCollector(0)
+	gateway := telemetry.NewSpanCollector(0)
+	gateway.SetIDBase(fleet.GatewayIDBase)
+	replica := telemetry.NewSpanCollector(0)
+	replica.SetIDBase(uint64(1) << 40) // bridge's per-session server range
+
+	prof := netsim.DefaultProfile()
+	clientGW := netsim.NewLink(prof, seed+1)
+	gwReplica := netsim.NewLink(prof, seed+2)
+	replicaGW := netsim.NewLink(prof, seed+3)
+	gwClient := netsim.NewLink(prof, seed+4)
+
+	type frameRec struct {
+		displaySpan telemetry.SpanID
+		endToEndMs  float64
+	}
+	var frames []frameRec
+	for f := 0; f < obsAttrFrames; f++ {
+		sampleT := float64(f) / 90.0
+		trace := telemetry.TraceID(seed + int64(f))
+		imu := client.Emit("imu", trace, sampleT, sampleT)
+		gwInT := clientGW.Arrive(sampleT)
+		gwUp := gateway.Emit(fleet.CompGatewayUp, trace, gwInT, gwInT, imu.Span)
+		repT := gwReplica.Arrive(gwInT)
+		netUp := replica.Emit("net_uplink", trace, repT, repT, gwUp.Span)
+		integDone := repT + obsBaseProcMs/1000
+		integ := replica.Emit("integrator", trace, repT, integDone, netUp.Span)
+		gwOutT := replicaGW.Arrive(integDone)
+		gwDown := gateway.Emit(fleet.CompGatewayDown, trace, gwOutT, gwOutT, integ.Span)
+		cliT := gwClient.Arrive(gwOutT)
+		netDown := client.Emit("net_downlink", trace, cliT, cliT, gwDown.Span)
+		tv := math.Ceil(cliT*obsVsyncHz) / obsVsyncHz
+		disp := client.Emit("display", trace, cliT, tv, netDown.Span)
+
+		// the end-to-end measurement the attribution must reproduce
+		m := telemetry.MTPSample{T: tv, IMUAge: (tv - sampleT) * 1000}
+		frames = append(frames, frameRec{displaySpan: disp.Span, endToEndMs: m.Total()})
+	}
+
+	tr, err := stitch.Stitch(
+		stitch.CollectorDump("client", client),
+		stitch.CollectorDump("gateway", gateway),
+		stitch.CollectorDump("replica-0", replica),
+	)
+	if err != nil {
+		return cell, err
+	}
+	cell.Nodes = len(tr.Nodes)
+	cell.Spans = tr.Len()
+
+	hopSums := map[string]float64{}
+	for _, fr := range frames {
+		segs := tr.Attribute(fr.displaySpan)
+		if len(segs) == 0 {
+			return cell, fmt.Errorf("bench: no attribution for span %#x", uint64(fr.displaySpan))
+		}
+		total := stitch.SegmentsTotal(segs)
+		if err := math.Abs(total - fr.endToEndMs); err > cell.MaxAttrErrMs {
+			cell.MaxAttrErrMs = err
+		}
+		for _, s := range segs {
+			hopSums[s.Node+"/"+s.Stage] += s.Ms
+		}
+	}
+	for k, sum := range hopSums {
+		cell.MeanHopMs[k] = sum / float64(len(frames))
+	}
+	return cell, nil
+}
+
+// runObsSLO replays both skewed variants' MTP streams through the real
+// SLO engine and returns its snapshot.
+func runObsSLO(staticSamples, liveSamples []float64) []slo.Status {
+	eng := slo.NewEngine(nil)
+	eng.AddObjective(slo.Objective{Name: "mtp_static", Bound: obsSLOBoundMs,
+		Budget: obsSLOBudget, WindowSec: obsSLOWindowSec})
+	eng.AddObjective(slo.Objective{Name: "mtp_live", Bound: obsSLOBoundMs,
+		Budget: obsSLOBudget, WindowSec: obsSLOWindowSec})
+	feed := func(name string, samples []float64) {
+		for i, s := range samples {
+			t := obsVirtualSec * float64(i) / float64(len(samples))
+			eng.Observe(name, t, s)
+		}
+	}
+	feed("mtp_static", staticSamples)
+	feed("mtp_live", liveSamples)
+	return eng.Snapshot()
+}
+
+// FleetObsExperiment runs the observability cells, prints the summary,
+// and writes BENCH_fleetobs.json to outPath.
+func FleetObsExperiment(w io.Writer, nSessions int, seed int64, outPath string) (*FleetObsReport, error) {
+	if nSessions <= 0 {
+		nSessions = 30
+	}
+	if nSessions < obsReplicas*2 || nSessions > obsCapacity*(obsReplicas-1) {
+		return nil, fmt.Errorf("bench: fleetobs sessions must be in [%d, %d], got %d",
+			obsReplicas*2, obsCapacity*(obsReplicas-1), nSessions)
+	}
+
+	rep := &FleetObsReport{
+		Seed: seed, Sessions: nSessions, Replicas: obsReplicas,
+		VirtualSec: obsVirtualSec, IMUHz: obsIMUHz, VsyncHz: obsVsyncHz,
+		AttrBoundMs: ObsAttrBoundMs, BalancedEpsMs: ObsBalancedEpsMs,
+		Note: fleetObsNote,
+	}
+
+	fmt.Fprintf(w, "Fleet observability experiment: %d sessions, %d replicas, seed %d\n",
+		nSessions, obsReplicas, seed)
+
+	balanced, _, _, _, err := runObsCell(nSessions, seed, make([]int, obsReplicas))
+	if err != nil {
+		return nil, err
+	}
+	rep.Balanced = balanced
+	fmt.Fprintf(w, "  balanced: static p99 %.2f ms %v  live p99 %.2f ms %v\n",
+		balanced.Static.MTP.P99Ms, balanced.Static.PerReplica,
+		balanced.Live.MTP.P99Ms, balanced.Live.PerReplica)
+
+	skewBG := make([]int, obsReplicas)
+	skewBG[0] = obsBackgroundSessions
+	skewed, stSamples, lvSamples, events, err := runObsCell(nSessions, seed, skewBG)
+	if err != nil {
+		return nil, err
+	}
+	rep.Skewed = skewed
+	fmt.Fprintf(w, "  skewed (+%d hidden on replica 0): static p99 %.2f ms %v  live p99 %.2f ms %v  (advantage %.2f ms)\n",
+		obsBackgroundSessions, skewed.Static.MTP.P99Ms, skewed.Static.PerReplica,
+		skewed.Live.MTP.P99Ms, skewed.Live.PerReplica, skewed.LiveP99AdvantageMs)
+
+	stitchCell, err := runObsStitch(seed)
+	if err != nil {
+		return nil, err
+	}
+	rep.Stitch = stitchCell
+	fmt.Fprintf(w, "  stitch: %d frames over %d nodes (%d spans), max attribution error %.4f ms (bound %.1f)\n",
+		stitchCell.Frames, stitchCell.Nodes, stitchCell.Spans,
+		stitchCell.MaxAttrErrMs, ObsAttrBoundMs)
+
+	rep.SLO = runObsSLO(stSamples, lvSamples)
+	for _, st := range rep.SLO {
+		fmt.Fprintf(w, "  slo %s: bound %.0f ms  bad %.2f%%  burn %.2fx  budget left %.0f%%\n",
+			st.Name, st.Bound, st.BadFraction*100, st.BurnRate, st.BudgetRemaining*100)
+	}
+
+	rep.Events = ObsEventsCell{Recorded: events.Recorded(), ByKind: map[string]uint64{}}
+	for _, ev := range events.Events() {
+		rep.Events.ByKind[ev.Kind]++
+	}
+	fmt.Fprintf(w, "  flight recorder: %d events %v\n", rep.Events.Recorded, rep.Events.ByKind)
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return nil, err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", outPath)
+	}
+	return rep, nil
+}
+
+// EncodeFleetObsReport marshals the report exactly as the file writer
+// does, for determinism tests.
+func EncodeFleetObsReport(rep *FleetObsReport) []byte {
+	b, _ := json.MarshalIndent(rep, "", "  ")
+	return append(b, '\n')
+}

@@ -14,6 +14,8 @@ import (
 	"illixr/internal/netxr/session"
 	"illixr/internal/runtime"
 	"illixr/internal/telemetry"
+	"illixr/internal/telemetry/slo"
+	"illixr/internal/telemetry/stitch"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -279,5 +281,191 @@ func TestServeStopGraceful(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
 		t.Fatal("server still serving after stop")
+	}
+}
+
+// fakeFleet serves a fixed placement table.
+type fakeFleet struct{ doc any }
+
+func (f fakeFleet) FleetDoc() any { return f.doc }
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// default: JSON, with the registry snapshot inlined at the top level
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var snap telemetry.RegistrySnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics JSON does not unmarshal into RegistrySnapshot: %v", err)
+	}
+	if snap.Counters["illixr_test_hits_total"] != 3 || snap.Gauges["illixr_test_depth"] != 2 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	var doc struct {
+		Series        int    `json:"series"`
+		SpansRetained int    `json:"spans_retained"`
+		SpansDropped  uint64 `json:"spans_dropped"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Series != 2 {
+		t.Errorf("series = %d, want 2", doc.Series)
+	}
+	if doc.SpansRetained != 2 {
+		t.Errorf("spans_retained = %d, want 2", doc.SpansRetained)
+	}
+
+	// Accept: text/plain negotiates the Prometheus exposition
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	text := string(b)
+	if !strings.Contains(text, "# TYPE illixr_test_hits_total counter") {
+		t.Errorf("prometheus exposition missing TYPE line:\n%s", text)
+	}
+	if !strings.Contains(text, "illixr_test_hits_total 3") {
+		t.Errorf("prometheus exposition missing sample:\n%s", text)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+func TestSpansRawFormatAndStitchedPeers(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.Node = "gateway"
+	peer := telemetry.NewSpanCollector(0)
+	peer.SetIDBase(1 << 40)
+	peer.Emit("integrator", 1, 0.002, 0.003)
+	s.SpanDumps = func() []stitch.Dump {
+		return []stitch.Dump{stitch.CollectorDump("replica-0", peer)}
+	}
+
+	code, body := get(t, ts.URL+"/spans?format=raw")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var dumps []stitch.Dump
+	if err := json.Unmarshal([]byte(body), &dumps); err != nil {
+		t.Fatalf("raw dump not JSON: %v", err)
+	}
+	if len(dumps) != 2 || dumps[0].Node != "gateway" || dumps[1].Node != "replica-0" {
+		t.Fatalf("dumps = %+v", dumps)
+	}
+	if len(dumps[1].Spans) != 1 || dumps[1].Spans[0].Name != "integrator" {
+		t.Fatalf("peer dump spans = %+v", dumps[1].Spans)
+	}
+
+	// default view stitches both nodes into one Chrome trace
+	code, body = get(t, ts.URL+"/spans")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Nodes       []string         `json:"nodes"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("stitched spans not JSON: %v", err)
+	}
+	if len(doc.Nodes) != 2 {
+		t.Errorf("nodes = %v, want gateway + replica-0", doc.Nodes)
+	}
+	procs := 0
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "process_name" {
+			procs++
+		}
+	}
+	if procs != 2 {
+		t.Errorf("process_name metadata events = %d, want 2", procs)
+	}
+}
+
+func TestFleetEndpoint(t *testing.T) {
+	s := &Server{Fleet: fakeFleet{doc: map[string]int{"up": 3}}}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var doc map[string]int
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["up"] != 3 {
+		t.Fatalf("doc = %v", doc)
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	fr := telemetry.NewFlightRecorder(8)
+	fr.RecordAt(1.5, telemetry.EventAdmit, "replica-0", "session 1")
+	s := &Server{Events: fr}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var doc struct {
+		Recorded uint64                 `json:"recorded"`
+		Events   []telemetry.FleetEvent `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Recorded != 1 || len(doc.Events) != 1 || doc.Events[0].Kind != telemetry.EventAdmit {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Events[0].T != 1.5 || doc.Events[0].Node != "replica-0" {
+		t.Fatalf("event = %+v", doc.Events[0])
+	}
+}
+
+func TestSLOEndpoint(t *testing.T) {
+	eng := slo.NewEngine(nil)
+	eng.AddObjective(slo.Objective{Name: "mtp_p99", Bound: 20, Budget: 0.05, WindowSec: 60})
+	for i := 0; i < 9; i++ {
+		eng.Observe("mtp_p99", 1.0, 10)
+	}
+	eng.Observe("mtp_p99", 1.0, 50)
+	s := &Server{SLO: eng}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/slo")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var statuses []slo.Status
+	if err := json.Unmarshal([]byte(body), &statuses); err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != 1 || statuses[0].Name != "mtp_p99" {
+		t.Fatalf("statuses = %+v", statuses)
+	}
+	if statuses[0].BurnRate != 2.0 {
+		t.Errorf("burn rate = %v, want 2.0 (10%% bad on a 5%% budget)", statuses[0].BurnRate)
+	}
+}
+
+func TestNewEndpointsMissingSourcesReturn404(t *testing.T) {
+	s := &Server{}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/fleet", "/events", "/slo"} {
+		if code, _ := get(t, ts.URL+path); code != http.StatusNotFound {
+			t.Errorf("%s with no source: status %d, want 404", path, code)
+		}
 	}
 }

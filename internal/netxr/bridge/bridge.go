@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"illixr/internal/runtime"
 	"illixr/internal/sensors"
 	"illixr/internal/telemetry"
+	"illixr/internal/telemetry/stitch"
 	"illixr/internal/vio"
 )
 
@@ -73,9 +75,15 @@ type Pipeline struct {
 	// (PR1 integration: scheduled plugin panics exercise the per-session
 	// supervisors while the session itself stays connected).
 	Inject *faults.Injector
+	// RetainTracers keeps up to this many ended sessions' span
+	// collectors so Dumps (the /spans federation source and -trace-out)
+	// still covers sessions that disconnected before the export
+	// (0 = drop tracers with their session).
+	RetainTracers int
 
-	mu     sync.Mutex
-	states map[uint64]*pipeState
+	mu       sync.Mutex
+	states   map[uint64]*pipeState
+	retained []*telemetry.SpanCollector
 }
 
 type pipeState struct {
@@ -215,6 +223,12 @@ func (p *Pipeline) SessionEnd(s *session.Session, _ error) {
 	p.mu.Lock()
 	st := p.states[s.ID()]
 	delete(p.states, s.ID())
+	if st != nil && p.RetainTracers > 0 {
+		p.retained = append(p.retained, st.tracer)
+		if len(p.retained) > p.RetainTracers {
+			p.retained = p.retained[len(p.retained)-p.RetainTracers:]
+		}
+	}
 	p.mu.Unlock()
 	if st == nil {
 		return
@@ -231,6 +245,36 @@ func (p *Pipeline) Tracer(sessionID uint64) *telemetry.SpanCollector {
 		return st.tracer
 	}
 	return nil
+}
+
+// Dumps merges every session tracer — live ones plus the RetainTracers
+// tail of ended ones — into a single node-labelled span dump for
+// cross-node stitching (/spans?format=raw federation, -trace-out).
+// Per-session id bases are disjoint (serverIDBase), so concatenation
+// cannot collide. Empty node defaults to "replica".
+func (p *Pipeline) Dumps(node string) []stitch.Dump {
+	if node == "" {
+		node = "replica"
+	}
+	p.mu.Lock()
+	collectors := make([]*telemetry.SpanCollector, 0, len(p.states)+len(p.retained))
+	collectors = append(collectors, p.retained...)
+	ids := make([]uint64, 0, len(p.states))
+	for id := range p.states {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		collectors = append(collectors, p.states[id].tracer)
+	}
+	p.mu.Unlock()
+
+	d := stitch.Dump{Node: node, Spans: []telemetry.Span{}}
+	for _, c := range collectors {
+		d.Spans = append(d.Spans, c.Spans()...)
+		d.Dropped += c.Dropped()
+	}
+	return []stitch.Dump{d}
 }
 
 // Health returns the supervision states of a live session's plugins.

@@ -98,6 +98,9 @@ type Config struct {
 	TokenSeed int64
 	// Metrics receives illixr_fleet_* instruments; nil = uninstrumented.
 	Metrics *telemetry.Registry
+	// Events receives the fleet flight-recorder stream (admissions,
+	// refusals, resumes, status transitions); nil = no recording.
+	Events *telemetry.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -192,12 +195,40 @@ func (c *Coordinator) AddReplica(id int, probe LoadProbe) {
 // SetStatus transitions a replica's lifecycle state.
 func (c *Coordinator) SetStatus(id int, st Status) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if r, ok := c.replicas[id]; ok {
+	changed := false
+	if r, ok := c.replicas[id]; ok && r.status != st {
 		r.status = st
+		changed = true
 	}
 	c.gaugeUpLocked()
+	c.mu.Unlock()
+	if changed {
+		kind := EventReplicaUp
+		switch st {
+		case Draining:
+			kind = EventDraining
+		case Down:
+			kind = EventDown
+		}
+		c.cfg.Events.Record(kind, replicaNode(id), "")
+	}
 }
+
+// replicaNode names a replica in flight events.
+func replicaNode(id int) string { return fmt.Sprintf("replica-%d", id) }
+
+// Flight-event kind aliases so fleet callers don't import telemetry for
+// the constants alone.
+const (
+	EventAdmit     = telemetry.EventAdmit
+	EventResume    = telemetry.EventResume
+	EventRefuse    = telemetry.EventRefuse
+	EventEnd       = telemetry.EventEnd
+	EventReplicaUp = telemetry.EventReplicaUp
+	EventDraining  = telemetry.EventDraining
+	EventDown      = telemetry.EventDown
+	EventDialFail  = telemetry.EventDialFail
+)
 
 // StatusOf returns a replica's state (Down for unknown ids).
 func (c *Coordinator) StatusOf(id int) Status {
@@ -220,9 +251,18 @@ func (c *Coordinator) gaugeUpLocked() {
 }
 
 // load returns a replica's placement score inputs. Caller holds c.mu.
+// With a probe installed the session count is the max of the scraped
+// value and this coordinator's own placement count: the scrape sees load
+// admitted elsewhere (other gateways, direct edge sessions) but lags by
+// up to one scrape interval, during which our own count is the fresher
+// signal — taking the max keeps placement stable under both.
 func (r *replica) load() (int, float64) {
 	if r.probe != nil {
-		return r.probe()
+		sessions, queue := r.probe()
+		if r.count > sessions {
+			sessions = r.count
+		}
+		return sessions, queue
 	}
 	return r.count, 0
 }
@@ -281,12 +321,14 @@ func (c *Coordinator) AdmitOn(now float64, replicaID int, sessionID uint64, h wi
 	r, ok := c.replicas[replicaID]
 	if !ok || r.status != Up {
 		c.m.refused.Inc()
+		c.cfg.Events.RecordAt(now, EventRefuse, replicaNode(replicaID), "replica "+c.statusNameLocked(replicaID))
 		return wire.Welcome{}, &session.AdmissionError{
 			Reason: fmt.Sprintf("replica %d %s", replicaID, c.statusNameLocked(replicaID)), RetryAfter: c.cfg.RetryAfter}
 	}
 	sessions, _ := r.load()
 	if sessions >= c.cfg.ReplicaCapacity {
 		c.m.refused.Inc()
+		c.cfg.Events.RecordAt(now, EventRefuse, replicaNode(replicaID), "replica full")
 		return wire.Welcome{}, &session.AdmissionError{
 			Reason: fmt.Sprintf("replica %d full", replicaID), RetryAfter: c.cfg.RetryAfter}
 	}
@@ -300,12 +342,14 @@ func (c *Coordinator) AdmitOn(now float64, replicaID int, sessionID uint64, h wi
 		c.records[tok] = &Record{Token: tok, Hello: h, Replica: replicaID, Epoch: 1}
 		r.count++
 		c.m.placed.Inc()
+		c.cfg.Events.RecordAt(now, EventAdmit, replicaNode(replicaID), fmt.Sprintf("session %d", sessionID))
 		return wire.Welcome{Session: sessionID, ResumeToken: tok, PoseEpoch: 1}, nil
 	}
 
 	rec, ok := c.records[h.ResumeToken]
 	if !ok {
 		c.m.refused.Inc()
+		c.cfg.Events.RecordAt(now, EventRefuse, replicaNode(replicaID), "unknown resume token")
 		return wire.Welcome{}, fmt.Errorf("%w: %#x", ErrUnknownToken, h.ResumeToken)
 	}
 	// resume-burst limiter: slide the window, refuse past the budget so
@@ -319,6 +363,7 @@ func (c *Coordinator) AdmitOn(now float64, replicaID int, sessionID uint64, h wi
 	c.window = keep
 	if len(c.window) >= c.cfg.ResumeBurst {
 		c.m.refused.Inc()
+		c.cfg.Events.RecordAt(now, EventRefuse, replicaNode(replicaID), "resume burst")
 		return wire.Welcome{}, &session.AdmissionError{Reason: "resume burst", RetryAfter: c.cfg.RetryAfter}
 	}
 	c.window = append(c.window, now)
@@ -333,6 +378,7 @@ func (c *Coordinator) AdmitOn(now float64, replicaID int, sessionID uint64, h wi
 	rec.Replica = replicaID
 	rec.Epoch++
 	c.m.resumed.Inc()
+	c.cfg.Events.RecordAt(now, EventResume, replicaNode(replicaID), fmt.Sprintf("epoch %d", rec.Epoch))
 	return wire.Welcome{
 		Session:     sessionID,
 		ResumeToken: rec.Token,
@@ -373,6 +419,7 @@ func (c *Coordinator) End(token uint64) {
 		r.count--
 	}
 	delete(c.records, token)
+	c.cfg.Events.Record(EventEnd, replicaNode(rec.Replica), "")
 }
 
 // Lookup returns a copy of a token's record.

@@ -18,6 +18,21 @@ import (
 // checkpoints into the coordinator's resume registry.
 const ackEvery = 64
 
+// Gateway trace-stitching constants: the gateway's span collector
+// allocates ids from GatewayIDBase — disjoint from the client's low
+// range and from every replica session's sessionID<<40 range (which
+// stays below 1<<62 for the first ~4M sessions) — so gateway hop spans
+// merge collision-free into a stitched cross-node trace
+// (internal/telemetry/stitch, DESIGN.md §12).
+const (
+	// CompGatewayUp and CompGatewayDown name the gateway's relay hop
+	// spans in stitched traces.
+	CompGatewayUp   = "gw_uplink"
+	CompGatewayDown = "gw_downlink"
+	// GatewayIDBase is the gateway collector's span-id floor.
+	GatewayIDBase = uint64(1) << 62
+)
+
 // Gateway fronts the fleet: clients dial it, it places each session on
 // a replica via the coordinator and then relays frames both ways. The
 // relay is frame-level, not byte-level, because the gateway must own
@@ -49,6 +64,12 @@ type Gateway struct {
 	DialAttempts int
 	// Metrics receives illixr_fleet_* gateway instruments; nil = off.
 	Metrics *telemetry.Registry
+	// Spans, when installed, records one hop span per relayed traced
+	// frame (gw_uplink / gw_downlink), parenting the incoming frame's
+	// span and rewriting the relayed frame's trace ref — so a stitched
+	// trace shows the gateway hop between client and replica. The
+	// collector's id base is raised to GatewayIDBase on first use.
+	Spans *telemetry.SpanCollector
 
 	startNow sync.Once
 	nowFn    func() float64
@@ -68,6 +89,7 @@ func (g *Gateway) init() {
 	g.initOnce.Do(func() {
 		g.relayed = g.Metrics.Counter(telemetry.MetricName("fleet", "gateway_frames_relayed_total"))
 		g.dialFail = g.Metrics.Counter(telemetry.MetricName("fleet", "gateway_dial_failures_total"))
+		g.Spans.SetIDBase(GatewayIDBase) // nil-safe
 		if g.HandshakeTimeout == 0 {
 			g.HandshakeTimeout = 5 * time.Second
 		}
@@ -194,6 +216,7 @@ func (g *Gateway) place(now float64, h wire.Hello) (int, net.Conn, error) {
 		// a replica that refuses a dial is treated as crashed: mark it
 		// Down so placement stops routing there, and try the next one.
 		g.dialFail.Inc()
+		g.Coord.cfg.Events.RecordAt(now, telemetry.EventDialFail, replicaNode(id), err.Error())
 		g.Coord.SetStatus(id, Down)
 		lastErr = fmt.Errorf("fleet: dial replica %d: %w", id, err)
 	}
@@ -313,6 +336,12 @@ func (g *Gateway) relay(client net.Conn) {
 				g.Coord.End(token)
 				return
 			}
+			if g.Spans != nil && uf.Trace.Valid() {
+				// hop span: parent the client's span, pass the gateway's
+				// on — the stitched trace then shows the relay hop.
+				t := g.now()
+				uf.Trace = g.Spans.Emit(CompGatewayUp, uf.Trace.Trace, t, t, uf.Trace.Span)
+			}
 			if err := bw.WriteFrame(uf); err != nil {
 				g.Coord.Ack(token, baseSeq+n)
 				return
@@ -337,6 +366,10 @@ func (g *Gateway) relay(client net.Conn) {
 				g.Coord.SetStatus(replicaID, Down)
 			}
 			break
+		}
+		if g.Spans != nil && df.Trace.Valid() && df.Type != wire.TypeBye {
+			t := g.now()
+			df.Trace = g.Spans.Emit(CompGatewayDown, df.Trace.Trace, t, t, df.Trace.Span)
 		}
 		if err := cw.WriteFrame(df); err != nil {
 			break

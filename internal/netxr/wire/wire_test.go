@@ -297,3 +297,37 @@ func TestShortPayloadsRejected(t *testing.T) {
 		}
 	}
 }
+
+func TestFrameTraceRefStreamRoundTrip(t *testing.T) {
+	// The stitch layer partitions span IDs by node (client 0, replica
+	// N<<40, gateway 1<<62), so the header must carry the full 64-bit
+	// range bit-exactly — including the zero (invalid) ref that marks
+	// an uninstrumented frame.
+	refs := []telemetry.SpanRef{
+		{},
+		{Trace: 1, Span: 1},
+		{Trace: 5 << 40, Span: 5<<40 + 7},
+		{Trace: 1 << 62, Span: 1<<62 + 3},
+		{Trace: ^telemetry.TraceID(0), Span: ^telemetry.SpanID(0)},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, ref := range refs {
+		if err := w.WriteFrame(Frame{Type: TypePose, Trace: ref, Payload: []byte{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	for i, want := range refs {
+		got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Trace != want {
+			t.Fatalf("frame %d: trace ref %+v round-tripped as %+v", i, want, got.Trace)
+		}
+		if got.Trace.Valid() != want.Valid() {
+			t.Fatalf("frame %d: validity changed across the wire", i)
+		}
+	}
+}

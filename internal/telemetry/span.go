@@ -228,6 +228,12 @@ type chromeEvent struct {
 type chromeTrace struct {
 	TraceEvents     []chromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	// SpanCount and SpansDropped surface the collector's retention state
+	// alongside the export: a nonzero SpansDropped means the trace is
+	// truncated at the cap, not complete. Extra top-level keys are
+	// ignored by chrome://tracing/Perfetto (and by scripts/tracecheck).
+	SpanCount    int    `json:"spanCount"`
+	SpansDropped uint64 `json:"spansDropped"`
 }
 
 // WriteChromeTrace exports the retained spans as Chrome trace_event JSON:
@@ -251,7 +257,8 @@ func (c *SpanCollector) WriteChromeTrace(w io.Writer) error {
 		tid[n] = i + 1
 	}
 
-	tr := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	tr := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{},
+		SpanCount: len(spans), SpansDropped: c.Dropped()}
 	for _, n := range ordered {
 		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
 			Name: "thread_name", Cat: "__metadata", Ph: "M", Pid: 1, Tid: tid[n],

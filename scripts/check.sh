@@ -61,6 +61,14 @@ go run ./cmd/illixr-bench -exp fleet -fleet-sessions 120 \
 	-fleet-out "$TMP/fleet.json" >/dev/null
 go run ./scripts/fleetcheck "$TMP/fleet.json"
 
+echo "== fleet observability bench smoke"
+# scraped metrics must demonstrably improve placement under skewed load,
+# and stitched cross-node traces must attribute end-to-end MTP within
+# 1 ms (see scripts/obscheck)
+go run ./cmd/illixr-bench -exp fleetobs \
+	-fleetobs-out "$TMP/fleetobs.json" >/dev/null
+go run ./scripts/obscheck "$TMP/fleetobs.json"
+
 echo "== zero-allocation regression tests"
 # AllocsPerRun needs real allocation counts, so this pass runs without
 # -race (the tests skip themselves when the detector is compiled in)

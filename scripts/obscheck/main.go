@@ -1,0 +1,198 @@
+// Command obscheck validates a BENCH_fleetobs.json produced by
+// `illixr-bench -exp fleetobs`: the fleet observability loop must
+// demonstrably close — scraped metrics improving placement, and
+// stitched cross-node traces attributing end-to-end latency correctly.
+//
+// Usage: obscheck BENCH_fleetobs.json
+//
+// Checks:
+//  1. Cell shape: >= 3 replicas, both placement cells ran with MTP
+//     samples, hidden background load present in the skewed cell.
+//  2. Placement: balanced cell ties (live p99 within balanced_eps_ms of
+//     static); skewed cell shows live strictly better on p99 AND mean,
+//     with live placement actually avoiding the loaded replica.
+//  3. Attribution: the stitch cell merged exactly 3 nodes with spans,
+//     and max_attr_err_ms is within attr_bound_ms (<= 1 ms): per-hop
+//     segments telescope to the end-to-end MTP sample.
+//  4. SLO: both objectives reported, burn rates finite and
+//     non-negative, with a non-zero event count behind them.
+//  5. Flight recorder: events were recorded, including one admit per
+//     placed session.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+type mtp struct {
+	MeanMs float64 `json:"mean_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	N      int     `json:"n"`
+}
+
+type variant struct {
+	Probe      string `json:"probe"`
+	PerReplica []int  `json:"placed_per_replica"`
+	MTP        mtp    `json:"mtp"`
+}
+
+type cell struct {
+	Background []int   `json:"background_sessions"`
+	Static     variant `json:"static"`
+	Live       variant `json:"live"`
+}
+
+type sloStatus struct {
+	Name     string  `json:"name"`
+	Good     uint64  `json:"good"`
+	Bad      uint64  `json:"bad"`
+	BurnRate float64 `json:"burn_rate"`
+}
+
+type report struct {
+	Sessions      int     `json:"sessions"`
+	Replicas      int     `json:"replicas"`
+	AttrBoundMs   float64 `json:"attr_bound_ms"`
+	BalancedEpsMs float64 `json:"balanced_eps_ms"`
+	Balanced      cell    `json:"balanced"`
+	Skewed        cell    `json:"skewed"`
+	Stitch        struct {
+		Frames       int     `json:"frames"`
+		Nodes        int     `json:"nodes"`
+		Spans        int     `json:"spans"`
+		MaxAttrErrMs float64 `json:"max_attr_err_ms"`
+	} `json:"stitch"`
+	SLO    []sloStatus `json:"slo"`
+	Events struct {
+		Recorded uint64            `json:"recorded"`
+		ByKind   map[string]uint64 `json:"by_kind"`
+	} `json:"events"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck BENCH_fleetobs.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
+	}
+	bad := false
+
+	// 1. cell shape
+	if rep.Replicas < 3 {
+		fail("cell ran %d replicas, need >= 3", rep.Replicas)
+		bad = true
+	}
+	for name, c := range map[string]cell{"balanced": rep.Balanced, "skewed": rep.Skewed} {
+		if c.Static.MTP.N == 0 || c.Live.MTP.N == 0 {
+			fail("%s cell has empty MTP distributions (static n=%d live n=%d)",
+				name, c.Static.MTP.N, c.Live.MTP.N)
+			bad = true
+		}
+	}
+	hiddenLoad := 0
+	for _, b := range rep.Skewed.Background {
+		hiddenLoad += b
+	}
+	if hiddenLoad == 0 {
+		fail("skewed cell has no hidden background load — nothing for the scrape to reveal")
+		bad = true
+	}
+
+	// 2. placement quality
+	if d := rep.Balanced.Live.MTP.P99Ms - rep.Balanced.Static.MTP.P99Ms; d > rep.BalancedEpsMs {
+		fail("balanced cell: live p99 %.2fms exceeds static %.2fms by more than eps %.2fms",
+			rep.Balanced.Live.MTP.P99Ms, rep.Balanced.Static.MTP.P99Ms, rep.BalancedEpsMs)
+		bad = true
+	}
+	if rep.Skewed.Live.MTP.P99Ms >= rep.Skewed.Static.MTP.P99Ms {
+		fail("skewed cell: live p99 %.2fms not strictly better than static %.2fms",
+			rep.Skewed.Live.MTP.P99Ms, rep.Skewed.Static.MTP.P99Ms)
+		bad = true
+	}
+	if rep.Skewed.Live.MTP.MeanMs >= rep.Skewed.Static.MTP.MeanMs {
+		fail("skewed cell: live mean %.2fms not strictly better than static %.2fms",
+			rep.Skewed.Live.MTP.MeanMs, rep.Skewed.Static.MTP.MeanMs)
+		bad = true
+	}
+	// live placement must have shifted sessions off the loaded replica
+	for i, b := range rep.Skewed.Background {
+		if b == 0 || i >= len(rep.Skewed.Live.PerReplica) || i >= len(rep.Skewed.Static.PerReplica) {
+			continue
+		}
+		if rep.Skewed.Live.PerReplica[i] >= rep.Skewed.Static.PerReplica[i] {
+			fail("skewed cell: live placed %d on loaded replica %d, static placed %d — the probe changed nothing",
+				rep.Skewed.Live.PerReplica[i], i, rep.Skewed.Static.PerReplica[i])
+			bad = true
+		}
+	}
+
+	// 3. cross-node attribution
+	if rep.Stitch.Nodes != 3 {
+		fail("stitch cell merged %d nodes, want 3 (client, gateway, replica)", rep.Stitch.Nodes)
+		bad = true
+	}
+	if rep.Stitch.Frames == 0 || rep.Stitch.Spans == 0 {
+		fail("stitch cell is empty (%d frames, %d spans)", rep.Stitch.Frames, rep.Stitch.Spans)
+		bad = true
+	}
+	if rep.AttrBoundMs <= 0 || rep.AttrBoundMs > 1.0 {
+		fail("attr_bound_ms %.3f outside (0, 1] — the bench relaxed the contract", rep.AttrBoundMs)
+		bad = true
+	}
+	if rep.Stitch.MaxAttrErrMs > rep.AttrBoundMs {
+		fail("max attribution error %.4fms exceeds bound %.2fms",
+			rep.Stitch.MaxAttrErrMs, rep.AttrBoundMs)
+		bad = true
+	}
+
+	// 4. SLO engine
+	if len(rep.SLO) < 2 {
+		fail("SLO snapshot has %d objectives, want >= 2 (static and live)", len(rep.SLO))
+		bad = true
+	}
+	for _, st := range rep.SLO {
+		if st.Good+st.Bad == 0 {
+			fail("SLO %q observed no events", st.Name)
+			bad = true
+		}
+		if math.IsNaN(st.BurnRate) || math.IsInf(st.BurnRate, 0) || st.BurnRate < 0 {
+			fail("SLO %q burn rate %v is not a finite non-negative number", st.Name, st.BurnRate)
+			bad = true
+		}
+	}
+
+	// 5. flight recorder
+	if rep.Events.Recorded == 0 {
+		fail("flight recorder recorded no events")
+		bad = true
+	}
+	if int(rep.Events.ByKind["admit"]) != rep.Sessions {
+		fail("flight recorder saw %d admit events for %d sessions",
+			rep.Events.ByKind["admit"], rep.Sessions)
+		bad = true
+	}
+
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Printf("obscheck: OK (%d sessions; skewed live p99 %.2fms vs static %.2fms; "+
+		"attr err %.4fms <= %.2fms over %d frames, %d nodes)\n",
+		rep.Sessions, rep.Skewed.Live.MTP.P99Ms, rep.Skewed.Static.MTP.P99Ms,
+		rep.Stitch.MaxAttrErrMs, rep.AttrBoundMs, rep.Stitch.Frames, rep.Stitch.Nodes)
+}
