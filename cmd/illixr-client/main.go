@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"illixr/internal/core"
+	"illixr/internal/netxr/binlog"
 	"illixr/internal/netxr/bridge"
 	"illixr/internal/netxr/wire"
 	"illixr/internal/runtime"
@@ -33,6 +34,9 @@ func main() {
 	camRate := flag.Float64("cam-rate", 15, "camera rate Hz")
 	app := flag.String("app", "sponza", "application name reported in the handshake")
 	speed := flag.Float64("speed", 1, "playback speed vs real time (0 = as fast as possible)")
+	record := flag.String("record", "",
+		"capture this client's traffic (Hello/Welcome included) into this binlog file "+
+			"for later illixr-replay runs (DESIGN.md §13)")
 	flag.Parse()
 
 	dcfg := sensors.DefaultDatasetConfig()
@@ -46,10 +50,20 @@ func main() {
 	if err != nil {
 		log.Fatalf("dial: %v", err)
 	}
+	var capture *binlog.Writer
+	if *record != "" {
+		capture, err = binlog.Create(*record, binlog.Meta{
+			App: *app, Seed: *seed, IMURateHz: *imuRate, CamRateHz: *camRate,
+			Label: "client",
+		}, nil)
+		if err != nil {
+			log.Fatalf("record: %v", err)
+		}
+	}
 	tracer := telemetry.NewSpanCollector(0)
-	cl, err := bridge.Dial(conn, wire.Hello{
+	cl, err := bridge.DialCapture(conn, wire.Hello{
 		App: *app, Seed: *seed, IMURateHz: *imuRate, CamRateHz: *camRate,
-	}, tracer)
+	}, tracer, capture)
 	if err != nil {
 		log.Fatalf("handshake: %v", err)
 	}
@@ -114,4 +128,10 @@ func main() {
 	}
 	_ = cl.Close()
 	_ = loader.Shutdown()
+	if capture != nil {
+		if err := capture.Close(); err != nil {
+			log.Fatalf("record: %v", err)
+		}
+		fmt.Printf("recorded %d frames into %s (+%s)\n", capture.Count(), *record, binlog.IndexSuffix)
+	}
 }

@@ -39,6 +39,7 @@ import (
 
 	"illixr/internal/config"
 	"illixr/internal/debughttp"
+	"illixr/internal/netxr/binlog"
 	"illixr/internal/netxr/fleet"
 	"illixr/internal/telemetry"
 	"illixr/internal/telemetry/slo"
@@ -71,6 +72,9 @@ func main() {
 		"on shutdown, write the stitched gateway+replica trace to this file")
 	metricsOut := flag.String("metrics-out", "",
 		"on shutdown, write the metrics registry as text to this file")
+	record := flag.String("record", "",
+		"capture all client-facing relayed frames into this binlog file "+
+			"(sidecar index written on shutdown; DESIGN.md §13)")
 	flag.Parse()
 
 	backends := strings.Split(*replicas, ",")
@@ -118,6 +122,15 @@ func main() {
 		}
 	}
 
+	var capture *binlog.Writer
+	if *record != "" {
+		var err error
+		capture, err = binlog.Create(*record, binlog.Meta{Label: "gateway"}, reg)
+		if err != nil {
+			log.Fatalf("record: %v", err)
+		}
+	}
+
 	spans := telemetry.NewSpanCollector(0)
 	gw := &fleet.Gateway{
 		Coord: coord,
@@ -126,6 +139,7 @@ func main() {
 		},
 		Metrics: reg,
 		Spans:   spans,
+		Record:  capture,
 	}
 
 	var sloEng *slo.Engine
@@ -235,6 +249,13 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	}
 	cancel()
+	if capture != nil {
+		// Shutdown waited for the relay goroutines; the opener closes
+		if err := capture.Close(); err != nil {
+			log.Fatalf("record: %v", err)
+		}
+		fmt.Printf("recorded %d frames into %s (+%s)\n", capture.Count(), *record, binlog.IndexSuffix)
+	}
 	if *traceOut != "" {
 		write := func(w io.Writer) error {
 			dumps := append([]stitch.Dump{stitch.CollectorDump(*node, spans)}, spanDumps()...)

@@ -26,6 +26,7 @@ import (
 	"illixr/internal/config"
 	"illixr/internal/debughttp"
 	"illixr/internal/integrator"
+	"illixr/internal/netxr/binlog"
 	"illixr/internal/netxr/bridge"
 	"illixr/internal/netxr/session"
 	"illixr/internal/netxr/wire"
@@ -51,10 +52,22 @@ func main() {
 		"on shutdown, write all sessions' causal spans as Chrome trace JSON to this file")
 	metricsOut := flag.String("metrics-out", "",
 		"on shutdown, write the metrics registry as text to this file")
+	record := flag.String("record", "",
+		"capture every session frame (uplink+downlink) into this binlog file; "+
+			"a sidecar index is written alongside on shutdown (DESIGN.md §13)")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
 	recycle.Instrument(reg)
+
+	var capture *binlog.Writer
+	if *record != "" {
+		var err error
+		capture, err = binlog.Create(*record, binlog.Meta{Label: "serve"}, reg)
+		if err != nil {
+			log.Fatalf("record: %v", err)
+		}
+	}
 	pipe := &bridge.Pipeline{
 		Metrics:       reg,
 		VIO:           *vio,
@@ -66,6 +79,7 @@ func main() {
 		MaxSessions: *maxSessions,
 		QueueLen:    *queueLen,
 		IdleTimeout: time.Duration(*idleTimeout * float64(time.Second)),
+		Capture:     capture,
 		Metrics:     reg,
 	}, pipe)
 
@@ -100,6 +114,13 @@ func main() {
 
 	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("serve: %v", err)
+	}
+	if capture != nil {
+		// all sessions have quiesced (Shutdown waited); the opener closes
+		if err := capture.Close(); err != nil {
+			log.Fatalf("record: %v", err)
+		}
+		fmt.Printf("recorded %d frames into %s (+%s)\n", capture.Count(), *record, binlog.IndexSuffix)
 	}
 	if *traceOut != "" {
 		write := func(w io.Writer) error {

@@ -1,0 +1,239 @@
+package binlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"illixr/internal/netxr/wire"
+)
+
+// Entry maps one record's sequence number to its byte offset in the
+// log (the offset of the record's length prefix), plus enough shape
+// (message type, direction) for per-type slicing without reading the
+// log.
+type Entry struct {
+	Seq  uint64
+	Off  uint64
+	Type wire.Type
+	Dir  Dir
+}
+
+// Index is the sidecar of one binlog: the metadata header echoed, the
+// per-direction and per-message-type record counts, the total log size
+// (for mismatch detection), and the dense seq → offset table enabling
+// O(1) seek into multi-gigabyte captures.
+//
+// Sidecar layout (little-endian):
+//
+//	magic "XRBI", format version byte
+//	uvarint metadata length, metadata payload (same codec as the log)
+//	uvarint record count, uvarint log byte size
+//	uvarint up count, uvarint down count
+//	uvarint #type buckets, then per bucket: type byte + uvarint count
+//	per entry: uvarint seq delta, uvarint off delta, type byte, dir byte
+//	CRC-32 (IEEE) over everything above
+type Index struct {
+	Meta     Meta
+	Records  uint64
+	LogBytes uint64
+	Up       uint64
+	Down     uint64
+	ByType   map[wire.Type]uint64
+	Entries  []Entry
+}
+
+// Count returns the number of records of type t.
+func (ix *Index) Count(t wire.Type) uint64 { return ix.ByType[t] }
+
+// SeekSeq returns the byte offset of the record with sequence number
+// seq, or ok=false if the log holds no such record. Entries are
+// ordered by seq (the writer assigns them densely), so this is a
+// binary search even for sparse slices of a log.
+func (ix *Index) SeekSeq(seq uint64) (off uint64, ok bool) {
+	i := sort.Search(len(ix.Entries), func(i int) bool { return ix.Entries[i].Seq >= seq })
+	if i >= len(ix.Entries) || ix.Entries[i].Seq != seq {
+		return 0, false
+	}
+	return ix.Entries[i].Off, true
+}
+
+// Validate cross-checks the index against the log it claims to
+// describe: the byte size must match exactly and every offset must lie
+// inside the log. A stale or swapped sidecar returns ErrIndexMismatch
+// so readers rebuild instead of seeking into garbage.
+func (ix *Index) Validate(logSize uint64) error {
+	if ix.LogBytes != logSize {
+		return fmt.Errorf("%w: index says %d log bytes, log has %d",
+			ErrIndexMismatch, ix.LogBytes, logSize)
+	}
+	if uint64(len(ix.Entries)) != ix.Records {
+		return fmt.Errorf("%w: %d entries for %d records",
+			ErrIndexMismatch, len(ix.Entries), ix.Records)
+	}
+	// the summary counts must agree with the entry table itself
+	var up, down uint64
+	byType := map[wire.Type]uint64{}
+	var prevSeq, prevOff uint64
+	for i, e := range ix.Entries {
+		if e.Off >= logSize {
+			return fmt.Errorf("%w: entry %d offset %d beyond log end %d",
+				ErrIndexMismatch, i, e.Off, logSize)
+		}
+		if i > 0 && (e.Seq <= prevSeq || e.Off <= prevOff) {
+			return fmt.Errorf("%w: entry %d not monotonic", ErrIndexMismatch, i)
+		}
+		prevSeq, prevOff = e.Seq, e.Off
+		if e.Dir == DirUp {
+			up++
+		} else {
+			down++
+		}
+		byType[e.Type]++
+	}
+	if up != ix.Up || down != ix.Down {
+		return fmt.Errorf("%w: direction counts %d/%d, entries say %d/%d",
+			ErrIndexMismatch, ix.Up, ix.Down, up, down)
+	}
+	if len(byType) != len(ix.ByType) {
+		return fmt.Errorf("%w: %d type buckets, entries say %d",
+			ErrIndexMismatch, len(ix.ByType), len(byType))
+	}
+	for typ, n := range byType {
+		if ix.ByType[typ] != n {
+			return fmt.Errorf("%w: count[%v] = %d, entries say %d",
+				ErrIndexMismatch, typ, ix.ByType[typ], n)
+		}
+	}
+	return nil
+}
+
+// AppendIndex encodes ix onto dst in the sidecar format.
+func AppendIndex(dst []byte, ix *Index) []byte {
+	start := len(dst)
+	dst = append(dst, IndexMagic[:]...)
+	dst = append(dst, FormatVersion)
+	meta := appendMeta(nil, ix.Meta)
+	dst = binary.AppendUvarint(dst, uint64(len(meta)))
+	dst = append(dst, meta...)
+	dst = binary.AppendUvarint(dst, ix.Records)
+	dst = binary.AppendUvarint(dst, ix.LogBytes)
+	dst = binary.AppendUvarint(dst, ix.Up)
+	dst = binary.AppendUvarint(dst, ix.Down)
+	// deterministic bucket order: by type byte
+	types := make([]int, 0, len(ix.ByType))
+	for t := range ix.ByType {
+		types = append(types, int(t))
+	}
+	sort.Ints(types)
+	dst = binary.AppendUvarint(dst, uint64(len(types)))
+	for _, t := range types {
+		dst = append(dst, byte(t))
+		dst = binary.AppendUvarint(dst, ix.ByType[wire.Type(t)])
+	}
+	var prevSeq, prevOff uint64
+	for _, e := range ix.Entries {
+		dst = binary.AppendUvarint(dst, e.Seq-prevSeq)
+		dst = binary.AppendUvarint(dst, e.Off-prevOff)
+		dst = append(dst, byte(e.Type), byte(e.Dir))
+		prevSeq, prevOff = e.Seq, e.Off
+	}
+	sum := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// DecodeIndex parses a sidecar index.
+func DecodeIndex(b []byte) (*Index, error) {
+	if len(b) < len(IndexMagic)+1+4 {
+		return nil, fmt.Errorf("%w: index too short", ErrHeader)
+	}
+	if b[0] != IndexMagic[0] || b[1] != IndexMagic[1] ||
+		b[2] != IndexMagic[2] || b[3] != IndexMagic[3] {
+		return nil, ErrMagic
+	}
+	if b[4] != FormatVersion {
+		return nil, fmt.Errorf("%w: index version %d want %d",
+			ErrFormatVersion, b[4], FormatVersion)
+	}
+	want := binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(b[:len(b)-4]) != want {
+		return nil, fmt.Errorf("%w: index CRC mismatch", ErrHeader)
+	}
+	d := &metaDec{b: b[:len(b)-4], off: 5}
+	metaLen := d.uvarint()
+	if d.err != nil || metaLen > uint64(len(d.b)-d.off) {
+		return nil, fmt.Errorf("%w: index metadata length", ErrHeader)
+	}
+	meta, err := decodeMeta(d.b[d.off : d.off+int(metaLen)])
+	if err != nil {
+		return nil, err
+	}
+	d.off += int(metaLen)
+	ix := &Index{Meta: meta, ByType: map[wire.Type]uint64{}}
+	ix.Records = d.uvarint()
+	ix.LogBytes = d.uvarint()
+	ix.Up = d.uvarint()
+	ix.Down = d.uvarint()
+	buckets := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if buckets > 256 {
+		return nil, fmt.Errorf("%w: %d type buckets", ErrHeader, buckets)
+	}
+	for i := uint64(0); i < buckets; i++ {
+		if d.off >= len(d.b) {
+			return nil, fmt.Errorf("%w: index truncated in buckets", ErrHeader)
+		}
+		t := wire.Type(d.b[d.off])
+		d.off++
+		ix.ByType[t] = d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	if ix.Records > uint64(len(d.b)) { // each entry is >= 4 bytes; cheap hostile bound
+		return nil, fmt.Errorf("%w: %d records for %d index bytes", ErrHeader, ix.Records, len(d.b))
+	}
+	ix.Entries = make([]Entry, 0, ix.Records)
+	var seq, off uint64
+	for i := uint64(0); i < ix.Records; i++ {
+		dSeq := d.uvarint()
+		dOff := d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if d.off+2 > len(d.b) {
+			return nil, fmt.Errorf("%w: index truncated in entries", ErrHeader)
+		}
+		if i > 0 {
+			seq += dSeq
+			off += dOff
+		} else {
+			seq, off = dSeq, dOff
+		}
+		e := Entry{Seq: seq, Off: off, Type: wire.Type(d.b[d.off]), Dir: Dir(d.b[d.off+1])}
+		if e.Dir > DirDown {
+			return nil, fmt.Errorf("%w: index entry %d direction %d", ErrHeader, i, e.Dir)
+		}
+		d.off += 2
+		ix.Entries = append(ix.Entries, e)
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("%w: %d trailing index bytes", ErrHeader, len(d.b)-d.off)
+	}
+	return ix, nil
+}
+
+// BuildIndex reconstructs the sidecar from log bytes alone (used when
+// the sidecar is missing, stale, or fails Validate). The returned
+// index covers exactly the records DecodeLog would yield — a torn tail
+// is excluded.
+func BuildIndex(log []byte) (*Index, error) {
+	l, err := DecodeLog(log, nil)
+	if err != nil {
+		return nil, err
+	}
+	return indexOf(l, uint64(len(log)-l.TornBytes)), nil
+}

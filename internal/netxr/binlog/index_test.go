@@ -1,0 +1,280 @@
+package binlog
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"illixr/internal/netxr/wire"
+	"illixr/internal/telemetry"
+)
+
+func TestIndexTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		frames int
+	}{
+		{"empty log", 0},
+		{"single-record log", 1},
+		{"small", 7},
+		{"multi", 64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw, ix := record(t, testFrames(tc.frames))
+
+			// sidecar round-trip is lossless
+			enc := AppendIndex(nil, ix)
+			got, err := DecodeIndex(enc)
+			if err != nil {
+				t.Fatalf("DecodeIndex: %v", err)
+			}
+			if got.Records != ix.Records || got.Up != ix.Up || got.Down != ix.Down ||
+				got.LogBytes != ix.LogBytes || got.Meta != ix.Meta ||
+				len(got.Entries) != len(ix.Entries) || len(got.ByType) != len(ix.ByType) {
+				t.Fatalf("index round-trip: got %+v want %+v", got, ix)
+			}
+			for i := range ix.Entries {
+				if got.Entries[i] != ix.Entries[i] {
+					t.Fatalf("entry %d: %+v != %+v", i, got.Entries[i], ix.Entries[i])
+				}
+			}
+
+			// it validates against its own log
+			if err := got.Validate(uint64(len(raw))); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+
+			// seek-to-seq: every offset decodes the right record in O(1)
+			for seq := uint64(0); seq < ix.Records; seq++ {
+				off, ok := got.SeekSeq(seq)
+				if !ok {
+					t.Fatalf("SeekSeq(%d) missing", seq)
+				}
+				rec, _, err := decodeRecord(raw[off:])
+				if err != nil {
+					t.Fatalf("decode at seek(%d): %v", seq, err)
+				}
+				if rec.Seq != seq {
+					t.Fatalf("seek(%d) landed on seq %d", seq, rec.Seq)
+				}
+			}
+			if _, ok := got.SeekSeq(ix.Records); ok {
+				t.Fatal("SeekSeq past end reported ok")
+			}
+
+			// per-type counts agree with a full decode
+			l, err := DecodeLog(raw, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := l.CountByType()
+			if len(counts) != len(got.ByType) {
+				t.Fatalf("type buckets %d != %d", len(got.ByType), len(counts))
+			}
+			for typ, n := range counts {
+				if got.Count(typ) != n {
+					t.Fatalf("count[%v] = %d, want %d", typ, got.Count(typ), n)
+				}
+			}
+
+			// rebuilding from log bytes reproduces the sidecar exactly
+			rebuilt, err := BuildIndex(raw)
+			if err != nil {
+				t.Fatalf("BuildIndex: %v", err)
+			}
+			if !bytes.Equal(AppendIndex(nil, rebuilt), enc) {
+				t.Fatal("rebuilt index differs from writer's")
+			}
+		})
+	}
+}
+
+func TestIndexLogMismatchDetection(t *testing.T) {
+	_, ix := record(t, testFrames(9))
+	otherRaw, _ := record(t, testFrames(12))
+
+	cases := []struct {
+		name   string
+		mutate func(*Index) uint64 // returns logSize to validate against
+	}{
+		{"wrong log size", func(ix *Index) uint64 { return ix.LogBytes + 17 }},
+		{"entry count drift", func(ix *Index) uint64 {
+			ix.Entries = ix.Entries[:len(ix.Entries)-1]
+			return ix.LogBytes
+		}},
+		{"type counts drift", func(ix *Index) uint64 {
+			ix.ByType[wire.TypeIMU]++
+			return ix.LogBytes
+		}},
+		{"direction counts drift", func(ix *Index) uint64 {
+			ix.Up++
+			ix.Down--
+			return ix.LogBytes
+		}},
+		{"offset beyond log", func(ix *Index) uint64 {
+			ix.Entries[len(ix.Entries)-1].Off = ix.LogBytes + 1
+			return ix.LogBytes
+		}},
+		{"non-monotonic entries", func(ix *Index) uint64 {
+			ix.Entries[2].Seq = ix.Entries[1].Seq
+			return ix.LogBytes
+		}},
+		{"swapped sidecar", func(ix *Index) uint64 {
+			other, err := BuildIndex(otherRaw)
+			if err != nil {
+				panic(err)
+			}
+			*ix = *other
+			return uint64(len(otherRaw)) - 17 // stale vs a different log
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := &Index{}
+			*cp = *ix
+			cp.Entries = append([]Entry(nil), ix.Entries...)
+			cp.ByType = map[wire.Type]uint64{}
+			for k, v := range ix.ByType {
+				cp.ByType[k] = v
+			}
+			size := tc.mutate(cp)
+			if err := cp.Validate(size); !errors.Is(err, ErrIndexMismatch) {
+				t.Fatalf("Validate = %v, want ErrIndexMismatch", err)
+			}
+		})
+	}
+}
+
+func TestDecodeIndexRejectsCorruption(t *testing.T) {
+	_, ix := record(t, testFrames(5))
+	enc := AppendIndex(nil, ix)
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"short", func(b []byte) []byte { return b[:4] }, ErrHeader},
+		{"magic", func(b []byte) []byte { b[0] = 'Z'; return b }, ErrMagic},
+		{"version", func(b []byte) []byte { b[4] = 99; return b }, ErrFormatVersion},
+		{"flip", func(b []byte) []byte { b[len(b)/2] ^= 1; return b }, ErrHeader},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-9] }, ErrHeader},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), enc...))
+			if _, err := DecodeIndex(b); !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFileRoundTripWithSidecar(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run"+Suffix)
+	reg := telemetry.NewRegistry()
+	w, err := Create(path, testMeta(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := testFrames(20)
+	for i, f := range frames {
+		if err := w.RecordAt(DirUp, float64(i), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + IndexSuffix); err != nil {
+		t.Fatalf("sidecar not written: %v", err)
+	}
+
+	l, ix, err := ReadFile(path, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) != len(frames) || ix.Records != uint64(len(frames)) {
+		t.Fatalf("read back %d/%d records", len(l.Records), ix.Records)
+	}
+	rebuilds := telemetry.MetricName("binlog", "index_rebuilt_total")
+	if got := reg.Counter(rebuilds).Value(); got != 0 {
+		t.Fatalf("valid sidecar triggered %d rebuilds", got)
+	}
+
+	// a stale sidecar (from a different log) is detected and rebuilt
+	otherRaw, _ := record(t, testFrames(3))
+	other, err := BuildIndex(otherRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+IndexSuffix, AppendIndex(nil, other), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ix2, err := ReadFile(path, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Records != uint64(len(frames)) {
+		t.Fatalf("rebuilt index has %d records", ix2.Records)
+	}
+	if got := reg.Counter(rebuilds).Value(); got != 1 {
+		t.Fatalf("illixr_binlog_index_rebuilt_total = %d, want 1", got)
+	}
+
+	// a missing sidecar is rebuilt too
+	if err := os.Remove(path + IndexSuffix); err != nil {
+		t.Fatal(err)
+	}
+	_, ix3, err := ReadFile(path, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix3.Validate(ix.LogBytes); err != nil {
+		t.Fatalf("rebuilt-from-missing index invalid: %v", err)
+	}
+	if got := reg.Counter(rebuilds).Value(); got != 2 {
+		t.Fatalf("illixr_binlog_index_rebuilt_total = %d, want 2", got)
+	}
+}
+
+func TestReadFileTornTailWithStaleIndex(t *testing.T) {
+	// crash simulation: the log has a torn tail and the sidecar (written
+	// by a previous clean close) no longer matches — ReadFile must skip
+	// the tail AND rebuild the index to the clean prefix.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crash"+Suffix)
+	w, err := Create(path, testMeta(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range testFrames(10) {
+		if err := w.RecordAt(DirUp, float64(i), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, ix, err := ReadFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Torn != 1 || len(l.Records) != 9 || ix.Records != 9 {
+		t.Fatalf("torn=%d records=%d ix=%d, want 1/9/9", l.Torn, len(l.Records), ix.Records)
+	}
+	if err := ix.Validate(uint64(len(raw)-5) - uint64(l.TornBytes)); err != nil {
+		t.Fatalf("rebuilt index: %v", err)
+	}
+}

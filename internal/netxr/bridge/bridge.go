@@ -25,6 +25,7 @@ import (
 	"illixr/internal/faults"
 	"illixr/internal/integrator"
 	"illixr/internal/mathx"
+	"illixr/internal/netxr/binlog"
 	"illixr/internal/netxr/session"
 	"illixr/internal/netxr/wire"
 	"illixr/internal/runtime"
@@ -305,6 +306,7 @@ type Client struct {
 	r       *wire.Reader
 	welcome wire.Welcome
 	tracer  *telemetry.SpanCollector
+	capture *binlog.Writer
 
 	wmu sync.Mutex
 	w   *wire.Writer
@@ -354,13 +356,23 @@ func (a *atomic64) get() (float64, bool) {
 // Dial performs the client handshake over an established connection. The
 // tracer may be nil (untraced client).
 func Dial(conn net.Conn, hello wire.Hello, tracer *telemetry.SpanCollector) (*Client, error) {
+	return DialCapture(conn, hello, tracer, nil)
+}
+
+// DialCapture is Dial with a client-side binlog tap: every frame this
+// client sends (DirUp) or receives (DirDown) — the Hello and Welcome
+// included — is recorded through the Writer's single append path
+// (DESIGN.md §13). The capture's owner closes it after the client is
+// done; cap may be nil.
+func DialCapture(conn net.Conn, hello wire.Hello, tracer *telemetry.SpanCollector, cap *binlog.Writer) (*Client, error) {
 	hello.Proto = wire.Version
 	c := &Client{
-		conn:   conn,
-		r:      wire.NewReader(conn),
-		w:      wire.NewWriter(conn),
-		tracer: tracer,
-		pongs:  map[uint64]chan wire.Ping{},
+		conn:    conn,
+		r:       wire.NewReader(conn),
+		w:       wire.NewWriter(conn),
+		tracer:  tracer,
+		capture: cap,
+		pongs:   map[uint64]chan wire.Ping{},
 	}
 	if err := c.write(wire.Frame{Type: wire.TypeHello, Payload: wire.AppendHello(nil, hello)}); err != nil {
 		_ = conn.Close()
@@ -370,6 +382,9 @@ func Dial(conn net.Conn, hello wire.Hello, tracer *telemetry.SpanCollector) (*Cl
 	if err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("bridge: awaiting welcome: %w", err)
+	}
+	if cap != nil {
+		_ = cap.Record(binlog.DirDown, f)
 	}
 	switch f.Type {
 	case wire.TypeWelcome:
@@ -409,7 +424,11 @@ func (c *Client) RecvSeq() uint64 {
 func (c *Client) write(f wire.Frame) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return c.w.WriteFrame(f)
+	err := c.w.WriteFrame(f)
+	if err == nil && c.capture != nil {
+		_ = c.capture.Record(binlog.DirUp, f)
+	}
+	return err
 }
 
 // fail records the first transport error.
@@ -584,6 +603,9 @@ func (p *downlinkPlugin) Start(ctx *runtime.Context) error {
 			c.mu.Lock()
 			c.recvSeq++
 			c.mu.Unlock()
+			if c.capture != nil {
+				_ = c.capture.Record(binlog.DirDown, f)
+			}
 			switch f.Type {
 			case wire.TypePose:
 				pm, derr := wire.DecodePose(f.Payload)

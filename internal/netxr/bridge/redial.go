@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"illixr/internal/netxr/binlog"
 	"illixr/internal/netxr/wire"
 	"illixr/internal/telemetry"
 )
@@ -104,6 +105,9 @@ type Redialer struct {
 	Hello wire.Hello
 	// Tracer seeds each dialed client's span collector; may be nil.
 	Tracer *telemetry.SpanCollector
+	// Capture records every frame of every dialed client — across
+	// resumes — into one client-side binlog; may be nil.
+	Capture *binlog.Writer
 	// Backoff paces reconnect attempts; nil = NewBackoff(Hello.Seed).
 	Backoff *Backoff
 	// MaxAttempts bounds one Connect call (0 = 8).
@@ -164,7 +168,7 @@ func (r *Redialer) Connect() (*Client, error) {
 				hello.LastSeq = r.last.RecvSeq()
 			}
 		}
-		cl, err := Dial(conn, hello, r.Tracer)
+		cl, err := DialCapture(conn, hello, r.Tracer, r.Capture)
 		if err == nil {
 			r.last, r.welcome, r.haveW = cl, cl.Welcome(), true
 			return cl, nil

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"illixr/internal/netxr/binlog"
 	"illixr/internal/netxr/session"
 	"illixr/internal/netxr/wire"
 	"illixr/internal/telemetry"
@@ -70,6 +71,15 @@ type Gateway struct {
 	// trace shows the gateway hop between client and replica. The
 	// collector's id base is raised to GatewayIDBase on first use.
 	Spans *telemetry.SpanCollector
+	// Record, when non-nil, captures the gateway's client-facing
+	// traffic — every frame read from (DirUp) or written to (DirDown)
+	// any relayed client, refusal Byes included — into one binlog
+	// (DESIGN.md §13). Uplink frames are recorded as the client sent
+	// them (before the hop-span trace rewrite); downlink frames as
+	// delivered (after the Welcome rewrite). All relay goroutines share
+	// the Writer's single append path; the process that opened it
+	// closes it after Shutdown returns.
+	Record *binlog.Writer
 
 	startNow sync.Once
 	nowFn    func() float64
@@ -195,8 +205,11 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 // refuse sends a terminal Bye to the client, best-effort.
 func (g *Gateway) refuse(conn net.Conn, w *wire.Writer, reason string, retry time.Duration) {
 	_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
-	_ = w.WriteFrame(wire.Frame{Type: wire.TypeBye,
-		Payload: wire.AppendBye(nil, wire.Bye{Reason: reason, RetryAfterMs: uint32(retry.Milliseconds())})})
+	bye := wire.Frame{Type: wire.TypeBye,
+		Payload: wire.AppendBye(nil, wire.Bye{Reason: reason, RetryAfterMs: uint32(retry.Milliseconds())})}
+	if err := w.WriteFrame(bye); err == nil && g.Record != nil {
+		_ = g.Record.Record(binlog.DirDown, bye)
+	}
 	_ = conn.Close()
 }
 
@@ -237,6 +250,9 @@ func (g *Gateway) relay(client net.Conn) {
 	hello, err := wire.DecodeHello(f.Payload)
 	if err != nil {
 		return
+	}
+	if g.Record != nil {
+		_ = g.Record.Record(binlog.DirUp, f)
 	}
 	_ = client.SetReadDeadline(time.Time{})
 	helloTrace := f.Trace
@@ -305,9 +321,13 @@ func (g *Gateway) relay(client net.Conn) {
 		return
 	}
 	welcome.Proto = wire.Version
-	if err := cw.WriteFrame(wire.Frame{Type: wire.TypeWelcome, Trace: bf.Trace,
-		Payload: wire.AppendWelcome(nil, welcome)}); err != nil {
+	wf := wire.Frame{Type: wire.TypeWelcome, Trace: bf.Trace,
+		Payload: wire.AppendWelcome(nil, welcome)}
+	if err := cw.WriteFrame(wf); err != nil {
 		return
+	}
+	if g.Record != nil {
+		_ = g.Record.Record(binlog.DirDown, wf)
 	}
 	token := welcome.ResumeToken
 	baseSeq := welcome.LastAckSeq
@@ -330,6 +350,9 @@ func (g *Gateway) relay(client net.Conn) {
 			if err != nil {
 				g.Coord.Ack(token, baseSeq+n)
 				return
+			}
+			if g.Record != nil {
+				_ = g.Record.Record(binlog.DirUp, uf)
 			}
 			if uf.Type == wire.TypeBye {
 				_ = bw.WriteFrame(uf)
@@ -373,6 +396,9 @@ func (g *Gateway) relay(client net.Conn) {
 		}
 		if err := cw.WriteFrame(df); err != nil {
 			break
+		}
+		if g.Record != nil {
+			_ = g.Record.Record(binlog.DirDown, df)
 		}
 		g.relayed.Inc()
 		if df.Type == wire.TypeBye {

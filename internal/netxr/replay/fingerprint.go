@@ -1,0 +1,178 @@
+// Package replay turns a binlog capture (internal/netxr/binlog) back
+// into traffic. It has two modes:
+//
+//   - 1× regression replay: Compute re-drives the recorded uplink
+//     through the deterministic perception core (the RK4 integrator)
+//     in virtual time and folds the results into a Fingerprint — a set
+//     of SHA-256 digests over the capture's deterministic content.
+//     Recording the same seeded scenario twice, or replaying a
+//     recording through a re-split topology, must reproduce the
+//     fingerprint bit-exactly; goldens are checked in and gated.
+//
+//   - N× fan-out: Replay/FanOut stamp fresh session identities onto
+//     one recording and drive it through a live gateway/server fleet
+//     as synthetic load — one captured session becomes an arbitrary
+//     number of replayed clients (ROADMAP item 2).
+//
+// What a fingerprint covers — and deliberately does not: uplink IMU
+// and camera payloads are hashed per type in capture order (the bridge
+// uplinks IMU and camera from separate goroutines, so their relative
+// interleave in the file is timing, not content); QoE payloads are
+// re-encoded with the session id zeroed (replayed sessions get fresh
+// identities); poses are NOT taken from the downlink — latest-wins
+// delivery drops a timing-dependent subset — but recomputed by feeding
+// the recorded IMU stream through integrator.New, which is pure
+// deterministic float math. Pose epochs from downlink Welcomes are
+// kept: they are the resume lineage the fleet guarantees.
+package replay
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+
+	"illixr/internal/integrator"
+	"illixr/internal/mathx"
+	"illixr/internal/netxr/binlog"
+	"illixr/internal/netxr/wire"
+)
+
+// Fingerprint is the bit-exact identity of a capture's deterministic
+// content. Two captures of the same seeded scenario — or a capture and
+// its 1× replay — must produce equal fingerprints; any drift means the
+// pipeline's deterministic core changed behaviour.
+type Fingerprint struct {
+	// UpIMU / UpCamera / UpQoE count the uplink frames per type.
+	UpIMU    uint64 `json:"up_imu"`
+	UpCamera uint64 `json:"up_camera"`
+	UpQoE    uint64 `json:"up_qoe"`
+	// PoseEpochs lists the PoseEpoch of every downlink Welcome in
+	// order: a fresh session contributes its initial epoch, each resume
+	// the incremented one — the fleet's survivability lineage.
+	PoseEpochs []uint64 `json:"pose_epochs"`
+	// IMUSHA / CamSHA digest the raw uplink payloads per type in
+	// capture order.
+	IMUSHA string `json:"imu_sha256"`
+	CamSHA string `json:"cam_sha256"`
+	// QoESHA digests the uplink QoE payloads re-encoded with Session=0
+	// (session identity is placement-dependent, QoE content is not).
+	QoESHA string `json:"qoe_sha256"`
+	// PoseSHA digests the pose chain produced by re-driving the
+	// recorded IMU stream through the RK4 integrator at 1× virtual
+	// time — the replayed perception output.
+	PoseSHA string `json:"pose_sha256"`
+}
+
+// Equal reports bit-exact fingerprint equality.
+func (f Fingerprint) Equal(g Fingerprint) bool {
+	if f.UpIMU != g.UpIMU || f.UpCamera != g.UpCamera || f.UpQoE != g.UpQoE ||
+		f.IMUSHA != g.IMUSHA || f.CamSHA != g.CamSHA ||
+		f.QoESHA != g.QoESHA || f.PoseSHA != g.PoseSHA ||
+		len(f.PoseEpochs) != len(g.PoseEpochs) {
+		return false
+	}
+	for i := range f.PoseEpochs {
+		if f.PoseEpochs[i] != g.PoseEpochs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff describes the first mismatch between two fingerprints ("" when
+// equal) — the failure message regression gates print.
+func (f Fingerprint) Diff(g Fingerprint) string {
+	switch {
+	case f.UpIMU != g.UpIMU:
+		return fmt.Sprintf("up_imu: %d != %d", f.UpIMU, g.UpIMU)
+	case f.UpCamera != g.UpCamera:
+		return fmt.Sprintf("up_camera: %d != %d", f.UpCamera, g.UpCamera)
+	case f.UpQoE != g.UpQoE:
+		return fmt.Sprintf("up_qoe: %d != %d", f.UpQoE, g.UpQoE)
+	case f.IMUSHA != g.IMUSHA:
+		return fmt.Sprintf("imu_sha256: %s != %s", f.IMUSHA, g.IMUSHA)
+	case f.CamSHA != g.CamSHA:
+		return fmt.Sprintf("cam_sha256: %s != %s", f.CamSHA, g.CamSHA)
+	case f.QoESHA != g.QoESHA:
+		return fmt.Sprintf("qoe_sha256: %s != %s", f.QoESHA, g.QoESHA)
+	case f.PoseSHA != g.PoseSHA:
+		return fmt.Sprintf("pose_sha256: %s != %s", f.PoseSHA, g.PoseSHA)
+	case len(f.PoseEpochs) != len(g.PoseEpochs):
+		return fmt.Sprintf("pose_epochs: %v != %v", f.PoseEpochs, g.PoseEpochs)
+	}
+	for i := range f.PoseEpochs {
+		if f.PoseEpochs[i] != g.PoseEpochs[i] {
+			return fmt.Sprintf("pose_epochs[%d]: %d != %d", i, f.PoseEpochs[i], g.PoseEpochs[i])
+		}
+	}
+	return ""
+}
+
+// hashPose folds one replayed pose into h as canonical little-endian
+// float64 bit patterns.
+func hashPose(h hash.Hash, t float64, p mathx.Pose) {
+	var buf [8 * 8]byte
+	vals := [8]float64{t, p.Pos.X, p.Pos.Y, p.Pos.Z, p.Rot.W, p.Rot.X, p.Rot.Y, p.Rot.Z}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	h.Write(buf[:])
+}
+
+// Compute runs the 1× virtual-time replay of l and returns its
+// fingerprint. The recorded uplink IMU stream is fed through a fresh
+// RK4 integrator in record order — the same deterministic math the
+// serve pipeline runs — so the pose digest is what any replica,
+// anywhere, must produce from this capture.
+func Compute(l *binlog.Log) (Fingerprint, error) {
+	var fp Fingerprint
+	imuH, camH, qoeH, poseH := sha256.New(), sha256.New(), sha256.New(), sha256.New()
+	integ := integrator.New(integrator.State{})
+	var qoeBuf []byte
+	for _, r := range l.Records {
+		if r.Dir == binlog.DirDown {
+			if r.Frame.Type == wire.TypeWelcome {
+				w, err := wire.DecodeWelcome(r.Frame.Payload)
+				if err != nil {
+					return fp, fmt.Errorf("replay: record %d: welcome: %w", r.Seq, err)
+				}
+				fp.PoseEpochs = append(fp.PoseEpochs, w.PoseEpoch)
+			}
+			continue
+		}
+		switch r.Frame.Type {
+		case wire.TypeIMU:
+			s, err := wire.DecodeIMU(r.Frame.Payload)
+			if err != nil {
+				return fp, fmt.Errorf("replay: record %d: imu: %w", r.Seq, err)
+			}
+			fp.UpIMU++
+			imuH.Write(r.Frame.Payload)
+			integ.Feed(s)
+			hashPose(poseH, s.T, integ.FastPose())
+		case wire.TypeCamera:
+			fp.UpCamera++
+			camH.Write(r.Frame.Payload)
+		case wire.TypeQoE:
+			q, err := wire.DecodeQoE(r.Frame.Payload)
+			if err != nil {
+				return fp, fmt.Errorf("replay: record %d: qoe: %w", r.Seq, err)
+			}
+			q.Session = 0
+			qoeBuf = wire.AppendQoE(qoeBuf[:0], q)
+			fp.UpQoE++
+			qoeH.Write(qoeBuf)
+		}
+	}
+	fp.IMUSHA = hex.EncodeToString(imuH.Sum(nil))
+	fp.CamSHA = hex.EncodeToString(camH.Sum(nil))
+	fp.QoESHA = hex.EncodeToString(qoeH.Sum(nil))
+	fp.PoseSHA = hex.EncodeToString(poseH.Sum(nil))
+	if fp.PoseEpochs == nil {
+		fp.PoseEpochs = []uint64{}
+	}
+	return fp, nil
+}

@@ -1,0 +1,166 @@
+package session
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"illixr/internal/netxr/binlog"
+	"illixr/internal/netxr/wire"
+	"illixr/internal/sensors"
+	"illixr/internal/telemetry"
+)
+
+// TestCaptureSingleAppendPathOrdering exercises the capture-ordering
+// hazard from DESIGN.md §13: the session's reader goroutine (uplink)
+// and writer goroutine (downlink) both tap into one shared
+// binlog.Writer, whose lock is THE single append path. Under
+// concurrent reliable + latest-wins traffic the resulting log must
+// have dense writer-assigned seqs, monotonic wall stamps, and
+// per-direction frame order identical to wire order — no interleaving
+// corruption, no lost uplink frames.
+func TestCaptureSingleAppendPathOrdering(t *testing.T) {
+	const uplinkN = 200
+
+	var buf bytes.Buffer
+	cap, err := binlog.NewWriter(&buf, binlog.Meta{Label: "capture-test"}, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h := newCollect()
+	srv := NewServer(Config{Capture: cap, QueueLen: 1024}, h)
+
+	client, server := net.Pipe()
+	defer client.Close()
+	sess := srv.HandleConn(server)
+	if sess == nil {
+		t.Fatal("conn refused")
+	}
+	r, w, welcome := clientHandshake(t, client)
+
+	// downlink pump: a test goroutine races the reader goroutine's
+	// uplink captures with reliable QoE + latest-wins Pose sends
+	// ready gates the uplink below on the pump's first successful send:
+	// without it the net.Pipe rendezvous between this goroutine and the
+	// session reader can starve the pump long enough that the whole
+	// uplink finishes before a single downlink frame is queued
+	stop := make(chan struct{})
+	ready := make(chan struct{})
+	var pumpWG sync.WaitGroup
+	pumpWG.Add(1)
+	go func() {
+		defer pumpWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			qoe := wire.AppendQoE(nil, wire.QoE{Session: welcome.Session,
+				MTP: telemetry.MTPSample{T: float64(i)}})
+			err := sess.Send(wire.Frame{Type: wire.TypeQoE, Payload: qoe}, Reliable)
+			if i == 0 {
+				close(ready)
+			}
+			if err != nil {
+				return // backpressure under flood: the queued tail still flushes
+			}
+			pose := wire.AppendPose(nil, wire.Pose{T: float64(i)})
+			_ = sess.Send(wire.Frame{Type: wire.TypePose, Payload: pose}, LatestWins)
+		}
+	}()
+
+	// client drains downlink so net.Pipe never stalls the writer loop
+	var drainWG sync.WaitGroup
+	drainWG.Add(1)
+	go func() {
+		defer drainWG.Done()
+		for {
+			if _, err := r.ReadFrame(); err != nil {
+				return
+			}
+		}
+	}()
+
+	// concurrent uplink: strictly increasing IMU timestamps
+	<-ready
+	for i := 0; i < uplinkN; i++ {
+		imu := wire.AppendIMU(nil, sensors.IMUSample{T: float64(i) * 0.002})
+		if err := w.WriteFrame(wire.Frame{Type: wire.TypeIMU, Payload: imu}); err != nil {
+			t.Fatalf("uplink %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.frameCount() < uplinkN && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if h.frameCount() < uplinkN {
+		t.Fatalf("handler saw %d/%d uplink frames", h.frameCount(), uplinkN)
+	}
+	close(stop)
+	pumpWG.Wait()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	drainWG.Wait()
+	// ownership rule: the opener closes the capture only after the
+	// session goroutines have quiesced (Shutdown waited on them)
+	if err := cap.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := binlog.DecodeLog(buf.Bytes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Torn != 0 {
+		t.Fatalf("torn records in a clean shutdown: %d", l.Torn)
+	}
+
+	var upIMU, downQoE, downPose int
+	prevIMU, prevQoE := -1.0, -1.0
+	for i, rec := range l.Records {
+		// single append path ⇒ dense seqs and monotonic wall stamps
+		if rec.Seq != uint64(i) {
+			t.Fatalf("record %d has seq %d: append path not serialized", i, rec.Seq)
+		}
+		if i > 0 && rec.Wall < l.Records[i-1].Wall {
+			t.Fatalf("wall regressed at record %d", i)
+		}
+		switch {
+		case rec.Dir == binlog.DirUp && rec.Frame.Type == wire.TypeIMU:
+			s, err := wire.DecodeIMU(rec.Frame.Payload)
+			if err != nil {
+				t.Fatalf("record %d: %v", i, err)
+			}
+			if s.T <= prevIMU {
+				t.Fatalf("uplink IMU out of receipt order at record %d: %v after %v", i, s.T, prevIMU)
+			}
+			prevIMU = s.T
+			upIMU++
+		case rec.Dir == binlog.DirDown && rec.Frame.Type == wire.TypeQoE:
+			q, err := wire.DecodeQoE(rec.Frame.Payload)
+			if err != nil {
+				t.Fatalf("record %d: %v", i, err)
+			}
+			if q.MTP.T <= prevQoE {
+				t.Fatalf("reliable downlink out of wire order at record %d: %v after %v", i, q.MTP.T, prevQoE)
+			}
+			prevQoE = q.MTP.T
+			downQoE++
+		case rec.Dir == binlog.DirDown && rec.Frame.Type == wire.TypePose:
+			downPose++ // latest-wins: only frames that reached the wire appear
+		}
+	}
+	if upIMU != uplinkN {
+		t.Fatalf("captured %d uplink IMU frames, want %d", upIMU, uplinkN)
+	}
+	if downQoE == 0 {
+		t.Fatal("no reliable downlink captured despite concurrent pump")
+	}
+	t.Logf("captured %d records: %d up IMU, %d down QoE, %d down Pose", len(l.Records), upIMU, downQoE, downPose)
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"illixr/internal/config"
+	"illixr/internal/netxr/binlog"
 	"illixr/internal/netxr/wire"
 	"illixr/internal/telemetry"
 )
@@ -38,6 +39,14 @@ type Config struct {
 	// Retry-After hints. nil admits every session fresh with the session
 	// id as its resume token.
 	Admission Admission
+	// Capture, when non-nil, records every frame crossing this server —
+	// uplink after decode, downlink after the wire write — into one
+	// binlog (DESIGN.md §13). The Writer is the single append path, so
+	// reader- and writer-goroutine frames serialize in receipt order.
+	// The caller that opened the Writer closes it after Shutdown/Abort
+	// returns; late records are refused with ErrClosed, never lost
+	// silently mid-file.
+	Capture *binlog.Writer
 	// Metrics receives illixr_netxr_* instruments; nil = uninstrumented.
 	Metrics *telemetry.Registry
 }

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"illixr/internal/netxr/binlog"
 	"illixr/internal/netxr/wire"
 	"illixr/internal/recycle"
 	"illixr/internal/telemetry"
@@ -331,6 +332,13 @@ func (s *Session) writeLoop(done chan<- struct{}) {
 		}
 		before := w.Bytes()
 		err := w.WriteFrame(f)
+		if err == nil && s.srv.cfg.Capture != nil {
+			// downlink tap: after the frame hit the wire, before the payload
+			// returns to the pool. The Writer's lock is the single append
+			// path shared with the reader goroutine's uplink tap, so frames
+			// land in the binlog in wall-receipt order (DESIGN.md §13).
+			_ = s.srv.cfg.Capture.Record(binlog.DirDown, f)
+		}
 		recycle.Bytes.Put(f.Payload) // wire.Writer copied it into its own buffer
 		if err != nil {
 			s.Close(fmt.Errorf("session %d: write: %w", s.id, err))
@@ -376,6 +384,11 @@ func (s *Session) readLoop() error {
 		s.received.Add(1)
 		s.srv.m.recvFrames.Inc()
 		s.srv.m.bytesIn.Add(int(r.Bytes() - before))
+		if s.srv.cfg.Capture != nil {
+			// uplink tap: f.Payload aliases the reader's buffer, but Record
+			// copies synchronously before returning, so the alias is safe.
+			_ = s.srv.cfg.Capture.Record(binlog.DirUp, f)
+		}
 		switch f.Type {
 		case wire.TypePing:
 			// wire-level RTT probe: echo without involving the handler
@@ -421,6 +434,9 @@ func (s *Session) handshake(r *wire.Reader) error {
 	h, err := wire.DecodeHello(f.Payload)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if s.srv.cfg.Capture != nil {
+		_ = s.srv.cfg.Capture.Record(binlog.DirUp, f)
 	}
 	if h.Proto != wire.Version {
 		// the drain Bye the server sends on teardown carries this reason

@@ -26,6 +26,7 @@ go test -run='^$' -fuzz=FuzzSE3 -fuzztime=5s ./internal/mathx >/dev/null
 go test -run='^$' -fuzz=FuzzSummarize -fuzztime=5s ./internal/telemetry >/dev/null
 go test -run='^$' -fuzz=FuzzSSIMWindow -fuzztime=5s ./internal/quality >/dev/null
 go test -run='^$' -fuzz=FuzzWireDecode -fuzztime=5s ./internal/netxr/wire >/dev/null
+go test -run='^$' -fuzz=FuzzBinlogDecode -fuzztime=5s ./internal/netxr/binlog >/dev/null
 
 echo "== observability smoke test"
 # a one-second instrumented run must export a well-formed Chrome trace
@@ -68,6 +69,14 @@ echo "== fleet observability bench smoke"
 go run ./cmd/illixr-bench -exp fleetobs \
 	-fleetobs-out "$TMP/fleetobs.json" >/dev/null
 go run ./scripts/obscheck "$TMP/fleetobs.json"
+
+echo "== record/replay bench smoke"
+# the binlog capture tap must stay inside the frame budget, the 1x
+# replay must be bit-exact, and the fan-out cell must admit >= 8
+# replayed sessions with zero lost frames (see scripts/replaycheck)
+go run ./cmd/illixr-bench -exp replay \
+	-replay-out "$TMP/replay.json" >/dev/null
+go run ./scripts/replaycheck "$TMP/replay.json"
 
 echo "== zero-allocation regression tests"
 # AllocsPerRun needs real allocation counts, so this pass runs without

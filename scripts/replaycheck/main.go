@@ -1,0 +1,128 @@
+// Command replaycheck validates a BENCH_replay.json produced by
+// `illixr-bench -exp replay`: the binlog capture tap must stay inside
+// the frame-path budget, the 1× replay must be bit-exact, and the N×
+// fan-out cell must admit at least 8 replayed sessions with zero lost
+// frames.
+//
+// Usage: replaycheck BENCH_replay.json
+//
+// Checks:
+//  1. Capture overhead: the tap adds at most 0.05 amortized heap
+//     allocations per frame (the alloccheck discipline: the frame path
+//     stays allocation-free in steady state) and costs < 3% of the
+//     8.33 ms frame budget.
+//  2. Fidelity: replaying the capture twice produced bit-identical
+//     fingerprints, the file + sidecar round trip held, and a torn
+//     tail was recovered rather than fatal.
+//  3. Fan-out: the largest ramp step drives >= 8 fresh-identity
+//     clients from one recording, every step admits all of its
+//     clients, and no step loses a single uplink frame.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type capture struct {
+	AllocDeltaPerFrame float64 `json:"alloc_delta_per_frame"`
+	OverheadNsPerFrame float64 `json:"overhead_ns_per_frame"`
+	FrameBudgetPct     float64 `json:"frame_budget_pct"`
+}
+
+type fidelity struct {
+	Records       uint64 `json:"records"`
+	BitExact      bool   `json:"bit_exact"`
+	FileRoundTrip bool   `json:"file_round_trip"`
+	TornRecovered bool   `json:"torn_recovered"`
+}
+
+type rampStep struct {
+	Clients  int    `json:"clients"`
+	Admitted int    `json:"admitted"`
+	Lost     uint64 `json:"lost"`
+	Poses    uint64 `json:"poses"`
+}
+
+type report struct {
+	Capture  capture    `json:"capture"`
+	Fidelity fidelity   `json:"fidelity"`
+	Ramp     []rampStep `json:"ramp"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: replaycheck BENCH_replay.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replaycheck:", err)
+		os.Exit(1)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "replaycheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+
+	fail := false
+	bad := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "replaycheck: FAIL "+format+"\n", args...)
+		fail = true
+	}
+
+	// 1. capture overhead inside the frame budget
+	if rep.Capture.AllocDeltaPerFrame > 0.05 {
+		bad("capture tap allocates %.3f/frame amortized, budget is 0.05",
+			rep.Capture.AllocDeltaPerFrame)
+	}
+	if rep.Capture.FrameBudgetPct >= 3 {
+		bad("capture tap costs %.2f%% of the 8.33 ms frame budget (%.0f ns/frame), limit 3%%",
+			rep.Capture.FrameBudgetPct, rep.Capture.OverheadNsPerFrame)
+	}
+
+	// 2. bit-exact replay
+	if rep.Fidelity.Records == 0 {
+		bad("fidelity ran on an empty recording")
+	}
+	if !rep.Fidelity.BitExact {
+		bad("1x replay fingerprints are not bit-identical")
+	}
+	if !rep.Fidelity.FileRoundTrip {
+		bad("binlog file + sidecar round trip failed")
+	}
+	if !rep.Fidelity.TornRecovered {
+		bad("torn-tail recovery failed")
+	}
+
+	// 3. the fan-out cell scales to >= 8 with zero loss
+	if len(rep.Ramp) == 0 {
+		bad("no fan-out ramp in report")
+	}
+	max := 0
+	for _, s := range rep.Ramp {
+		if s.Clients > max {
+			max = s.Clients
+		}
+		if s.Admitted != s.Clients {
+			bad("ramp step %d admitted %d/%d clients", s.Clients, s.Admitted, s.Clients)
+		}
+		if s.Lost != 0 {
+			bad("ramp step %d lost %d uplink frames, want 0", s.Clients, s.Lost)
+		}
+		if s.Clients > 0 && s.Poses == 0 {
+			bad("ramp step %d saw no poses flow back", s.Clients)
+		}
+	}
+	if max < 8 {
+		bad("largest fan-out step is %d clients, want >= 8", max)
+	}
+
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Printf("replaycheck: OK (%d records bit-exact, capture %.3f allocs + %.3f%% budget/frame, fan-out to %d clients, 0 lost)\n",
+		rep.Fidelity.Records, rep.Capture.AllocDeltaPerFrame, rep.Capture.FrameBudgetPct, max)
+}
