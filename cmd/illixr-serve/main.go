@@ -30,6 +30,8 @@ import (
 	"illixr/internal/netxr/bridge"
 	"illixr/internal/netxr/session"
 	"illixr/internal/netxr/wire"
+	"illixr/internal/parallel"
+	"illixr/internal/qos"
 	"illixr/internal/recycle"
 	"illixr/internal/sensors"
 	"illixr/internal/telemetry"
@@ -55,6 +57,10 @@ func main() {
 	record := flag.String("record", "",
 		"capture every session frame (uplink+downlink) into this binlog file; "+
 			"a sidecar index is written alongside on shutdown (DESIGN.md §13)")
+	qosOn := flag.Bool("qos", false,
+		"adaptive QoS: batch camera/QoE work across sessions and run the "+
+			"deadline controller over it (/qos on the debug endpoint; DESIGN.md §14)")
+	qosWorkers := flag.Int("qos-workers", 4, "worker pool split by the QoS controller")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
@@ -75,18 +81,32 @@ func main() {
 		Cam:           func(wire.Hello) sensors.CameraModel { return sensors.VGACamera() },
 		RetainTracers: 64,
 	}
+	var handler session.Handler = pipe
+	var qosCtl *qos.Controller
+	var stopQoS func()
+	if *qosOn {
+		var err error
+		handler, qosCtl, stopQoS, err = wireQoS(pipe, reg, *qosWorkers)
+		if err != nil {
+			log.Fatalf("qos: %v", err)
+		}
+		defer stopQoS()
+	}
 	srv := session.NewServer(session.Config{
 		MaxSessions: *maxSessions,
 		QueueLen:    *queueLen,
 		IdleTimeout: time.Duration(*idleTimeout * float64(time.Second)),
 		Capture:     capture,
 		Metrics:     reg,
-	}, pipe)
+	}, handler)
 
 	if *debugAddr != "" {
 		dbg := &debughttp.Server{Metrics: reg, Sessions: srv, Mem: telemetry.NewRuntimeMem(reg),
 			Node:      *node,
 			SpanDumps: func() []stitch.Dump { return pipe.Dumps(*node) },
+		}
+		if qosCtl != nil {
+			dbg.QoS = qosCtl
 		}
 		bound, _, err := dbg.Serve(*debugAddr)
 		if err != nil {
@@ -142,6 +162,94 @@ func main() {
 		fmt.Printf("wrote %s\n", *metricsOut)
 	}
 	fmt.Println("server stopped")
+}
+
+// Live QoS cadence: the batcher flushes every flush window (bounding
+// added camera latency to ~2 ms) and the controller closes an epoch
+// every qosEpoch.
+const (
+	qosEpoch      = 50 * time.Millisecond
+	qosFlushEvery = 2 * time.Millisecond
+)
+
+// wireQoS interposes cross-session batching in front of the pipeline
+// and starts the adaptive controller over it: camera decode+VIO publish
+// batches on the imgproc pool, QoE scoring on the ssim pool, and every
+// epoch the controller re-splits workers and steps the quality knobs
+// from the pools' own latency histograms (DESIGN.md §14).
+func wireQoS(pipe *bridge.Pipeline, reg *telemetry.Registry, workers int) (session.Handler, *qos.Controller, func(), error) {
+	if workers < 2 {
+		workers = 2
+	}
+	pools := map[string]*parallel.Pool{
+		"imgproc": parallel.New(workers - workers/2),
+		"ssim":    parallel.New(workers / 2),
+	}
+	for _, p := range pools {
+		p.Instrument(reg)
+	}
+	ctl, err := qos.NewController(qos.Config{
+		Seed:         1,
+		TotalWorkers: workers,
+		BudgetUs:     8333, // 120 Hz vsync
+		Kernels: []qos.KernelSpec{
+			{ID: "imgproc", Weight: 2, Knobs: []qos.KnobSpec{
+				{Name: "pyramid_levels", Full: 3, Floor: 1},
+			}},
+			{ID: "ssim", Weight: 1, Knobs: []qos.KnobSpec{
+				{Name: "stride", Full: 1, Floor: 4},
+			}},
+		},
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ctl.Instrument(reg)
+	// the pools observe illixr_parallel_qos_batch_<kernel>_ms on every
+	// batched dispatch — that histogram is the controller's signal
+	tap := qos.NewRegistryTap(reg, []qos.TapStage{
+		{Kernel: "imgproc", Histogram: telemetry.MetricName("parallel", "qos_batch_imgproc_ms")},
+		{Kernel: "ssim", Histogram: telemetry.MetricName("parallel", "qos_batch_ssim_ms")},
+	})
+
+	batcher := qos.NewBatcher(pools["imgproc"])
+	batcher.Instrument(reg)
+	stopFlush := batcher.AutoFlush(qosFlushEvery)
+
+	handler := &session.BatchingHandler{
+		Inner:   pipe,
+		Batcher: batcher,
+		Types: map[wire.Type]string{
+			wire.TypeCamera: "imgproc",
+			wire.TypeQoE:    "ssim",
+		},
+	}
+	handler.Instrument(reg)
+
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(qosEpoch)
+		defer t.Stop()
+		var stats []qos.KernelStats
+		for {
+			select {
+			case <-t.C:
+				stats = tap.Sample(stats)
+				ctl.Step(stats)
+				ctl.ApplyWorkers(pools)
+			case <-done:
+				return
+			}
+		}
+	}()
+	stop := func() {
+		close(done)
+		<-finished
+		stopFlush()
+	}
+	return handler, ctl, stop, nil
 }
 
 // writeFile streams write(w) into path.

@@ -1,0 +1,652 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"illixr/internal/faults"
+	"illixr/internal/netxr/session"
+	"illixr/internal/netxr/wire"
+	"illixr/internal/parallel"
+	"illixr/internal/qos"
+	"illixr/internal/sensors"
+	"illixr/internal/telemetry"
+)
+
+// The QoS experiment (-exp qos) proves the adaptive controller of
+// DESIGN.md §14 end to end, mostly in virtual time:
+//
+//   - Ramp cells: the same session load run with a static configuration
+//     (equal worker split, full-quality knobs) and with the qos.Controller
+//     in the loop (deadline-driven worker reallocation + bounded knob
+//     degradation). Each kernel is a multi-server FIFO queue whose
+//     backlog carries across epochs, so a saturated static split shows
+//     up as an exploding reprojection queue — and an exploding MTP p99.
+//     The controller sees exactly what the production RegistryTap would:
+//     per-epoch frame counts, deadline misses, and windowed p99.
+//
+//   - Batching cell: cross-session same-kernel batching amortizes the
+//     fixed per-dispatch cost (one pool dispatch per flush window
+//     instead of one per item), run at a session count where the
+//     unamortized variant is just past saturation — the saved dispatch
+//     time is the difference between a diverging and a bounded queue.
+//
+//   - Fault cell: a faults.Generate cost spike multiplies the imgproc
+//     kernel cost mid-run; the gate is behavioral — the controller must
+//     degrade the pyramid_levels knob during the spike and restore it
+//     to full quality after the spike clears (hysteresis both ways).
+//
+//   - Drift cell: the heaviest adaptive cell run twice; the controller
+//     decision-log fingerprints and the bit patterns of the MTP p99
+//     must match exactly (drift = 0).
+//
+//   - Soak: the real pipeline — session.Server + BatchingHandler +
+//     qos.Batcher over a live parallel.Pool, N clients over net.Pipe —
+//     delivering every batched camera frame (wall-clock, not gated on
+//     timing).
+//
+// scripts/qoscheck gates the report: adaptive p99 <= static p99 *
+// QoSAdaptiveMarginFrac in the saturated ramp cells, fewer deadline
+// misses, batching wins with positive dispatch savings, the fault cell
+// degraded AND restored, drift == 0, and zero controller invariant
+// violations.
+const (
+	qosVirtualSec   = 8.0
+	qosEpochMs      = 50.0
+	qosVsyncHz      = 120.0
+	qosBudgetMs     = 1000.0 / qosVsyncHz
+	qosTotalWorkers = 8
+	// qosIMUAgeMs is the fixed sensor age folded into each MTP sample.
+	qosIMUAgeMs = 2.1
+	// qosDispatchMs is the fixed cost of one pool dispatch — the quantity
+	// cross-session batching amortizes.
+	qosDispatchMs = 0.06
+	// qosFlushMs is the batch flush window: one dispatch per kernel per
+	// window instead of one per item.
+	qosFlushMs = 2.0
+	// qosJitterFrac spreads per-item service times ±10% (seeded).
+	qosJitterFrac = 0.2
+	// QoSAdaptiveMarginFrac is the ramp gate: in saturated cells the
+	// adaptive p99 must be at most this fraction of the static p99.
+	QoSAdaptiveMarginFrac = 0.85
+	// qosBatchSessions puts the unbatched variant just past saturation so
+	// dispatch amortization is the difference between diverging and not.
+	qosBatchSessions = 22
+	qosFaultSessions = 12
+	// qosFaultMagnitude pushes the spiked imgproc item cost past the vsync
+	// budget at full quality but back under it at the knob floor.
+	qosFaultMagnitude = 20.0
+)
+
+// qosRampSessions are the load-ramp cells; the top cells saturate the
+// static reprojection allocation.
+var qosRampSessions = []int{6, 12, 18, 24}
+
+// qosKernelDef describes one kernel's synthetic cost model. Costs are
+// calibrated against the real kernels' relative weights: reprojection
+// per-vsync, hologram per-update with per-iteration cost, imgproc
+// per-camera-frame scaling with pyramid levels, SSIM scoring scaling
+// inversely with stride, audio per-block.
+type qosKernelDef struct {
+	name                                  string
+	rateHz                                float64 // items per second per session
+	baseMs                                float64 // knob-independent cost per item
+	knob                                  string  // quality knob name ("" = none)
+	knobMs                                float64 // added ms per knob unit (divided by the knob when inverse)
+	inverse                               bool    // knob divides the cost (ssim stride)
+	weight, minWorkers, full, floor, step int
+}
+
+var qosKernelDefs = []qosKernelDef{
+	{name: "reprojection", rateHz: 120, baseMs: 0.75, weight: 3, minWorkers: 1},
+	{name: "hologram", rateHz: 30, baseMs: 0.08, knob: "iterations", knobMs: 0.055,
+		weight: 2, full: 10, floor: 2, step: 2},
+	{name: "imgproc", rateHz: 15, baseMs: 0.10, knob: "pyramid_levels", knobMs: 0.16,
+		weight: 2, full: 3, floor: 1, step: 1},
+	{name: "ssim", rateHz: 15, baseMs: 0.04, knob: "stride", knobMs: 0.50, inverse: true,
+		weight: 1, full: 1, floor: 4, step: 1},
+	{name: "audio", rateHz: 50, baseMs: 0.18, weight: 1, minWorkers: 1},
+}
+
+// costMs is the per-item service time at a knob setting.
+func (d qosKernelDef) costMs(knobVal int) float64 {
+	if d.knob == "" {
+		return d.baseMs
+	}
+	if d.inverse {
+		return d.baseMs + d.knobMs/float64(knobVal)
+	}
+	return d.baseMs + d.knobMs*float64(knobVal)
+}
+
+// qosStaticSplit is the baseline allocation: equal split, remainder to
+// the earlier kernels — what a non-adaptive deployment would pin.
+func qosStaticSplit(total int) []int {
+	n := len(qosKernelDefs)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = total / n
+		if i < total%n {
+			out[i]++
+		}
+	}
+	return out
+}
+
+func qosControllerConfig(seed int64) qos.Config {
+	budgetUs := qosBudgetMs * 1000.0 // 8333.3 µs, truncated like the tap would
+	cfg := qos.Config{Seed: seed, TotalWorkers: qosTotalWorkers,
+		BudgetUs: int64(budgetUs)}
+	for _, d := range qosKernelDefs {
+		ks := qos.KernelSpec{ID: d.name, Weight: d.weight, MinWorkers: d.minWorkers}
+		if d.knob != "" {
+			ks.Knobs = []qos.KnobSpec{{Name: d.knob, Full: d.full, Floor: d.floor, Step: d.step}}
+		}
+		cfg.Kernels = append(cfg.Kernels, ks)
+	}
+	return cfg
+}
+
+// QoSVariantRow is one simulated configuration's outcome.
+type QoSVariantRow struct {
+	Mode           string         `json:"mode"` // "static" | "adaptive"
+	MTP            MTPStats       `json:"mtp"`
+	DeadlineMisses int            `json:"deadline_misses"`
+	Frames         int            `json:"frames"`
+	FinalWorkers   map[string]int `json:"final_workers"`
+	FinalKnobs     map[string]int `json:"final_knobs,omitempty"`
+	WorkerMoves    int            `json:"worker_moves,omitempty"`
+	KnobSteps      int            `json:"knob_steps,omitempty"`
+	Fingerprint    string         `json:"log_fingerprint,omitempty"`
+	Violations     int            `json:"violations"`
+}
+
+// QoSRampCell compares static vs adaptive at one session count.
+type QoSRampCell struct {
+	Sessions int           `json:"sessions"`
+	Static   QoSVariantRow `json:"static"`
+	Adaptive QoSVariantRow `json:"adaptive"`
+	// AdaptiveP99AdvantageMs = static p99 - adaptive p99 (positive: win).
+	AdaptiveP99AdvantageMs float64 `json:"adaptive_p99_advantage_ms"`
+}
+
+// QoSBatchCell compares per-item vs cross-session batched dispatch.
+type QoSBatchCell struct {
+	Sessions  int           `json:"sessions"`
+	Unbatched QoSVariantRow `json:"unbatched"`
+	Batched   QoSVariantRow `json:"batched"`
+	// DispatchSavedMs is total dispatch overhead amortized away.
+	DispatchSavedMs       float64 `json:"dispatch_saved_ms"`
+	Items                 int     `json:"items"`
+	Dispatches            int     `json:"dispatches"`
+	BatchedP99AdvantageMs float64 `json:"batched_p99_advantage_ms"`
+}
+
+// QoSFaultCell is the degrade-then-restore behavioral check.
+type QoSFaultCell struct {
+	Sessions     int      `json:"sessions"`
+	Windows      []string `json:"windows"`
+	Knob         string   `json:"knob"`
+	FullValue    int      `json:"full_value"`
+	MostDegraded int      `json:"most_degraded"`
+	FinalValue   int      `json:"final_value"`
+	Degraded     bool     `json:"degraded"`
+	Restored     bool     `json:"restored"`
+	MTP          MTPStats `json:"mtp"`
+}
+
+// QoSDriftCell is the re-run determinism audit.
+type QoSDriftCell struct {
+	Sessions     int    `json:"sessions"`
+	FingerprintA string `json:"fingerprint_a"`
+	FingerprintB string `json:"fingerprint_b"`
+	P99BitsA     string `json:"p99_bits_a"`
+	P99BitsB     string `json:"p99_bits_b"`
+	Drift        int    `json:"drift"`
+}
+
+// QoSSoakCell is the real-pipeline half (wall-clock, not gated on time).
+type QoSSoakCell struct {
+	Sessions        int     `json:"sessions"`
+	FramesSent      int     `json:"frames_sent"`
+	FramesDelivered int     `json:"frames_delivered"`
+	BatchedFrames   uint64  `json:"batched_frames"`
+	Flushes         uint64  `json:"flushes"`
+	WallMs          float64 `json:"wall_ms"`
+}
+
+// QoSReport is the BENCH_qos.json document.
+type QoSReport struct {
+	Seed               int64         `json:"seed"`
+	TotalWorkers       int           `json:"total_workers"`
+	VirtualSec         float64       `json:"virtual_sec"`
+	EpochMs            float64       `json:"epoch_ms"`
+	VsyncHz            float64       `json:"vsync_hz"`
+	BudgetMs           float64       `json:"budget_ms"`
+	AdaptiveMarginFrac float64       `json:"adaptive_margin_frac"`
+	Ramp               []QoSRampCell `json:"ramp"`
+	Batching           QoSBatchCell  `json:"batching"`
+	Fault              QoSFaultCell  `json:"fault"`
+	Drift              QoSDriftCell  `json:"drift"`
+	Soak               QoSSoakCell   `json:"soak"`
+	Note               string        `json:"note"`
+}
+
+const qosNote = "adaptive QoS cells (DESIGN.md §14): per-kernel multi-server FIFO " +
+	"queues with cross-epoch backlog, fed to the real qos.Controller as the " +
+	"RegistryTap would feed it (frames, misses, windowed p99); static = equal " +
+	"worker split at full quality. Batching cell amortizes the fixed dispatch " +
+	"cost across sessions per flush window. Fault cell drives a faults.Generate " +
+	"cost spike through the knob hysteresis. Sim cells are virtual-time and " +
+	"seed-deterministic; soak drives the real session.Server + BatchingHandler."
+
+// qosMix is the repo-wide splitmix64 step.
+func qosMix(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func qosP99(sorted []float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(0.99*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// qosSimState is one kernel's queue state across epochs.
+type qosSimState struct {
+	free []float64 // per-server next-free time (ms); backlog lives here
+	acc  float64   // fractional item carry between epochs
+	knob int
+}
+
+// runQoSSim runs one configuration through the virtual-time queue model.
+// Everything is deterministic in (sessions, seed, adaptive, batched,
+// sched): fixed iteration order, seeded jitter, integer controller.
+func runQoSSim(sessions int, seed int64, adaptive, batched bool, sched *faults.Schedule) (QoSVariantRow, *qosSimExtras, error) {
+	row := QoSVariantRow{Mode: "static", FinalWorkers: map[string]int{}}
+	extra := &qosSimExtras{mostDegraded: map[string]int{}}
+	var ctl *qos.Controller
+	if adaptive {
+		row.Mode = "adaptive"
+		row.FinalKnobs = map[string]int{}
+		var err error
+		if ctl, err = qos.NewController(qosControllerConfig(seed)); err != nil {
+			return row, nil, err
+		}
+	}
+
+	split := qosStaticSplit(qosTotalWorkers)
+	states := make([]qosSimState, len(qosKernelDefs))
+	for i, d := range qosKernelDefs {
+		w := split[i]
+		if adaptive {
+			w = ctl.Workers(d.name)
+		}
+		states[i] = qosSimState{free: make([]float64, w), knob: d.full}
+		if d.knob == "" {
+			states[i].knob = 0
+		}
+	}
+
+	rng := uint64(seed)*0x9e3779b97f4a7c15 + 0xd1b54a32d192ed03
+	epochs := int(qosVirtualSec * 1000 / qosEpochMs)
+	var mtp, lats []float64
+	stats := make([]qos.KernelStats, 0, len(qosKernelDefs))
+	for e := 0; e < epochs; e++ {
+		t0 := float64(e) * qosEpochMs
+		stats = stats[:0]
+		for ki := range qosKernelDefs {
+			d, st := qosKernelDefs[ki], &states[ki]
+			st.acc += float64(sessions) * d.rateHz * qosEpochMs / 1000
+			n := int(st.acc)
+			st.acc -= float64(n)
+			if n == 0 {
+				stats = append(stats, qos.KernelStats{Kernel: d.name})
+				continue
+			}
+			service := d.costMs(st.knob) * sched.CostMultiplier(d.name, t0/1000)
+			dispatches := n
+			if batched {
+				if fl := int(qosEpochMs / qosFlushMs); fl < dispatches {
+					dispatches = fl
+				}
+			}
+			dispPerItem := float64(dispatches) * qosDispatchMs / float64(n)
+			extra.items += n
+			extra.dispatches += dispatches
+			extra.dispatchMs += float64(dispatches) * qosDispatchMs
+
+			lats = lats[:0]
+			misses := 0
+			for i := 0; i < n; i++ {
+				arr := t0 + float64(i)*qosEpochMs/float64(n)
+				u := float64(qosMix(&rng)>>11) / float64(1<<53)
+				s := (service + dispPerItem) * (1 + qosJitterFrac*(u-0.5))
+				best := 0
+				for j := 1; j < len(st.free); j++ {
+					if st.free[j] < st.free[best] {
+						best = j
+					}
+				}
+				start := arr
+				if st.free[best] > start {
+					start = st.free[best]
+				}
+				fin := start + s
+				st.free[best] = fin
+				lat := fin - arr
+				lats = append(lats, lat)
+				if lat > qosBudgetMs {
+					misses++
+				}
+				if d.name == "reprojection" {
+					display := math.Ceil(fin/qosBudgetMs) * qosBudgetMs
+					mtp = append(mtp, display-arr+qosIMUAgeMs)
+				}
+			}
+			row.DeadlineMisses += misses
+			sort.Float64s(lats)
+			stats = append(stats, qos.KernelStats{Kernel: d.name, Frames: n,
+				Misses: misses, P99Us: int64(qosP99(lats) * 1000)})
+		}
+
+		if adaptive {
+			d := ctl.Step(stats)
+			if d.Moved {
+				row.WorkerMoves++
+			}
+			if d.Stepped {
+				row.KnobSteps++
+			}
+			for ki := range qosKernelDefs {
+				def, st := qosKernelDefs[ki], &states[ki]
+				if want := ctl.Workers(def.name); want != len(st.free) {
+					if want < len(st.free) {
+						// the surviving servers inherit the deepest backlog:
+						// shrinking never erases queued work
+						sort.Float64s(st.free)
+						st.free = append(st.free[:0], st.free[len(st.free)-want:]...)
+					} else {
+						for len(st.free) < want {
+							st.free = append(st.free, t0+qosEpochMs)
+						}
+					}
+				}
+				if def.knob == "" {
+					continue
+				}
+				if v, ok := ctl.Knob(def.name, def.knob); ok {
+					st.knob = v
+					if cur, seen := extra.mostDegraded[def.name]; !seen ||
+						qosAbs(v-def.full) > qosAbs(cur-def.full) {
+						extra.mostDegraded[def.name] = v
+					}
+				}
+			}
+		}
+	}
+
+	for ki, d := range qosKernelDefs {
+		row.FinalWorkers[d.name] = len(states[ki].free)
+		if adaptive && d.knob != "" {
+			row.FinalKnobs[d.name+"."+d.knob] = states[ki].knob
+		}
+	}
+	row.Frames = len(mtp)
+	row.MTP = mtpStats(mtp)
+	extra.p99Bits = math.Float64bits(row.MTP.P99Ms)
+	if adaptive {
+		row.Fingerprint = fmt.Sprintf("%016x", ctl.LogFingerprint())
+		row.Violations = ctl.Violations()
+	}
+	return row, extra, nil
+}
+
+type qosSimExtras struct {
+	items, dispatches int
+	dispatchMs        float64
+	mostDegraded      map[string]int // adaptive: extreme knob value seen
+	p99Bits           uint64
+}
+
+func qosAbs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// qosSoakHandler counts delivered frames on the far side of the batcher.
+type qosSoakHandler struct {
+	delivered atomic.Int64
+	ended     atomic.Int64
+}
+
+func (h *qosSoakHandler) SessionStart(*session.Session) error { return nil }
+func (h *qosSoakHandler) SessionFrame(_ *session.Session, f wire.Frame) error {
+	if f.Type == wire.TypeCamera {
+		if _, err := wire.DecodeCamera(f.Payload); err != nil {
+			return err
+		}
+		h.delivered.Add(1)
+	}
+	return nil
+}
+func (h *qosSoakHandler) SessionEnd(*session.Session, error) { h.ended.Add(1) }
+
+// runQoSSoak drives the real batching pipeline: clients over net.Pipe →
+// session.Server → BatchingHandler → qos.Batcher flushing onto a live
+// parallel.Pool.
+func runQoSSoak(nSessions, framesPer int) (QoSSoakCell, error) {
+	cell := QoSSoakCell{Sessions: nSessions, FramesSent: nSessions * framesPer}
+	reg := telemetry.NewRegistry()
+	pool := parallel.New(2)
+	batcher := qos.NewBatcher(pool)
+	batcher.Instrument(reg)
+	inner := &qosSoakHandler{}
+	bh := &session.BatchingHandler{Inner: inner, Batcher: batcher,
+		Types: map[wire.Type]string{wire.TypeCamera: "imgproc"}}
+	bh.Instrument(reg)
+	srv := session.NewServer(session.Config{MaxSessions: nSessions, Metrics: reg}, bh)
+	stopFlush := batcher.AutoFlush(qosFlushMs * time.Millisecond)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for i := 0; i < nSessions; i++ {
+		client, server := net.Pipe()
+		if srv.HandleConn(server) == nil {
+			client.Close()
+			continue
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			r, w := wire.NewReader(conn), wire.NewWriter(conn)
+			hello := wire.AppendHello(nil, wire.Hello{Proto: wire.Version, App: "qos-soak",
+				CamRateHz: 15})
+			if err := w.WriteFrame(wire.Frame{Type: wire.TypeHello, Payload: hello}); err != nil {
+				return
+			}
+			go func() {
+				for {
+					if _, err := r.ReadFrame(); err != nil {
+						return
+					}
+				}
+			}()
+			var buf []byte
+			for j := 0; j < framesPer; j++ {
+				buf = wire.AppendCamera(buf[:0], sensors.CameraFrame{T: float64(j) / 15})
+				if err := w.WriteFrame(wire.Frame{Type: wire.TypeCamera, Payload: buf}); err != nil {
+					return
+				}
+			}
+			_ = w.WriteFrame(wire.Frame{Type: wire.TypeBye,
+				Payload: wire.AppendBye(nil, wire.Bye{Reason: "done"})})
+		}(client)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		stopFlush()
+		return cell, err
+	}
+	stopFlush()
+	batcher.Flush() // anything parked between the last tick and shutdown
+	cell.WallMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	cell.FramesDelivered = int(inner.delivered.Load())
+	snap := reg.Snapshot()
+	cell.BatchedFrames = snap.Counters["illixr_qos_batch_frames_total"]
+	cell.Flushes = snap.Counters["illixr_qos_batch_flushes_total"]
+	if errs := bh.DeferredErrors(); len(errs) != 0 {
+		return cell, fmt.Errorf("bench: qos soak deferred errors: %v", errs[0])
+	}
+	return cell, nil
+}
+
+// QoSExperiment runs the adaptive-QoS cells, prints the summary table,
+// and writes BENCH_qos.json to outPath.
+func QoSExperiment(w io.Writer, seed int64, outPath string) (*QoSReport, error) {
+	rep := &QoSReport{Seed: seed, TotalWorkers: qosTotalWorkers,
+		VirtualSec: qosVirtualSec, EpochMs: qosEpochMs, VsyncHz: qosVsyncHz,
+		BudgetMs: qosBudgetMs, AdaptiveMarginFrac: QoSAdaptiveMarginFrac,
+		Note: qosNote}
+
+	fmt.Fprintf(w, "QoS experiment: %d workers, %.0f Hz vsync (budget %.2f ms), seed %d\n",
+		qosTotalWorkers, qosVsyncHz, qosBudgetMs, seed)
+
+	for _, n := range qosRampSessions {
+		st, _, err := runQoSSim(n, seed, false, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		ad, _, err := runQoSSim(n, seed, true, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		cell := QoSRampCell{Sessions: n, Static: st, Adaptive: ad,
+			AdaptiveP99AdvantageMs: st.MTP.P99Ms - ad.MTP.P99Ms}
+		rep.Ramp = append(rep.Ramp, cell)
+		fmt.Fprintf(w, "  ramp %2d sessions: static p99 %8.2f ms (%4d misses)  adaptive p99 %8.2f ms (%4d misses, %d moves, %d knob steps)\n",
+			n, st.MTP.P99Ms, st.DeadlineMisses, ad.MTP.P99Ms, ad.DeadlineMisses,
+			ad.WorkerMoves, ad.KnobSteps)
+	}
+
+	un, unx, err := runQoSSim(qosBatchSessions, seed, false, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	ba, bax, err := runQoSSim(qosBatchSessions, seed, false, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	un.Mode, ba.Mode = "unbatched", "batched"
+	rep.Batching = QoSBatchCell{Sessions: qosBatchSessions, Unbatched: un, Batched: ba,
+		DispatchSavedMs:       unx.dispatchMs - bax.dispatchMs,
+		Items:                 bax.items,
+		Dispatches:            bax.dispatches,
+		BatchedP99AdvantageMs: un.MTP.P99Ms - ba.MTP.P99Ms}
+	fmt.Fprintf(w, "  batching %d sessions: unbatched p99 %8.2f ms  batched p99 %8.2f ms  (%d items in %d dispatches, %.1f ms dispatch saved)\n",
+		qosBatchSessions, un.MTP.P99Ms, ba.MTP.P99Ms,
+		bax.items, bax.dispatches, rep.Batching.DispatchSavedMs)
+
+	sched := faults.Generate(faults.Config{Seed: seed, Duration: qosVirtualSec,
+		CostSpikes: 1, CostSpikeMeanSec: 2.0, CostSpikeMagnitude: qosFaultMagnitude,
+		SpikeComponents: []string{"imgproc"}})
+	fa, fax, err := runQoSSim(qosFaultSessions, seed, true, false, sched)
+	if err != nil {
+		return nil, err
+	}
+	fault := QoSFaultCell{Sessions: qosFaultSessions, Knob: "pyramid_levels",
+		FullValue: 3, MTP: fa.MTP}
+	for _, win := range sched.Windows {
+		fault.Windows = append(fault.Windows, win.String())
+	}
+	fault.FinalValue = fa.FinalKnobs["imgproc.pyramid_levels"]
+	if v, ok := fax.mostDegraded["imgproc"]; ok {
+		fault.MostDegraded = v
+	} else {
+		fault.MostDegraded = fault.FullValue
+	}
+	fault.Degraded = fault.MostDegraded < fault.FullValue
+	fault.Restored = fault.FinalValue == fault.FullValue
+	rep.Fault = fault
+	fmt.Fprintf(w, "  fault (imgproc x%.0f spike): %s dipped to %d, ended at %d (degraded %v, restored %v)\n",
+		qosFaultMagnitude, fault.Knob, fault.MostDegraded, fault.FinalValue,
+		fault.Degraded, fault.Restored)
+
+	heaviest := qosRampSessions[len(qosRampSessions)-1]
+	dr1, dx1, err := runQoSSim(heaviest, seed, true, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	dr2, dx2, err := runQoSSim(heaviest, seed, true, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	drift := QoSDriftCell{Sessions: heaviest,
+		FingerprintA: dr1.Fingerprint, FingerprintB: dr2.Fingerprint,
+		P99BitsA: fmt.Sprintf("%016x", dx1.p99Bits),
+		P99BitsB: fmt.Sprintf("%016x", dx2.p99Bits)}
+	if drift.FingerprintA != drift.FingerprintB {
+		drift.Drift++
+	}
+	if drift.P99BitsA != drift.P99BitsB {
+		drift.Drift++
+	}
+	rep.Drift = drift
+	fmt.Fprintf(w, "  drift: fingerprint %s vs %s, p99 bits %s vs %s → %d\n",
+		drift.FingerprintA, drift.FingerprintB, drift.P99BitsA, drift.P99BitsB, drift.Drift)
+
+	soak, err := runQoSSoak(4, 25)
+	if err != nil {
+		return nil, err
+	}
+	rep.Soak = soak
+	fmt.Fprintf(w, "  soak: %d/%d camera frames delivered through the real batcher (%d batched, %d flushes) in %.1f ms\n",
+		soak.FramesDelivered, soak.FramesSent, soak.BatchedFrames, soak.Flushes, soak.WallMs)
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return nil, err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", outPath)
+	}
+	return rep, nil
+}
+
+// EncodeQoSReport marshals the report exactly as the file writer does,
+// for determinism tests.
+func EncodeQoSReport(rep *QoSReport) []byte {
+	b, _ := json.MarshalIndent(rep, "", "  ")
+	return append(b, '\n')
+}

@@ -307,6 +307,7 @@ type Client struct {
 	welcome wire.Welcome
 	tracer  *telemetry.SpanCollector
 	capture *binlog.Writer
+	window  *SendWindow
 
 	wmu sync.Mutex
 	w   *wire.Writer
@@ -353,10 +354,23 @@ func (a *atomic64) get() (float64, bool) {
 	return a.v, a.ok
 }
 
+// DialOptions collects the optional collaborators a dialed client can
+// carry; the zero value is a plain untraced, untracked client.
+type DialOptions struct {
+	// Tracer receives the client's spans; may be nil.
+	Tracer *telemetry.SpanCollector
+	// Capture is a client-side binlog tap; may be nil.
+	Capture *binlog.Writer
+	// Window, when set, numbers and retains every post-handshake uplink
+	// frame (Hello and Bye excluded — the gateway ack checkpoint counts
+	// neither) so a resumed session can retransmit the unacked gap.
+	Window *SendWindow
+}
+
 // Dial performs the client handshake over an established connection. The
 // tracer may be nil (untraced client).
 func Dial(conn net.Conn, hello wire.Hello, tracer *telemetry.SpanCollector) (*Client, error) {
-	return DialCapture(conn, hello, tracer, nil)
+	return DialWith(conn, hello, DialOptions{Tracer: tracer})
 }
 
 // DialCapture is Dial with a client-side binlog tap: every frame this
@@ -365,15 +379,23 @@ func Dial(conn net.Conn, hello wire.Hello, tracer *telemetry.SpanCollector) (*Cl
 // (DESIGN.md §13). The capture's owner closes it after the client is
 // done; cap may be nil.
 func DialCapture(conn net.Conn, hello wire.Hello, tracer *telemetry.SpanCollector, cap *binlog.Writer) (*Client, error) {
+	return DialWith(conn, hello, DialOptions{Tracer: tracer, Capture: cap})
+}
+
+// DialWith is the full-control handshake: Dial/DialCapture are thin
+// wrappers over it.
+func DialWith(conn net.Conn, hello wire.Hello, opts DialOptions) (*Client, error) {
 	hello.Proto = wire.Version
 	c := &Client{
 		conn:    conn,
 		r:       wire.NewReader(conn),
 		w:       wire.NewWriter(conn),
-		tracer:  tracer,
-		capture: cap,
+		tracer:  opts.Tracer,
+		capture: opts.Capture,
+		window:  opts.Window,
 		pongs:   map[uint64]chan wire.Ping{},
 	}
+	cap := opts.Capture
 	if err := c.write(wire.Frame{Type: wire.TypeHello, Payload: wire.AppendHello(nil, hello)}); err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("bridge: hello: %w", err)
@@ -420,8 +442,28 @@ func (c *Client) RecvSeq() uint64 {
 	return c.recvSeq
 }
 
-// write serializes frame writes (uplink plugin, pings, QoE share the conn).
+// write serializes frame writes (uplink plugin, pings, QoE share the
+// conn) and numbers every tracked frame into the send window. Hello and
+// Bye stay untracked: the gateway's ack checkpoint counts neither, so
+// tracking them would skew the sequence mapping.
 func (c *Client) write(f wire.Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	err := c.w.WriteFrame(f)
+	if err == nil {
+		if c.capture != nil {
+			_ = c.capture.Record(binlog.DirUp, f)
+		}
+		if c.window != nil && f.Type != wire.TypeHello && f.Type != wire.TypeBye {
+			c.window.Push(f)
+		}
+	}
+	return err
+}
+
+// writeUntracked is write without the send-window push — the
+// retransmission path, where frames already hold sequence numbers.
+func (c *Client) writeUntracked(f wire.Frame) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	err := c.w.WriteFrame(f)

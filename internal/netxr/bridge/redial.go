@@ -108,6 +108,13 @@ type Redialer struct {
 	// Capture records every frame of every dialed client — across
 	// resumes — into one client-side binlog; may be nil.
 	Capture *binlog.Writer
+	// Window, when set, follows the session across reconnects: every
+	// dialed client pushes its uplink frames into it, and after a
+	// Resumed Welcome the unacked gap [last_ack_seq+1, head] is
+	// retransmitted before the client is returned — the server sees a
+	// hole-free uplink stream even through a crash+resume (ROADMAP
+	// item 1). May be nil (no retransmission, the pre-window behavior).
+	Window *SendWindow
 	// Backoff paces reconnect attempts; nil = NewBackoff(Hello.Seed).
 	Backoff *Backoff
 	// MaxAttempts bounds one Connect call (0 = 8).
@@ -168,8 +175,19 @@ func (r *Redialer) Connect() (*Client, error) {
 				hello.LastSeq = r.last.RecvSeq()
 			}
 		}
-		cl, err := DialCapture(conn, hello, r.Tracer, r.Capture)
+		cl, err := DialWith(conn, hello, DialOptions{
+			Tracer: r.Tracer, Capture: r.Capture, Window: r.Window,
+		})
 		if err == nil {
+			if w := cl.Welcome(); w.Resumed && r.Window != nil {
+				if _, _, rerr := r.Window.RetransmitTo(cl, w.LastAckSeq); rerr != nil {
+					// the fresh link died mid-retransmit: unacked frames stay
+					// queued in the window, so the next attempt replays them
+					_ = cl.Close()
+					lastErr = rerr
+					continue
+				}
+			}
 			r.last, r.welcome, r.haveW = cl, cl.Welcome(), true
 			return cl, nil
 		}

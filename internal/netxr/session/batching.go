@@ -1,0 +1,96 @@
+package session
+
+import (
+	"sync"
+
+	"illixr/internal/netxr/wire"
+	"illixr/internal/qos"
+	"illixr/internal/recycle"
+	"illixr/internal/telemetry"
+)
+
+// BatchingHandler interposes a qos.Batcher between the session reader
+// goroutines and an inner Handler: frame types mapped to a kernel are
+// copied off the reader's buffer and deferred into the batcher, so
+// same-kernel work arriving from many sessions executes as one pool
+// dispatch per flush instead of one per frame — the cross-session
+// batching half of DESIGN.md §14. Unmapped types pass through inline.
+//
+// Semantics the inner handler must tolerate (bridge.Pipeline does):
+//   - Batched frames run on pool workers, possibly concurrently across
+//     sessions; frames from one session run in arrival order.
+//   - A batched frame's error cannot terminate the session (the reader
+//     has moved on) — it is counted in
+//     illixr_qos_batch_handler_errors_total instead.
+//   - SessionEnd flushes synchronously first, so no frame of a session
+//     runs after its SessionEnd.
+type BatchingHandler struct {
+	Inner   Handler
+	Batcher *qos.Batcher
+	// Types maps the frame types to batch onto their kernel name (the
+	// controller's KernelSpec.ID). Frame types absent here are handled
+	// inline, preserving exact pre-batching behavior.
+	Types map[wire.Type]string
+
+	mu       sync.Mutex
+	errs     []error
+	batchedC *telemetry.Counter
+	errorsC  *telemetry.Counter
+}
+
+// Instrument attaches batched-frame and deferred-error counters.
+func (b *BatchingHandler) Instrument(reg *telemetry.Registry) {
+	if b == nil || reg == nil {
+		return
+	}
+	b.batchedC = reg.Counter(telemetry.MetricName("qos", "batch_frames_total"))
+	b.errorsC = reg.Counter(telemetry.MetricName("qos", "batch_handler_errors_total"))
+}
+
+// SessionStart delegates.
+func (b *BatchingHandler) SessionStart(s *Session) error { return b.Inner.SessionStart(s) }
+
+// SessionFrame defers mapped frame types into the batcher (copying the
+// payload, which aliases the reader's buffer) and handles the rest
+// inline.
+func (b *BatchingHandler) SessionFrame(s *Session, f wire.Frame) error {
+	kernel, ok := b.Types[f.Type]
+	if !ok || b.Batcher == nil {
+		return b.Inner.SessionFrame(s, f)
+	}
+	buf := recycle.Bytes.Get(len(f.Payload))
+	copy(buf, f.Payload)
+	cp := f
+	cp.Payload = buf
+	b.Batcher.Submit(kernel, s.ID(), func() {
+		err := b.Inner.SessionFrame(s, cp)
+		recycle.Bytes.Put(buf)
+		if err != nil {
+			b.errorsC.Inc()
+			b.mu.Lock()
+			if len(b.errs) < 16 {
+				b.errs = append(b.errs, err)
+			}
+			b.mu.Unlock()
+		}
+	})
+	b.batchedC.Inc()
+	return nil
+}
+
+// SessionEnd flushes pending batched work for every session (the
+// batcher does not partition flushes), then delegates.
+func (b *BatchingHandler) SessionEnd(s *Session, err error) {
+	if b.Batcher != nil {
+		b.Batcher.Flush()
+	}
+	b.Inner.SessionEnd(s, err)
+}
+
+// DeferredErrors returns up to the first 16 errors swallowed by the
+// batched path (diagnostics; the counter has the true total).
+func (b *BatchingHandler) DeferredErrors() []error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]error(nil), b.errs...)
+}

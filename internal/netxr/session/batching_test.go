@@ -1,0 +1,114 @@
+package session
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"illixr/internal/netxr/wire"
+	"illixr/internal/parallel"
+	"illixr/internal/qos"
+	"illixr/internal/sensors"
+	"illixr/internal/telemetry"
+)
+
+// TestBatchingHandlerDefersAndDelivers runs two sessions through a
+// BatchingHandler: camera frames are deferred until a flush, IMU frames
+// pass through inline, per-session frame order survives batching, and
+// SessionEnd flushes whatever is still pending.
+func TestBatchingHandlerDefersAndDelivers(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	inner := newCollect()
+	batcher := qos.NewBatcher(parallel.New(2))
+	bh := &BatchingHandler{
+		Inner:   inner,
+		Batcher: batcher,
+		Types:   map[wire.Type]string{wire.TypeCamera: "imgproc"},
+	}
+	bh.Instrument(reg)
+	srv := NewServer(Config{Metrics: reg}, bh)
+	defer srv.Shutdown(context.Background())
+
+	type client struct {
+		conn net.Conn
+		w    *wire.Writer
+	}
+	var clients []client
+	for i := 0; i < 2; i++ {
+		cc, sc := net.Pipe()
+		defer cc.Close()
+		if srv.HandleConn(sc) == nil {
+			t.Fatal("conn refused")
+		}
+		_, w, welcome := clientHandshake(t, cc)
+		if welcome.Session == 0 {
+			t.Fatalf("client %d: welcome %+v", i, welcome)
+		}
+		clients = append(clients, client{cc, w})
+	}
+
+	// interleave: camera (batched) then IMU (inline) from both sessions
+	cam := wire.AppendCamera(nil, sensors.CameraFrame{T: 0.1})
+	imu := wire.AppendIMU(nil, sensors.IMUSample{T: 0.2})
+	for _, c := range clients {
+		if err := c.w.WriteFrame(wire.Frame{Type: wire.TypeCamera, Payload: cam}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.w.WriteFrame(wire.Frame{Type: wire.TypeIMU, Payload: imu}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// IMU frames arrive inline; the camera frames stay parked in the
+	// batcher until a flush
+	waitFor(t, func() bool { return inner.frameCount() == 2 })
+	inner.mu.Lock()
+	for _, f := range inner.frames {
+		if f.Type != wire.TypeIMU {
+			t.Fatalf("pre-flush frame type %v, want only IMU", f.Type)
+		}
+	}
+	inner.mu.Unlock()
+	if got := batcher.Pending(); got != 2 {
+		t.Fatalf("pending batched frames = %d, want 2", got)
+	}
+
+	if n := batcher.Flush(); n != 2 {
+		t.Fatalf("flush ran %d items, want 2", n)
+	}
+	waitFor(t, func() bool { return inner.frameCount() == 4 })
+	inner.mu.Lock()
+	cams := 0
+	for _, f := range inner.frames {
+		if f.Type == wire.TypeCamera {
+			cams++
+			if fr, err := wire.DecodeCamera(f.Payload); err != nil || fr.T != 0.1 {
+				t.Fatalf("camera payload corrupted after deferral: %+v err=%v", fr, err)
+			}
+		}
+	}
+	inner.mu.Unlock()
+	if cams != 2 {
+		t.Fatalf("delivered %d camera frames, want 2", cams)
+	}
+
+	// frames parked at disconnect are flushed by SessionEnd, not lost
+	if err := clients[0].w.WriteFrame(wire.Frame{Type: wire.TypeCamera, Payload: cam}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return batcher.Pending() == 1 })
+	bye := wire.AppendBye(nil, wire.Bye{})
+	if err := clients[0].w.WriteFrame(wire.Frame{Type: wire.TypeBye, Payload: bye}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return inner.endedCount() == 1 })
+	if got := inner.frameCount(); got != 5 {
+		t.Fatalf("frames after SessionEnd flush = %d, want 5", got)
+	}
+	if len(bh.DeferredErrors()) != 0 {
+		t.Fatalf("deferred errors: %v", bh.DeferredErrors())
+	}
+	if v := reg.Snapshot().Counters["illixr_qos_batch_frames_total"]; v != 3 {
+		t.Fatalf("batch_frames_total = %d, want 3", v)
+	}
+}

@@ -59,10 +59,14 @@ type Pool struct {
 	// persistent helper goroutines: workers-1 helpers park on start and
 	// hand back completion through done; the calling goroutine computes
 	// tiles too. Channel tokens carry no data, so a dispatch allocates
-	// nothing once the helpers are running.
+	// nothing once the helpers are running. The channels are sized for
+	// maxWorkers up front so SetWorkers can grow the pool by spawning
+	// more helpers without reallocating them; spawned tracks how many
+	// helper goroutines exist (guarded by runMu).
 	startOnce sync.Once
 	start     chan struct{}
 	done      chan struct{}
+	spawned   int
 
 	// per-call state, valid between the start tokens and the last done
 	// token of one dispatch; guarded by runMu.
@@ -82,21 +86,58 @@ type Pool struct {
 	busyNs     atomic.Int64
 }
 
+// maxWorkers caps the pool size: helper goroutines are parked, never
+// killed, so the cap bounds how many a resize-happy controller can
+// leave behind (each parked helper costs one idle goroutine).
+const maxWorkers = 256
+
 // New returns a pool with the given worker count. workers <= 0 selects
 // GOMAXPROCS; workers == 1 is the serial path.
 func New(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > maxWorkers {
+		workers = maxWorkers
+	}
 	return &Pool{workers: workers}
 }
 
 // Workers reports the configured worker count (1 for a nil pool).
 func (p *Pool) Workers() int {
-	if p == nil || p.workers < 1 {
+	if p == nil {
 		return 1
 	}
-	return p.workers
+	p.runMu.Lock()
+	w := p.workers
+	p.runMu.Unlock()
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// SetWorkers resizes the pool to n workers, clamped to [1, 256]. The
+// resize serializes against in-flight kernels (it takes the dispatch
+// lock), so a kernel never observes the count changing mid-call, and
+// tile boundaries depend only on n and tile size — never the worker
+// count — so kernel output stays bitwise identical across resizes.
+// Growing spawns additional parked helper goroutines; shrinking parks
+// the surplus (goroutines are reused, not killed). This is the QoS
+// controller's reallocation hook: call it at control-epoch boundaries.
+func (p *Pool) SetWorkers(n int) {
+	if p == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > maxWorkers {
+		n = maxWorkers
+	}
+	p.runMu.Lock()
+	p.workers = n
+	p.runMu.Unlock()
 }
 
 // Instrument attaches the telemetry registry: the pool reports
@@ -162,16 +203,19 @@ func Tiles(n, tile int) int {
 	return (n + tile - 1) / tile
 }
 
-// ensureWorkers lazily spawns the workers-1 persistent helper goroutines.
+// ensureWorkers lazily spawns helper goroutines up to the current
+// workers-1. Called with runMu held (from dispatch), so spawned needs
+// no extra guard; the channels are sized once for the maxWorkers cap so
+// later growth never reallocates them.
 func (p *Pool) ensureWorkers() {
 	p.startOnce.Do(func() {
-		helpers := p.workers - 1
-		p.start = make(chan struct{}, helpers)
-		p.done = make(chan struct{}, helpers)
-		for i := 0; i < helpers; i++ {
-			go p.helperLoop()
-		}
+		p.start = make(chan struct{}, maxWorkers)
+		p.done = make(chan struct{}, maxWorkers)
 	})
+	for p.spawned < p.workers-1 {
+		go p.helperLoop()
+		p.spawned++
+	}
 }
 
 func (p *Pool) helperLoop() {

@@ -1,0 +1,114 @@
+package qos
+
+import (
+	"illixr/internal/telemetry"
+)
+
+// TapStage binds one controller kernel to its telemetry signal: the
+// latency histogram observed by the stage and (optionally) a
+// deadline-miss counter.
+type TapStage struct {
+	// Kernel is the KernelSpec.ID the signal feeds.
+	Kernel string
+	// Histogram is the registry name of the stage's latency histogram.
+	Histogram string
+	// Misses optionally names a monotonic deadline-miss counter.
+	Misses string
+	// ScaleUs converts one histogram unit to microseconds (1000 for
+	// the repo's millisecond latency histograms; 0 = 1000).
+	ScaleUs float64
+}
+
+func (t TapStage) scaleUs() float64 {
+	if t.ScaleUs <= 0 {
+		return 1000
+	}
+	return t.ScaleUs
+}
+
+type tapState struct {
+	stage  TapStage
+	hist   *telemetry.Histogram
+	missC  *telemetry.Counter
+	prev   []uint64
+	cur    []uint64
+	prevMs uint64 // previous miss-counter value
+}
+
+// RegistryTap turns cumulative registry instruments into the windowed
+// per-epoch KernelStats the controller consumes: each Sample diffs the
+// histogram bucket counts (and the miss counter) against the previous
+// call and derives the window's frame count, misses, and p99.
+//
+// The p99 is computed by an integer rank walk over the bucket deltas,
+// so for a given observation trace it is bit-stable regardless of
+// thread interleaving between the observations themselves — which keeps
+// a live controller's decisions reproducible from a recorded signal
+// trace.
+type RegistryTap struct {
+	stages []*tapState
+}
+
+// NewRegistryTap resolves the stages against reg (instruments are
+// created on first use, so a tap can be built before the kernels run).
+func NewRegistryTap(reg *telemetry.Registry, stages []TapStage) *RegistryTap {
+	t := &RegistryTap{}
+	for _, s := range stages {
+		st := &tapState{stage: s, hist: reg.Histogram(s.Histogram)}
+		if s.Misses != "" {
+			st.missC = reg.Counter(s.Misses)
+		}
+		st.prev = st.hist.BucketCounts(nil)
+		if st.missC != nil {
+			st.prevMs = st.missC.Value()
+		}
+		t.stages = append(t.stages, st)
+	}
+	return t
+}
+
+// Sample closes the current window and returns one KernelStats per
+// stage, in stage order. dst is reused when large enough.
+func (t *RegistryTap) Sample(dst []KernelStats) []KernelStats {
+	dst = dst[:0]
+	for _, st := range t.stages {
+		st.cur = st.hist.BucketCounts(st.cur)
+		frames := 0
+		for i := range st.cur {
+			frames += int(st.cur[i] - st.prev[i])
+		}
+		p99 := windowP99Us(st.hist, st.cur, st.prev, frames, st.stage.scaleUs())
+		misses := 0
+		if st.missC != nil {
+			v := st.missC.Value()
+			misses = int(v - st.prevMs)
+			st.prevMs = v
+		}
+		st.prev, st.cur = st.cur, st.prev
+		dst = append(dst, KernelStats{
+			Kernel: st.stage.Kernel, Frames: frames, Misses: misses, P99Us: p99,
+		})
+	}
+	return dst
+}
+
+// windowP99Us walks the bucket deltas to the 99th-percentile rank and
+// returns that bucket's representative value in whole microseconds.
+func windowP99Us(h *telemetry.Histogram, cur, prev []uint64, frames int, scaleUs float64) int64 {
+	if frames <= 0 {
+		return 0
+	}
+	// rank = ceil(0.99 * frames), integer arithmetic only
+	rank := (99*frames + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	seen := 0
+	for i := range cur {
+		seen += int(cur[i] - prev[i])
+		if seen >= rank {
+			return int64(h.BucketValue(i) * scaleUs)
+		}
+	}
+	return int64(h.BucketValue(len(cur)-1) * scaleUs)
+}

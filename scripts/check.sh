@@ -78,6 +78,15 @@ go run ./cmd/illixr-bench -exp replay \
 	-replay-out "$TMP/replay.json" >/dev/null
 go run ./scripts/replaycheck "$TMP/replay.json"
 
+echo "== adaptive QoS bench smoke"
+# the controller must beat the static split on MTP p99 wherever the
+# static split misses deadlines, batching must amortize dispatch cost,
+# faults must degrade-then-restore, and re-runs must not drift
+# (see scripts/qoscheck)
+go run ./cmd/illixr-bench -exp qos \
+	-qos-out "$TMP/qos.json" >/dev/null
+go run ./scripts/qoscheck "$TMP/qos.json"
+
 echo "== zero-allocation regression tests"
 # AllocsPerRun needs real allocation counts, so this pass runs without
 # -race (the tests skip themselves when the detector is compiled in)

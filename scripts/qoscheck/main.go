@@ -1,0 +1,245 @@
+// Command qoscheck validates a BENCH_qos.json produced by
+// `illixr-bench -exp qos`: the adaptive QoS loop must demonstrably
+// close — deadline pressure driving worker reallocation and quality
+// degradation, cross-session batching amortizing dispatch cost, and
+// every decision reproducible bit-for-bit.
+//
+// Usage: qoscheck BENCH_qos.json
+//
+// Checks:
+//  1. Cell shape: a multi-point session ramp with MTP samples in every
+//     variant, total workers conserved in every reported split.
+//  2. Adaptation: in every ramp cell where the static configuration
+//     misses deadlines, the adaptive p99 is at most
+//     adaptive_margin_frac of the static p99, with strictly fewer
+//     misses and at least one worker move; at least one such saturated
+//     cell exists.
+//  3. Batching: the batched variant saved dispatch time (> 0 ms, fewer
+//     dispatches than items) and beats the unbatched p99.
+//  4. Degradation: the fault cell both degraded the knob below full
+//     quality during the cost spike and restored it to full afterward.
+//  5. Determinism: the drift cell's decision-log fingerprints and MTP
+//     p99 bit patterns match across re-runs (drift == 0), and no
+//     variant reported controller invariant violations.
+//  6. Soak: the real session.Server + BatchingHandler pipeline
+//     delivered every frame it was sent, with at least one actually
+//     batched and flushed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type mtp struct {
+	MeanMs float64 `json:"mean_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	N      int     `json:"n"`
+}
+
+type variant struct {
+	Mode           string         `json:"mode"`
+	MTP            mtp            `json:"mtp"`
+	DeadlineMisses int            `json:"deadline_misses"`
+	FinalWorkers   map[string]int `json:"final_workers"`
+	WorkerMoves    int            `json:"worker_moves"`
+	KnobSteps      int            `json:"knob_steps"`
+	Fingerprint    string         `json:"log_fingerprint"`
+	Violations     int            `json:"violations"`
+}
+
+type report struct {
+	TotalWorkers       int     `json:"total_workers"`
+	AdaptiveMarginFrac float64 `json:"adaptive_margin_frac"`
+	Ramp               []struct {
+		Sessions int     `json:"sessions"`
+		Static   variant `json:"static"`
+		Adaptive variant `json:"adaptive"`
+	} `json:"ramp"`
+	Batching struct {
+		Sessions        int     `json:"sessions"`
+		Unbatched       variant `json:"unbatched"`
+		Batched         variant `json:"batched"`
+		DispatchSavedMs float64 `json:"dispatch_saved_ms"`
+		Items           int     `json:"items"`
+		Dispatches      int     `json:"dispatches"`
+	} `json:"batching"`
+	Fault struct {
+		Windows      []string `json:"windows"`
+		Knob         string   `json:"knob"`
+		FullValue    int      `json:"full_value"`
+		MostDegraded int      `json:"most_degraded"`
+		FinalValue   int      `json:"final_value"`
+		Degraded     bool     `json:"degraded"`
+		Restored     bool     `json:"restored"`
+	} `json:"fault"`
+	Drift struct {
+		FingerprintA string `json:"fingerprint_a"`
+		FingerprintB string `json:"fingerprint_b"`
+		P99BitsA     string `json:"p99_bits_a"`
+		P99BitsB     string `json:"p99_bits_b"`
+		Drift        int    `json:"drift"`
+	} `json:"drift"`
+	Soak struct {
+		FramesSent      int    `json:"frames_sent"`
+		FramesDelivered int    `json:"frames_delivered"`
+		BatchedFrames   uint64 `json:"batched_frames"`
+		Flushes         uint64 `json:"flushes"`
+	} `json:"soak"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: qoscheck BENCH_qos.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "qoscheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "qoscheck: "+format+"\n", args...)
+	}
+	bad := false
+
+	// 1. cell shape
+	if len(rep.Ramp) < 3 {
+		fail("ramp has %d cells, need >= 3", len(rep.Ramp))
+		bad = true
+	}
+	if rep.AdaptiveMarginFrac <= 0 || rep.AdaptiveMarginFrac >= 1 {
+		fail("adaptive_margin_frac %.2f outside (0, 1) — the bench relaxed the contract",
+			rep.AdaptiveMarginFrac)
+		bad = true
+	}
+	checkSplit := func(where string, v variant) {
+		if v.MTP.N == 0 {
+			fail("%s %s variant has an empty MTP distribution", where, v.Mode)
+			bad = true
+		}
+		sum := 0
+		for _, w := range v.FinalWorkers {
+			sum += w
+		}
+		if sum != rep.TotalWorkers {
+			fail("%s %s variant ended with %d workers allocated, want %d — workers leaked",
+				where, v.Mode, sum, rep.TotalWorkers)
+			bad = true
+		}
+		if v.Violations != 0 {
+			fail("%s %s variant reported %d controller invariant violations",
+				where, v.Mode, v.Violations)
+			bad = true
+		}
+	}
+
+	// 2. adaptation under load
+	saturated := 0
+	for _, c := range rep.Ramp {
+		where := fmt.Sprintf("ramp[%d sessions]", c.Sessions)
+		checkSplit(where, c.Static)
+		checkSplit(where, c.Adaptive)
+		if c.Static.DeadlineMisses == 0 {
+			// unsaturated cell: adapting must not make things worse
+			if c.Adaptive.MTP.P99Ms > c.Static.MTP.P99Ms+0.5 {
+				fail("%s: adaptive p99 %.2fms worse than static %.2fms with no pressure",
+					where, c.Adaptive.MTP.P99Ms, c.Static.MTP.P99Ms)
+				bad = true
+			}
+			continue
+		}
+		saturated++
+		if c.Adaptive.MTP.P99Ms > c.Static.MTP.P99Ms*rep.AdaptiveMarginFrac {
+			fail("%s: adaptive p99 %.2fms not within %.0f%% of static %.2fms",
+				where, c.Adaptive.MTP.P99Ms, rep.AdaptiveMarginFrac*100, c.Static.MTP.P99Ms)
+			bad = true
+		}
+		if c.Adaptive.DeadlineMisses >= c.Static.DeadlineMisses {
+			fail("%s: adaptive missed %d deadlines, static %d — no improvement",
+				where, c.Adaptive.DeadlineMisses, c.Static.DeadlineMisses)
+			bad = true
+		}
+		if c.Adaptive.WorkerMoves == 0 {
+			fail("%s: saturated but the controller never moved a worker", where)
+			bad = true
+		}
+	}
+	if saturated == 0 {
+		fail("no ramp cell saturated the static split — the ramp proves nothing")
+		bad = true
+	}
+
+	// 3. cross-session batching
+	b := rep.Batching
+	checkSplit("batching", b.Unbatched)
+	checkSplit("batching", b.Batched)
+	if b.DispatchSavedMs <= 0 {
+		fail("batching saved %.2fms of dispatch — amortization did not happen", b.DispatchSavedMs)
+		bad = true
+	}
+	if b.Dispatches >= b.Items {
+		fail("batching issued %d dispatches for %d items — nothing was batched",
+			b.Dispatches, b.Items)
+		bad = true
+	}
+	if b.Batched.MTP.P99Ms >= b.Unbatched.MTP.P99Ms {
+		fail("batched p99 %.2fms not better than unbatched %.2fms",
+			b.Batched.MTP.P99Ms, b.Unbatched.MTP.P99Ms)
+		bad = true
+	}
+
+	// 4. degrade under faults, restore after
+	f := rep.Fault
+	if len(f.Windows) == 0 {
+		fail("fault cell ran with no fault windows")
+		bad = true
+	}
+	if !f.Degraded || f.MostDegraded >= f.FullValue {
+		fail("fault cell never degraded %s below full %d (most degraded %d)",
+			f.Knob, f.FullValue, f.MostDegraded)
+		bad = true
+	}
+	if !f.Restored || f.FinalValue != f.FullValue {
+		fail("fault cell ended with %s=%d, want full %d restored after the spike",
+			f.Knob, f.FinalValue, f.FullValue)
+		bad = true
+	}
+
+	// 5. determinism
+	d := rep.Drift
+	if d.Drift != 0 || d.FingerprintA != d.FingerprintB || d.P99BitsA != d.P99BitsB {
+		fail("drift cell: fingerprint %s vs %s, p99 bits %s vs %s (drift %d) — re-run not reproducible",
+			d.FingerprintA, d.FingerprintB, d.P99BitsA, d.P99BitsB, d.Drift)
+		bad = true
+	}
+	if d.FingerprintA == "" {
+		fail("drift cell has no decision-log fingerprint")
+		bad = true
+	}
+
+	// 6. real-pipeline soak
+	s := rep.Soak
+	if s.FramesSent == 0 || s.FramesDelivered != s.FramesSent {
+		fail("soak delivered %d of %d frames through the batching pipeline",
+			s.FramesDelivered, s.FramesSent)
+		bad = true
+	}
+	if s.BatchedFrames == 0 || s.Flushes == 0 {
+		fail("soak batched %d frames over %d flushes — the batcher was bypassed",
+			s.BatchedFrames, s.Flushes)
+		bad = true
+	}
+
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Println("qoscheck: OK")
+}
