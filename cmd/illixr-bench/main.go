@@ -8,7 +8,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 // fig3 fig4 fig5 fig6 fig7 fig8 ablation-vio faults observability
-// parallel network memory fleet fleetobs replay qos all
+// parallel network memory fleet fleetobs replay qos scale all
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table7, fig3..fig8, ablation-vio, faults, observability, parallel, network, memory, fleet, fleetobs, replay, qos, all)")
+	exp := flag.String("exp", "all", "experiment id (table1..table7, fig3..fig8, ablation-vio, faults, observability, parallel, network, memory, fleet, fleetobs, replay, qos, scale, all)")
 	duration := flag.Float64("duration", 30, "virtual seconds per integrated run (the paper uses ~30)")
 	qualityFrames := flag.Int("quality-frames", 8, "sampled frames for the Table V image-quality pipeline")
 	faultScenario := flag.String("fault-scenario", "light", "fault scenario for -exp faults (vio-stall|light|stress)")
@@ -54,6 +54,10 @@ func main() {
 	qosSeed := flag.Int64("qos-seed", 42, "seed for the -exp qos controller and load jitter")
 	qosOut := flag.String("qos-out", "BENCH_qos.json",
 		"output file for -exp qos (empty to skip the file)")
+	scaleSessions := flag.Int("scale-sessions", 1024, "largest cell of the -exp scale sweep and the soak's client count")
+	scaleSeed := flag.Int64("scale-seed", 42, "seed for the -exp scale links, placement, and admission script")
+	scaleOut := flag.String("scale-out", "BENCH_scale.json",
+		"output file for -exp scale (empty to skip the file)")
 	flag.Parse()
 
 	w := os.Stdout
@@ -184,6 +188,13 @@ func main() {
 	}
 	if all || wants["qos"] {
 		if _, err := bench.QoSExperiment(w, *qosSeed, *qosOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+	if all || wants["scale"] {
+		if _, err := bench.ScaleExperiment(w, *scaleSessions, *scaleSeed, *scaleOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

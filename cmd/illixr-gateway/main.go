@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -75,7 +76,22 @@ func main() {
 	record := flag.String("record", "",
 		"capture all client-facing relayed frames into this binlog file "+
 			"(sidecar index written on shutdown; DESIGN.md §13)")
+	shards := flag.Int("shards", 0,
+		"session-registry shard count, rounded up to a power of two (0 = default 16)")
+	flushFrames := flag.Int("flush-frames", 0,
+		"relay write-coalescing window in frames (0 = default 16, 1 disables coalescing)")
+	profileContention := flag.Bool("profile-contention", false,
+		"record mutex and block profiles (served at /debug/pprof/mutex and "+
+			"/debug/pprof/block with -debug-addr) and report lock-contention "+
+			"counters on shutdown")
 	flag.Parse()
+
+	if *profileContention {
+		// 1-in-1 sampling: the sharded registry's critical sections are
+		// tens of nanoseconds, so sparser sampling would miss them
+		runtime.SetMutexProfileFraction(1)
+		runtime.SetBlockProfileRate(1)
+	}
 
 	backends := strings.Split(*replicas, ",")
 	for i := range backends {
@@ -99,6 +115,7 @@ func main() {
 		RetryAfter:      time.Duration(*retryAfter * float64(time.Second)),
 		ResumeBurst:     *resumeBurst,
 		TokenSeed:       *tokenSeed,
+		Shards:          *shards,
 		Metrics:         reg,
 		Events:          events,
 	})
@@ -137,9 +154,10 @@ func main() {
 		Dial: func(id int) (net.Conn, error) {
 			return net.DialTimeout("tcp", backends[id], 5*time.Second)
 		},
-		Metrics: reg,
-		Spans:   spans,
-		Record:  capture,
+		Metrics:     reg,
+		Spans:       spans,
+		Record:      capture,
+		FlushFrames: *flushFrames,
 	}
 
 	var sloEng *slo.Engine
@@ -275,6 +293,10 @@ func main() {
 			log.Fatalf("metrics-out: %v", err)
 		}
 		fmt.Printf("wrote %s\n", *metricsOut)
+	}
+	if *profileContention {
+		fmt.Printf("lock contention: %d contended coordinator acquisitions over %d decisions\n",
+			coord.Contention(), coord.Decisions())
 	}
 	fmt.Println("gateway stopped")
 }

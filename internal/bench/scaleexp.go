@@ -1,0 +1,669 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"illixr/internal/netxr/binlog"
+	"illixr/internal/netxr/fleet"
+	"illixr/internal/netxr/netsim"
+	"illixr/internal/netxr/replay"
+	"illixr/internal/netxr/session"
+	"illixr/internal/netxr/wire"
+	"illixr/internal/sensors"
+	"illixr/internal/telemetry"
+)
+
+// The scale experiment (-exp scale) is the kilo-session data-plane cell
+// of DESIGN.md §15: can one gateway-fronted fleet carry 1024 concurrent
+// sessions without the control plane's locks or the relay's per-frame
+// allocations showing up in motion-to-photon latency? Four parts:
+//
+//   - Sweep: a deterministic DES at 120 (the PR 6 baseline), 256, 512,
+//     and 1024 sessions, each placed through the real sharded
+//     fleet.Coordinator across 16 virtual replicas. Server turnaround
+//     grows with per-replica occupancy, so the sweep would expose a
+//     placement hot spot as an MTP tail. Same seed, byte-identical
+//     report.
+//
+//   - Fingerprints: the same admission script (1024 admits, acks,
+//     terminal ends, a replica kill with resumes, refusals of every
+//     flavor) driven at 1 shard and 16 shards must produce the same
+//     decision fingerprint — the proof that sharding the registry
+//     changed no decision.
+//
+//   - Relay: the per-frame relay cost before (decode + re-encode +
+//     binlog re-encode) and after (raw pass-through: ReadRaw, hop-span
+//     rewrite, QueueRaw/Flush, RecordRaw), measured in steady state.
+//
+//   - Soak: 1024 real replay clients fanned out through a live gateway
+//     into 8 session servers over in-process pipes. Scheduler-dependent
+//     observations live in wall_* fields; admitted/lost are invariants.
+//
+// scripts/scalecheck gates: zero lost sessions everywhere, MTP p99 at
+// 1024 sessions within 2x the 120-session baseline, the raw relay at
+// or under 0.05 allocs/frame, and shard-invariant fingerprints.
+const (
+	// scaleVirtualSec is the simulated duration of each sweep cell; the
+	// IMU and vsync rates match the display clock so every vsync can
+	// show a fresh pose.
+	scaleVirtualSec = 4.0
+	scaleIMUHz      = 120.0
+	scaleVsyncHz    = 120.0
+	// scaleReplicas x scaleCapacity must hold the largest cell
+	// (16 x 96 = 1536 >= 1024).
+	scaleReplicas = 16
+	scaleCapacity = 96
+	// scaleProcMs is the unloaded per-sample server turnaround; the
+	// effective turnaround grows linearly with replica occupancy:
+	// proc = scaleProcMs * (1 + sessionsOnReplica/capacity).
+	scaleProcMs = 0.3
+	// scaleBaselineSessions is the PR 6 fleet cell size the p99 ratio
+	// gate compares against.
+	scaleBaselineSessions = 120
+	// scaleRelayIters sizes the relay before/after measurement.
+	scaleRelayIters = 20000
+	// scaleContention* shape the lock storm: admissions, then acker
+	// goroutines racing an ender across the registry.
+	scaleContentionSessions = 256
+	scaleContentionAckers   = 8
+	scaleContentionSeqs     = 200
+	scaleContentionReplicas = 4
+	// scaleSoak* shape the live half: 8 replicas x 160 >= 1024 clients.
+	scaleSoakReplicas = 8
+	scaleSoakCapacity = 160
+	scaleSoakIMU      = 30
+)
+
+const scaleNote = "kilo-session data-plane cell: the sweep is a seeded DES " +
+	"(byte-identical across runs) with per-replica occupancy feeding the " +
+	"server turnaround model; fingerprints prove the sharded coordinator " +
+	"makes the same decisions as the single-lock one; relay and soak are " +
+	"live measurements whose wall_* fields vary run to run (DESIGN.md §15)."
+
+// ScaleCell is one deterministic sweep point.
+type ScaleCell struct {
+	Sessions int `json:"sessions"`
+	Admitted int `json:"admitted"`
+	// Lost counts sessions that delivered zero poses (must be 0).
+	Lost int `json:"lost"`
+	// MaxReplicaLoad is the most loaded replica's occupancy — the
+	// quantity the turnaround model feeds on.
+	MaxReplicaLoad int `json:"max_replica_load"`
+	// MTP pools every session's vsync samples into one distribution.
+	MTP MTPStats `json:"mtp"`
+}
+
+// ScaleFingerprints is the shard-invariance proof.
+type ScaleFingerprints struct {
+	Decisions uint64 `json:"decisions"`
+	Shards1   string `json:"shards_1"`
+	Shards16  string `json:"shards_16"`
+	Equal     bool   `json:"equal"`
+}
+
+// ScaleRelayCost compares the decoded relay path with the raw
+// pass-through on the same frame mix (wall_* measurement).
+type ScaleRelayCost struct {
+	Frames               int     `json:"frames"`
+	WallBeforeNsPerFrame float64 `json:"wall_before_ns_per_frame"`
+	WallAfterNsPerFrame  float64 `json:"wall_after_ns_per_frame"`
+	BeforeAllocsPerFrame float64 `json:"before_allocs_per_frame"`
+	AfterAllocsPerFrame  float64 `json:"after_allocs_per_frame"`
+	WallSpeedup          float64 `json:"wall_speedup"`
+}
+
+// ScaleContention is the registry lock storm at 1 shard vs the default
+// shard count (wall_* measurement; the counters come from the TryLock
+// fast path, so they are scheduler-dependent too).
+type ScaleContention struct {
+	Sessions        int     `json:"sessions"`
+	Ackers          int     `json:"ackers"`
+	SeqsPerAcker    int     `json:"seqs_per_acker"`
+	Shards          int     `json:"shards"`
+	WallMsShards1   float64 `json:"wall_ms_shards_1"`
+	WallMsSharded   float64 `json:"wall_ms_sharded"`
+	WallContention1 uint64  `json:"wall_contention_shards_1"`
+	WallContentionN uint64  `json:"wall_contention_sharded"`
+}
+
+// ScaleSoakResult is the live kilo-client half. admitted == sessions
+// and lost == 0 are the invariants scalecheck enforces.
+type ScaleSoakResult struct {
+	Sessions      int     `json:"sessions"`
+	Replicas      int     `json:"replicas"`
+	Admitted      int     `json:"admitted"`
+	Lost          uint64  `json:"lost"`
+	CleanShutdown bool    `json:"clean_shutdown"`
+	WallPoses     uint64  `json:"wall_poses"`
+	WallSec       float64 `json:"wall_sec"`
+	// WallCoordContention / WallServerContention are the shard-lock
+	// TryLock miss counters accumulated during the soak.
+	WallCoordContention  uint64 `json:"wall_coord_contention"`
+	WallServerContention uint64 `json:"wall_server_contention"`
+}
+
+// ScaleReport is the BENCH_scale.json document.
+type ScaleReport struct {
+	Seed             int64             `json:"seed"`
+	Replicas         int               `json:"replicas"`
+	ReplicaCapacity  int               `json:"replica_capacity"`
+	VirtualSec       float64           `json:"virtual_sec"`
+	IMUHz            float64           `json:"imu_hz"`
+	VsyncHz          float64           `json:"vsync_hz"`
+	BaselineSessions int               `json:"baseline_sessions"`
+	Note             string            `json:"note"`
+	Sweep            []ScaleCell       `json:"sweep"`
+	Fingerprints     ScaleFingerprints `json:"fingerprints"`
+	Relay            ScaleRelayCost    `json:"relay"`
+	Contention       ScaleContention   `json:"contention"`
+	Soak             ScaleSoakResult   `json:"soak"`
+}
+
+// simulateScaleSession runs one session's DES: IMU up, load-dependent
+// turnaround, pose down, newest-pose display at each vsync.
+func simulateScaleSession(idx int, prof netsim.Profile, seed int64,
+	replicaLoad, capacity int) (poses int, samples []float64) {
+
+	up := netsim.NewLink(prof, seed+int64(idx)*2)
+	down := netsim.NewLink(prof, seed+int64(idx)*2+1)
+	procSec := scaleProcMs * (1 + float64(replicaLoad)/float64(capacity)) / 1000
+
+	type poseArrival struct{ recvT, sampleT float64 }
+	var arrivals []poseArrival
+	var encBuf []byte
+	n := int(scaleVirtualSec * scaleIMUHz)
+	for i := 0; i < n; i++ {
+		t := float64(i) / scaleIMUHz
+		// real codec on both directions, as in the fleet cell
+		encBuf = wire.AppendFrame(encBuf[:0], wire.Frame{
+			Type: wire.TypeIMU, Payload: wire.AppendIMU(nil, sensors.IMUSample{T: t})})
+		if _, _, err := wire.Decode(encBuf); err != nil {
+			continue
+		}
+		sendT := up.Arrive(t) + procSec
+		encBuf = wire.AppendFrame(encBuf[:0], wire.Frame{
+			Type: wire.TypePose, Payload: wire.AppendPose(nil, wire.Pose{T: t})})
+		if _, _, err := wire.Decode(encBuf); err != nil {
+			continue
+		}
+		arrivals = append(arrivals, poseArrival{recvT: down.Arrive(sendT), sampleT: t})
+	}
+
+	ptr, newest := 0, -1
+	vsyncs := int(scaleVirtualSec * scaleVsyncHz)
+	for v := 1; v <= vsyncs; v++ {
+		tv := float64(v) / scaleVsyncHz
+		for ptr < len(arrivals) && arrivals[ptr].recvT <= tv {
+			newest = ptr
+			ptr++
+		}
+		if newest < 0 {
+			continue
+		}
+		samples = append(samples, (tv-arrivals[newest].sampleT)*1000)
+	}
+	return len(arrivals), samples
+}
+
+// runScaleCell places n sessions through the real coordinator and runs
+// each one's DES against its replica's occupancy.
+func runScaleCell(n int, seed int64) (ScaleCell, error) {
+	cell := ScaleCell{Sessions: n}
+	coord := fleet.NewCoordinator(fleet.Config{ReplicaCapacity: scaleCapacity, TokenSeed: seed})
+	for i := 0; i < scaleReplicas; i++ {
+		coord.AddReplica(i, nil)
+	}
+	placedOn := make([]int, n)
+	load := make([]int, scaleReplicas)
+	for i := 0; i < n; i++ {
+		hello := wire.Hello{App: "scale-bench", Seed: seed + int64(i), IMURateHz: scaleIMUHz}
+		id, err := coord.Pick(0, hello)
+		if err != nil {
+			return cell, fmt.Errorf("bench: place session %d: %w", i, err)
+		}
+		if _, err := coord.AdmitOn(0, id, uint64(i+1), hello); err != nil {
+			return cell, fmt.Errorf("bench: admit session %d: %w", i, err)
+		}
+		placedOn[i] = id
+		load[id]++
+	}
+	cell.Admitted = n
+	for _, l := range load {
+		if l > cell.MaxReplicaLoad {
+			cell.MaxReplicaLoad = l
+		}
+	}
+
+	prof := netsim.DefaultProfile()
+	var pooled []float64
+	for i := 0; i < n; i++ {
+		poses, samples := simulateScaleSession(i, prof, seed, load[placedOn[i]], scaleCapacity)
+		if poses == 0 {
+			cell.Lost++
+		}
+		pooled = append(pooled, samples...)
+	}
+	cell.MTP = mtpStats(pooled)
+	return cell, nil
+}
+
+// runScaleAdmissionScript drives one canonical admission sequence —
+// kilo-scale fresh admits, acks, terminal ends, a replica kill with the
+// displaced population resuming, and refusals of every flavor — and
+// returns the coordinator's decision fingerprint and decision count.
+func runScaleAdmissionScript(shards int, seed int64) (uint64, uint64, error) {
+	c := fleet.NewCoordinator(fleet.Config{
+		Shards:          shards,
+		ReplicaCapacity: scaleCapacity,
+		ResumeBurst:     32,
+		TokenSeed:       seed,
+	})
+	for i := 0; i < scaleReplicas; i++ {
+		c.AddReplica(i, nil)
+	}
+	const n = 1024
+	tokens := make([]uint64, 0, n)
+	now := 0.0
+	for i := 0; i < n; i++ {
+		hello := wire.Hello{App: "scale-script", Seed: seed + int64(i)}
+		rid, err := c.Pick(now, hello)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bench: script pick %d: %w", i, err)
+		}
+		w, err := c.AdmitOn(now, rid, uint64(i+1), hello)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bench: script admit %d: %w", i, err)
+		}
+		tokens = append(tokens, w.ResumeToken)
+		now += 0.001
+	}
+	for i, tok := range tokens {
+		c.Ack(tok, uint64(100+i))
+	}
+	for i := 0; i < len(tokens); i += 2 {
+		c.End(tokens[i])
+	}
+	displaced := c.KillReplica(3)
+	for _, rec := range displaced {
+		hello := wire.Hello{App: "scale-script", ResumeToken: rec.Token}
+		rid, err := c.Pick(now, hello)
+		if err != nil {
+			continue // refusal is part of the script
+		}
+		_, _ = c.AdmitOn(now, rid, 2000+rec.Token, hello)
+		now += 0.0005
+	}
+	// unknown-token and down-replica refusals round out the script
+	_, _ = c.AdmitOn(now, 0, 7, wire.Hello{ResumeToken: 0xdeadbeef})
+	_, _ = c.AdmitOn(now, 3, 8, wire.Hello{App: "scale-script"})
+	return c.DecisionFingerprint(), c.Decisions(), nil
+}
+
+func runScaleFingerprints(seed int64) (ScaleFingerprints, error) {
+	fp1, d1, err := runScaleAdmissionScript(1, seed)
+	if err != nil {
+		return ScaleFingerprints{}, err
+	}
+	fp16, d16, err := runScaleAdmissionScript(16, seed)
+	if err != nil {
+		return ScaleFingerprints{}, err
+	}
+	return ScaleFingerprints{
+		Decisions: d1,
+		Shards1:   fmt.Sprintf("%#x", fp1),
+		Shards16:  fmt.Sprintf("%#x", fp16),
+		Equal:     fp1 == fp16 && d1 == d16,
+	}, nil
+}
+
+// ringReader serves the same encoded byte stream forever, so the relay
+// measurement reads steady-state traffic without EOF handling.
+type ringReader struct {
+	data []byte
+	off  int
+}
+
+func (l *ringReader) Read(p []byte) (int, error) {
+	if l.off == len(l.data) {
+		l.off = 0
+	}
+	n := copy(p, l.data[l.off:])
+	l.off += n
+	return n, nil
+}
+
+// relayFrameMix is the traffic the relay measurement loops over: small
+// IMU, mid-size pose, a 1 KiB video frame, and an untraced QoE — the
+// shapes a real session's uplink and downlink interleave.
+func relayFrameMix() []wire.Frame {
+	big := make([]byte, 1024)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	return []wire.Frame{
+		{Type: wire.TypeIMU, Trace: telemetry.SpanRef{Trace: 1, Span: 2}, Payload: big[:24]},
+		{Type: wire.TypePose, Trace: telemetry.SpanRef{Trace: 1, Span: 3}, Payload: big[:64]},
+		{Type: wire.TypeFrame, Trace: telemetry.SpanRef{Trace: 1, Span: 4}, Payload: big},
+		{Type: wire.TypeQoE, Payload: big[:32]},
+	}
+}
+
+// measureRelayCost measures the old decoded relay hop (ReadFrame,
+// binlog Record, trace rewrite, WriteFrame) against the raw
+// pass-through (ReadRaw, RecordRaw, SetTrace, QueueRaw + windowed
+// Flush) over the same frame mix.
+func measureRelayCost(iters int) (ScaleRelayCost, error) {
+	res := ScaleRelayCost{Frames: iters}
+	var stream []byte
+	for _, f := range relayFrameMix() {
+		stream = wire.AppendFrame(stream, f)
+	}
+	ref := telemetry.SpanRef{Trace: 9, Span: 9}
+
+	// Both sinks are a real file descriptor, not io.Discard: the decoded
+	// path issues one write per frame where the coalescing window issues
+	// one per 16, and a zero-cost sink would hide exactly that saving.
+	sink, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		return res, err
+	}
+	defer sink.Close()
+
+	// before: every hop decodes the frame, re-records it, re-encodes it
+	r1 := wire.NewReader(&ringReader{data: stream})
+	w1 := wire.NewWriter(sink)
+	tap1, err := binlog.NewWriter(io.Discard, binlog.Meta{Label: "scale-before"}, nil)
+	if err != nil {
+		return res, err
+	}
+	tap1.Reserve(4 * iters)
+	var runErr error
+	before := func() {
+		f, err := r1.ReadFrame()
+		if err != nil {
+			runErr = err
+			return
+		}
+		if err := tap1.Record(binlog.DirUp, f); err != nil {
+			runErr = err
+			return
+		}
+		if f.Trace.Valid() {
+			f.Trace = ref
+		}
+		if err := w1.WriteFrame(f); err != nil {
+			runErr = err
+		}
+	}
+	res.BeforeAllocsPerFrame, _ = measureSteadyState(iters, before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		before()
+	}
+	res.WallBeforeNsPerFrame = float64(time.Since(start).Nanoseconds()) / float64(iters)
+	if runErr != nil {
+		return res, runErr
+	}
+	if err := tap1.Close(); err != nil {
+		return res, err
+	}
+
+	// after: the zero-copy hop — bytes in, hop span rewritten in place,
+	// bytes out through the coalescing window the gateway uses
+	r2 := wire.NewReader(&ringReader{data: stream})
+	w2 := wire.NewWriter(sink)
+	tap2, err := binlog.NewWriter(io.Discard, binlog.Meta{Label: "scale-after"}, nil)
+	if err != nil {
+		return res, err
+	}
+	tap2.Reserve(4 * iters)
+	after := func() {
+		raw, err := r2.ReadRaw()
+		if err != nil {
+			runErr = err
+			return
+		}
+		if err := tap2.RecordRaw(binlog.DirUp, raw); err != nil {
+			runErr = err
+			return
+		}
+		if raw.Trace.Valid() {
+			raw.SetTrace(ref)
+		}
+		w2.QueueRaw(raw)
+		if w2.Queued() >= 16 {
+			if err := w2.Flush(); err != nil {
+				runErr = err
+			}
+		}
+	}
+	res.AfterAllocsPerFrame, _ = measureSteadyState(iters, after)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		after()
+	}
+	res.WallAfterNsPerFrame = float64(time.Since(start).Nanoseconds()) / float64(iters)
+	if err := w2.Flush(); err != nil {
+		return res, err
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	if err := tap2.Close(); err != nil {
+		return res, err
+	}
+
+	if res.WallAfterNsPerFrame > 0 {
+		res.WallSpeedup = res.WallBeforeNsPerFrame / res.WallAfterNsPerFrame
+	}
+	return res, nil
+}
+
+// runContentionStorm admits a population and hammers Ack/Lookup from
+// acker goroutines while an ender retires half of it, returning the
+// wall time and the shard-lock TryLock miss count.
+func runContentionStorm(shards int) (float64, uint64, error) {
+	c := fleet.NewCoordinator(fleet.Config{
+		Shards: shards, ReplicaCapacity: scaleContentionSessions, TokenSeed: 3})
+	for i := 0; i < scaleContentionReplicas; i++ {
+		c.AddReplica(i, nil)
+	}
+	tokens := make([]uint64, scaleContentionSessions)
+	for i := range tokens {
+		w, err := c.AdmitOn(0, i%scaleContentionReplicas, uint64(i+1), wire.Hello{App: "storm"})
+		if err != nil {
+			return 0, 0, fmt.Errorf("bench: storm admit %d: %w", i, err)
+		}
+		tokens[i] = w.ResumeToken
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	for g := 0; g < scaleContentionAckers; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for seq := uint64(1); seq <= scaleContentionSeqs; seq++ {
+				for _, tok := range tokens {
+					c.Ack(tok, seq*uint64(g+1))
+					if seq%64 == 0 {
+						c.Lookup(tok)
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		defer func() { done <- struct{}{} }()
+		for _, tok := range tokens[:len(tokens)/2] {
+			c.End(tok)
+		}
+	}()
+	for i := 0; i < scaleContentionAckers+1; i++ {
+		<-done
+	}
+	return float64(time.Since(start).Nanoseconds()) / 1e6, c.Contention(), nil
+}
+
+func runScaleContention() (ScaleContention, error) {
+	res := ScaleContention{
+		Sessions:     scaleContentionSessions,
+		Ackers:       scaleContentionAckers,
+		SeqsPerAcker: scaleContentionSeqs,
+		Shards:       16,
+	}
+	var err error
+	if res.WallMsShards1, res.WallContention1, err = runContentionStorm(1); err != nil {
+		return res, err
+	}
+	if res.WallMsSharded, res.WallContentionN, err = runContentionStorm(res.Shards); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// runScaleSoak fans nClients replayed sessions through a live gateway
+// into scaleSoakReplicas session servers over in-process pipes.
+func runScaleSoak(nClients int, seed int64) (ScaleSoakResult, error) {
+	res := ScaleSoakResult{Sessions: nClients, Replicas: scaleSoakReplicas}
+	l, _, err := benchRecording(scaleSoakIMU, seed)
+	if err != nil {
+		return res, err
+	}
+
+	coord := fleet.NewCoordinator(fleet.Config{ReplicaCapacity: scaleSoakCapacity,
+		TokenSeed: seed, RetryAfter: 5 * time.Millisecond, ResumeBurst: 256, ResumeWindowSec: 1})
+	h := &soakHandler{}
+	var srvs []*session.Server
+	for i := 0; i < scaleSoakReplicas; i++ {
+		// the coordinator enforces per-replica capacity; the server-side
+		// cap stays loose because session teardown lags the coordinator's
+		// End (the gateway retires the token the moment it relays the Bye)
+		srvs = append(srvs, session.NewServer(session.Config{
+			IdleTimeout: -1, MaxSessions: nClients}, h))
+		coord.AddReplica(i, nil)
+	}
+	gw := &fleet.Gateway{Coord: coord, Dial: func(id int) (net.Conn, error) {
+		c, s := net.Pipe()
+		if srvs[id].HandleConn(s) == nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("replica %d refused", id)
+		}
+		return c, nil
+	}}
+
+	start := time.Now()
+	results := replay.FanOut(nClients, func(int) (net.Conn, error) {
+		c, g := net.Pipe()
+		gw.HandleConn(g)
+		return c, nil
+	}, l, replay.Options{Timeout: 120 * time.Second})
+	admitted, lost, poses, firstErr := replay.Tally(results)
+	res.Admitted, res.Lost, res.WallPoses = admitted, lost, poses
+	res.WallSec = time.Since(start).Seconds()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	clean := gw.Shutdown(ctx) == nil
+	for _, s := range srvs {
+		clean = s.Shutdown(ctx) == nil && clean
+		res.WallServerContention += s.ShardContention()
+	}
+	res.CleanShutdown = clean
+	res.WallCoordContention = coord.Contention()
+	if firstErr != nil {
+		return res, fmt.Errorf("bench: soak client: %w", firstErr)
+	}
+	return res, nil
+}
+
+// scaleSweepSizes builds the sweep: the 120-session baseline plus
+// power-of-two steps up to maxSessions.
+func scaleSweepSizes(maxSessions int) []int {
+	sizes := []int{scaleBaselineSessions}
+	for n := 256; n < maxSessions; n *= 2 {
+		sizes = append(sizes, n)
+	}
+	if maxSessions > scaleBaselineSessions {
+		sizes = append(sizes, maxSessions)
+	}
+	return sizes
+}
+
+// ScaleExperiment runs `illixr-bench -exp scale` and writes
+// BENCH_scale.json when outPath is non-empty.
+func ScaleExperiment(w io.Writer, maxSessions int, seed int64, outPath string) (*ScaleReport, error) {
+	if maxSessions <= 0 {
+		maxSessions = 1024
+	}
+	if maxSessions > scaleReplicas*scaleCapacity {
+		return nil, fmt.Errorf("bench: %d sessions exceed fleet capacity %d",
+			maxSessions, scaleReplicas*scaleCapacity)
+	}
+	rep := &ScaleReport{
+		Seed: seed, Replicas: scaleReplicas, ReplicaCapacity: scaleCapacity,
+		VirtualSec: scaleVirtualSec, IMUHz: scaleIMUHz, VsyncHz: scaleVsyncHz,
+		BaselineSessions: scaleBaselineSessions, Note: scaleNote,
+	}
+
+	fmt.Fprintf(w, "Kilo-session scale sweep: %v sessions, %d replicas x %d, seed %d\n",
+		scaleSweepSizes(maxSessions), scaleReplicas, scaleCapacity, seed)
+	for _, n := range scaleSweepSizes(maxSessions) {
+		cell, err := runScaleCell(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sweep = append(rep.Sweep, cell)
+		fmt.Fprintf(w, "  %4d sessions: mtp mean %.2f  p99 %.2f  max %.2f ms over %d vsyncs (max replica load %d, lost %d)\n",
+			n, cell.MTP.MeanMs, cell.MTP.P99Ms, cell.MTP.MaxMs, cell.MTP.N,
+			cell.MaxReplicaLoad, cell.Lost)
+	}
+
+	var err error
+	if rep.Fingerprints, err = runScaleFingerprints(seed); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "  decision fingerprints over %d decisions: 1 shard %s, 16 shards %s, equal %v\n",
+		rep.Fingerprints.Decisions, rep.Fingerprints.Shards1,
+		rep.Fingerprints.Shards16, rep.Fingerprints.Equal)
+
+	if rep.Relay, err = measureRelayCost(scaleRelayIters); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "  relay hop: %.0f -> %.0f ns/frame (%.2fx), %.3f -> %.3f allocs/frame\n",
+		rep.Relay.WallBeforeNsPerFrame, rep.Relay.WallAfterNsPerFrame, rep.Relay.WallSpeedup,
+		rep.Relay.BeforeAllocsPerFrame, rep.Relay.AfterAllocsPerFrame)
+
+	if rep.Contention, err = runScaleContention(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "  registry storm: %.1f ms / %d misses at 1 shard -> %.1f ms / %d misses at %d shards\n",
+		rep.Contention.WallMsShards1, rep.Contention.WallContention1,
+		rep.Contention.WallMsSharded, rep.Contention.WallContentionN, rep.Contention.Shards)
+
+	fmt.Fprintf(w, "\nlive gateway soak: %d replayed clients through %d replicas\n",
+		maxSessions, scaleSoakReplicas)
+	if rep.Soak, err = runScaleSoak(maxSessions, seed); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "  admitted %d  lost %d  poses %d  clean shutdown %v (%.1f s wall, coord misses %d, server misses %d)\n",
+		rep.Soak.Admitted, rep.Soak.Lost, rep.Soak.WallPoses, rep.Soak.CleanShutdown,
+		rep.Soak.WallSec, rep.Soak.WallCoordContention, rep.Soak.WallServerContention)
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	return rep, nil
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestScaleSweepDeterminism: the sweep cell and the fingerprint check
+// are pure functions of the seed — the wall_* sections are exempt, but
+// the DES and the admission script must encode byte-identically.
+func TestScaleSweepDeterminism(t *testing.T) {
+	run := func() []byte {
+		cell, err := runScaleCell(32, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := runScaleFingerprints(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(struct {
+			Cell ScaleCell
+			Fp   ScaleFingerprints
+		}{cell, fp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("scale sweep not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+// TestScaleFingerprintEqual: sharding the coordinator registry must not
+// change a single admission decision at kilo-session scale.
+func TestScaleFingerprintEqual(t *testing.T) {
+	fp, err := runScaleFingerprints(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fp.Equal {
+		t.Fatalf("decision fingerprints diverge across shard counts: %s vs %s (%d decisions)",
+			fp.Shards1, fp.Shards16, fp.Decisions)
+	}
+	if fp.Decisions < 1024 {
+		t.Fatalf("admission script logged %d decisions, want >= 1024", fp.Decisions)
+	}
+}
+
+// TestScaleCellShape: the largest cell must place every session and
+// lose none, and the pooled MTP distribution must be populated.
+func TestScaleCellShape(t *testing.T) {
+	cell, err := runScaleCell(64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Admitted != 64 || cell.Lost != 0 {
+		t.Fatalf("cell admitted %d lost %d, want 64/0", cell.Admitted, cell.Lost)
+	}
+	if cell.MTP.N == 0 || cell.MTP.P99Ms <= 0 {
+		t.Fatalf("cell MTP empty: %+v", cell.MTP)
+	}
+	if cell.MaxReplicaLoad <= 0 || cell.MaxReplicaLoad > scaleCapacity {
+		t.Fatalf("max replica load %d outside (0, %d]", cell.MaxReplicaLoad, scaleCapacity)
+	}
+}

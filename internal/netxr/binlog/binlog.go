@@ -310,14 +310,31 @@ func appendRecord(dst []byte, r Record) []byte {
 	dst = binary.AppendUvarint(dst, r.Seq)
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Wall))
 	dst = wire.AppendFrame(dst, r.Frame)
-	bodyLen := len(dst) - bodyStart
+	return spliceRecord(dst, bodyStart)
+}
 
-	// splice the length prefix in front of the body
+// appendRecordRaw is appendRecord for an already-encoded frame: the raw
+// bytes go into the body verbatim, so a pass-through tap (the gateway's
+// zero-copy relay) records exactly the bytes it forwards — byte-identical
+// to appendRecord of the equivalent decoded frame.
+func appendRecordRaw(dst []byte, dir Dir, seq uint64, wall float64, frame []byte) []byte {
+	bodyStart := len(dst)
+	dst = append(dst, byte(dir))
+	dst = binary.AppendUvarint(dst, seq)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(wall))
+	dst = append(dst, frame...)
+	return spliceRecord(dst, bodyStart)
+}
+
+// spliceRecord prefixes the body at dst[bodyStart:] with its varint
+// length and appends the body CRC.
+func spliceRecord(dst []byte, bodyStart int) []byte {
+	bodyLen := len(dst) - bodyStart
 	var pfx [binary.MaxVarintLen64]byte
 	pn := binary.PutUvarint(pfx[:], uint64(bodyLen))
-	dst = append(dst, pfx[:pn]...)                        // grow
+	dst = append(dst, pfx[:pn]...)                             // grow
 	copy(dst[bodyStart+pn:], dst[bodyStart:bodyStart+bodyLen]) // shift body right
-	copy(dst[bodyStart:], pfx[:pn])                       // prefix in place
+	copy(dst[bodyStart:], pfx[:pn])                            // prefix in place
 	sum := crc32.ChecksumIEEE(dst[bodyStart+pn : bodyStart+pn+bodyLen])
 	return binary.LittleEndian.AppendUint32(dst, sum)
 }

@@ -132,11 +132,47 @@ func (w *Writer) recordLocked(dir Dir, wall float64, f wire.Frame) error {
 	}
 	rec := Record{Dir: dir, Seq: w.seq, Wall: wall, Frame: f}
 	w.buf = appendRecord(w.buf[:0], rec)
+	return w.commitLocked(dir, f.Type)
+}
+
+// RecordRaw appends one already-encoded frame stamped with the current
+// clock: the zero-copy relay's tap. The record is byte-identical to a
+// Record of the decoded equivalent — the body embeds the frame's wire
+// bytes either way — so raw and decoded captures of the same traffic
+// produce the same file. The raw bytes are copied synchronously; the
+// caller's scratch may be reused on return.
+func (w *Writer) RecordRaw(dir Dir, raw wire.Raw) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.recordRawLocked(dir, w.now(), raw)
+}
+
+// RecordRawAt is RecordRaw with an explicit wall-receipt stamp.
+func (w *Writer) RecordRawAt(dir Dir, wall float64, raw wire.Raw) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.recordRawLocked(dir, wall, raw)
+}
+
+func (w *Writer) recordRawLocked(dir Dir, wall float64, raw wire.Raw) error {
+	if w.closed {
+		return ErrClosed
+	}
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = appendRecordRaw(w.buf[:0], dir, w.seq, wall, raw.Bytes)
+	return w.commitLocked(dir, raw.Type)
+}
+
+// commitLocked writes the encoded record in w.buf and advances the
+// index and counters.
+func (w *Writer) commitLocked(dir Dir, typ wire.Type) error {
 	if _, err := w.w.Write(w.buf); err != nil {
 		w.err = fmt.Errorf("binlog: append: %w", err)
 		return w.err
 	}
-	w.entries = append(w.entries, Entry{Seq: w.seq, Off: w.off, Type: f.Type, Dir: dir})
+	w.entries = append(w.entries, Entry{Seq: w.seq, Off: w.off, Type: typ, Dir: dir})
 	w.off += uint64(len(w.buf))
 	w.seq++
 	if dir == DirUp {
@@ -144,7 +180,7 @@ func (w *Writer) recordLocked(dir Dir, wall float64, f wire.Frame) error {
 	} else {
 		w.down++
 	}
-	w.byType[f.Type]++
+	w.byType[typ]++
 	w.m.records.Inc()
 	w.m.bytes.Add(len(w.buf))
 	return nil

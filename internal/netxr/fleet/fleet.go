@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"illixr/internal/config"
@@ -96,6 +97,14 @@ type Config struct {
 	ResumeWindowSec float64
 	// TokenSeed namespaces resume tokens (deterministic issuance).
 	TokenSeed int64
+	// Shards splits the resume registry (and its decision log) into this
+	// many independently locked shards keyed by token, so ack/end/lookup
+	// traffic from a thousand relays stops serializing on the placement
+	// lock (DESIGN.md §15). Rounded up to a power of two; 0 = default (16).
+	// The decision fingerprint is shard-count invariant: any two shard
+	// configurations replaying the same admission sequence fingerprint
+	// identically.
+	Shards int
 	// Metrics receives illixr_fleet_* instruments; nil = uninstrumented.
 	Metrics *telemetry.Registry
 	// Events receives the fleet flight-recorder stream (admissions,
@@ -119,7 +128,39 @@ func (c Config) withDefaults() Config {
 	if c.ResumeWindowSec == 0 {
 		c.ResumeWindowSec = 0.25
 	}
+	if c.Shards == 0 {
+		c.Shards = defaultShards
+	}
+	c.Shards = ceilPow2(c.Shards)
 	return c
+}
+
+const (
+	// defaultShards is the resume-registry shard count.
+	defaultShards = 16
+	// maxShards bounds a hostile config.
+	maxShards = 1 << 10
+	// maxDecisions caps the decision log fleet-wide: past it, decisions
+	// still consume sequence numbers (so admissions stay identical) but
+	// are no longer retained. The cap is global, not per shard, so the
+	// retained prefix — and with it the fingerprint — is shard-count
+	// invariant.
+	maxDecisions = 1 << 20
+)
+
+// ceilPow2 rounds n up to the next power of two in [1, maxShards].
+func ceilPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > maxShards {
+		return maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // ErrUnknownToken refuses a resume Hello whose token was never issued
@@ -136,24 +177,74 @@ type replica struct {
 }
 
 type fleetMetrics struct {
-	placed  *telemetry.Counter
-	resumed *telemetry.Counter
-	refused *telemetry.Counter
-	up      *telemetry.Gauge
+	placed     *telemetry.Counter
+	resumed    *telemetry.Counter
+	refused    *telemetry.Counter
+	up         *telemetry.Gauge
+	contention *telemetry.Counter
+}
+
+// decision is one committed admission-control outcome. The log exists
+// so sharding the registry is provably harmless: every decision gets a
+// globally ordered sequence number, and DecisionFingerprint folds the
+// decisions in that order — any two shard configurations replaying the
+// same admission script fingerprint identically.
+type decision struct {
+	seq     uint64
+	kind    uint8 // decAdmit..decEnd
+	reason  uint8 // refusal reason code (0 otherwise)
+	replica int32
+	token   uint64
+	epoch   uint64
+}
+
+// Decision kinds and refusal reason codes.
+const (
+	decAdmit uint8 = iota + 1
+	decResume
+	decRefuse
+	decEnd
+)
+
+const (
+	reasonReplicaGone uint8 = iota + 1
+	reasonReplicaFull
+	reasonUnknownToken
+	reasonResumeBurst
+)
+
+// recordShard is one lock's worth of the resume registry plus its slice
+// of the decision log.
+type recordShard struct {
+	mu        sync.Mutex
+	records   map[uint64]*Record
+	decisions []decision
 }
 
 // Coordinator is the fleet brain. All methods are safe for concurrent
 // use; time is always an explicit argument so the same instance runs
 // under wall or virtual clocks.
+//
+// Locking (DESIGN.md §15): the global mu covers the replica table and
+// the resume-burst window; each recordShard's mu covers its records and
+// decision-log slice. Lock order is shard → global (a shard holder may
+// take the global lock; a global holder never touches a shard), so the
+// hot per-session operations — Ack, Lookup, End — run entirely on the
+// token's shard while placement scoring runs on the global lock.
 type Coordinator struct {
 	cfg Config
 	m   fleetMetrics
 
 	mu       sync.Mutex
 	replicas map[int]*replica
-	records  map[uint64]*Record
-	tokState uint64    // splitmix64 state for token issuance
 	window   []float64 // admit times of recent resumes (sliding window)
+
+	shards    []recordShard
+	shardMask uint64
+	tokState  atomic.Uint64 // splitmix64 state for token issuance
+	decSeq    atomic.Uint64 // decision-log sequence (first seq is 1)
+
+	contention atomic.Uint64 // contended lock acquisitions (global + shard)
 }
 
 // NewCoordinator builds a coordinator with no replicas.
@@ -162,14 +253,19 @@ func NewCoordinator(cfg Config) *Coordinator {
 	c := &Coordinator{
 		cfg:      cfg,
 		replicas: map[int]*replica{},
-		records:  map[uint64]*Record{},
-		tokState: uint64(cfg.TokenSeed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
 	}
+	c.tokState.Store(uint64(cfg.TokenSeed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
+	c.shards = make([]recordShard, cfg.Shards)
+	for i := range c.shards {
+		c.shards[i].records = map[uint64]*Record{}
+	}
+	c.shardMask = uint64(cfg.Shards - 1)
 	c.m = fleetMetrics{
-		placed:  cfg.Metrics.Counter(telemetry.MetricName("fleet", "placed_total")),
-		resumed: cfg.Metrics.Counter(telemetry.MetricName("fleet", "resumed_total")),
-		refused: cfg.Metrics.Counter(telemetry.MetricName("fleet", "refused_total")),
-		up:      cfg.Metrics.Gauge(telemetry.MetricName("fleet", "replicas_up")),
+		placed:     cfg.Metrics.Counter(telemetry.MetricName("fleet", "placed_total")),
+		resumed:    cfg.Metrics.Counter(telemetry.MetricName("fleet", "resumed_total")),
+		refused:    cfg.Metrics.Counter(telemetry.MetricName("fleet", "refused_total")),
+		up:         cfg.Metrics.Gauge(telemetry.MetricName("fleet", "replicas_up")),
+		contention: cfg.Metrics.Counter(telemetry.MetricName("fleet", "lock_contention_total")),
 	}
 	return c
 }
@@ -182,6 +278,88 @@ func splitmix64(s *uint64) uint64 {
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
+
+// mix64 is splitmix64's finalizer alone (for hash folding).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// nextToken draws the next resume token. The atomic add-then-mix is the
+// same arithmetic as splitmix64 over a shared state word, so sequential
+// drivers observe the exact token sequence the single-lock coordinator
+// issued — placement decisions stay byte-identical.
+func (c *Coordinator) nextToken() uint64 {
+	return mix64(c.tokState.Add(0x9e3779b97f4a7c15))
+}
+
+// shard returns the shard owning a token.
+func (c *Coordinator) shard(token uint64) *recordShard { return &c.shards[token&c.shardMask] }
+
+// lockGlobal / lockShard take their locks counting contended
+// acquisitions — the observable behind BENCH_scale's contention cell.
+func (c *Coordinator) lockGlobal() {
+	if c.mu.TryLock() {
+		return
+	}
+	c.contention.Add(1)
+	c.m.contention.Inc()
+	c.mu.Lock()
+}
+
+func (c *Coordinator) lockShard(sh *recordShard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	c.contention.Add(1)
+	c.m.contention.Inc()
+	sh.mu.Lock()
+}
+
+// Contention returns the cumulative count of contended lock
+// acquisitions across the global and shard locks.
+func (c *Coordinator) Contention() uint64 { return c.contention.Load() }
+
+// logDecision appends one decision to a shard's log. Caller holds the
+// shard's lock. Sequence numbers are always consumed; retention stops
+// at maxDecisions so the fingerprint prefix stays shard-count invariant.
+func (c *Coordinator) logDecision(sh *recordShard, kind, reason uint8, replica int32, token, epoch uint64) {
+	seq := c.decSeq.Add(1)
+	if seq > maxDecisions {
+		return
+	}
+	sh.decisions = append(sh.decisions, decision{
+		seq: seq, kind: kind, reason: reason, replica: replica, token: token, epoch: epoch})
+}
+
+// DecisionFingerprint folds the fleet's committed admission decisions
+// into one hash: shard logs are gathered in canonical shard order, put
+// back into global sequence order, and folded field by field. Equal
+// fingerprints mean equal decision streams — the proof obligation that
+// sharding the registry changed nothing (scripts/scalecheck enforces
+// it across shard counts on every make check).
+func (c *Coordinator) DecisionFingerprint() uint64 {
+	var all []decision
+	for i := range c.shards {
+		sh := &c.shards[i]
+		c.lockShard(sh)
+		all = append(all, sh.decisions...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, d := range all {
+		for _, v := range [...]uint64{d.seq, uint64(d.kind), uint64(d.reason),
+			uint64(uint32(d.replica)), d.token, d.epoch} {
+			h = mix64(h ^ v)
+		}
+	}
+	return h
+}
+
+// Decisions returns how many admission decisions have been committed.
+func (c *Coordinator) Decisions() uint64 { return c.decSeq.Load() }
 
 // AddReplica registers replica id as Up. probe may be nil (placement
 // then scores by the coordinator's own counts alone).
@@ -274,14 +452,21 @@ func (r *replica) load() (int, float64) {
 // committed until AdmitOn lands the handshake there.
 func (c *Coordinator) Pick(now float64, h wire.Hello) (int, error) {
 	_ = now
-	c.mu.Lock()
+	lastReplica := -1
+	if h.ResumeToken != 0 {
+		sh := c.shard(h.ResumeToken)
+		c.lockShard(sh)
+		if rec, ok := sh.records[h.ResumeToken]; ok {
+			lastReplica = rec.Replica
+		}
+		sh.mu.Unlock()
+	}
+	c.lockGlobal()
 	defer c.mu.Unlock()
 	avoid := -1
-	if h.ResumeToken != 0 {
-		if rec, ok := c.records[h.ResumeToken]; ok {
-			if r, live := c.replicas[rec.Replica]; live && r.status != Up {
-				avoid = rec.Replica
-			}
+	if lastReplica >= 0 {
+		if r, live := c.replicas[lastReplica]; live && r.status != Up {
+			avoid = lastReplica
 		}
 	}
 	best, bestScore := -1, 0.0
@@ -316,41 +501,78 @@ func (c *Coordinator) Pick(now float64, h wire.Hello) (int, error) {
 // should see. Refusals that retrying can fix return a
 // *session.AdmissionError with a Retry-After hint.
 func (c *Coordinator) AdmitOn(now float64, replicaID int, sessionID uint64, h wire.Hello) (wire.Welcome, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, ok := c.replicas[replicaID]
-	if !ok || r.status != Up {
-		c.m.refused.Inc()
-		c.cfg.Events.RecordAt(now, EventRefuse, replicaNode(replicaID), "replica "+c.statusNameLocked(replicaID))
-		return wire.Welcome{}, &session.AdmissionError{
-			Reason: fmt.Sprintf("replica %d %s", replicaID, c.statusNameLocked(replicaID)), RetryAfter: c.cfg.RetryAfter}
-	}
-	sessions, _ := r.load()
-	if sessions >= c.cfg.ReplicaCapacity {
-		c.m.refused.Inc()
-		c.cfg.Events.RecordAt(now, EventRefuse, replicaNode(replicaID), "replica full")
-		return wire.Welcome{}, &session.AdmissionError{
-			Reason: fmt.Sprintf("replica %d full", replicaID), RetryAfter: c.cfg.RetryAfter}
-	}
-
 	if h.ResumeToken == 0 {
-		// fresh placement: issue a token, epoch 1
-		tok := splitmix64(&c.tokState)
-		for tok == 0 || c.records[tok] != nil {
-			tok = splitmix64(&c.tokState)
-		}
-		c.records[tok] = &Record{Token: tok, Hello: h, Replica: replicaID, Epoch: 1}
-		r.count++
-		c.m.placed.Inc()
-		c.cfg.Events.RecordAt(now, EventAdmit, replicaNode(replicaID), fmt.Sprintf("session %d", sessionID))
-		return wire.Welcome{Session: sessionID, ResumeToken: tok, PoseEpoch: 1}, nil
+		return c.admitFresh(now, replicaID, sessionID, h)
 	}
+	return c.admitResume(now, replicaID, sessionID, h)
+}
 
-	rec, ok := c.records[h.ResumeToken]
+// admitFresh validates the replica and commits a first placement. The
+// global lock covers validation and the count bump (capacity stays
+// exact); the token insert then lands on the shard alone.
+func (c *Coordinator) admitFresh(now float64, replicaID int, sessionID uint64, h wire.Hello) (wire.Welcome, error) {
+	c.lockGlobal()
+	if err, reason := c.validateReplicaLocked(now, replicaID); err != nil {
+		c.mu.Unlock()
+		// log after the global unlock: taking a shard lock under the
+		// global one would invert the shard → global order
+		sh := &c.shards[0]
+		c.lockShard(sh)
+		c.logDecision(sh, decRefuse, reason, int32(replicaID), 0, 0)
+		sh.mu.Unlock()
+		return wire.Welcome{}, err
+	}
+	c.replicas[replicaID].count++
+	c.mu.Unlock()
+
+	// issue a token and insert it; the atomic draw keeps sequential
+	// issuance identical to the single-lock coordinator, and collisions
+	// (astronomically rare) just draw again
+	var tok uint64
+	var sh *recordShard
+	for {
+		tok = c.nextToken()
+		if tok == 0 {
+			continue
+		}
+		sh = c.shard(tok)
+		c.lockShard(sh)
+		if sh.records[tok] == nil {
+			break
+		}
+		sh.mu.Unlock()
+	}
+	sh.records[tok] = &Record{Token: tok, Hello: h, Replica: replicaID, Epoch: 1}
+	c.logDecision(sh, decAdmit, 0, int32(replicaID), tok, 1)
+	sh.mu.Unlock()
+
+	c.m.placed.Inc()
+	c.cfg.Events.RecordAt(now, EventAdmit, replicaNode(replicaID), fmt.Sprintf("session %d", sessionID))
+	return wire.Welcome{Session: sessionID, ResumeToken: tok, PoseEpoch: 1}, nil
+}
+
+// admitResume revalidates the replica, applies the burst limiter, and
+// moves the placement. The shard lock is held across the whole commit
+// (the record mutates); the global lock nests inside it — shard →
+// global is the fleet-wide lock order.
+func (c *Coordinator) admitResume(now float64, replicaID int, sessionID uint64, h wire.Hello) (wire.Welcome, error) {
+	sh := c.shard(h.ResumeToken)
+	c.lockShard(sh)
+	rec, ok := sh.records[h.ResumeToken]
 	if !ok {
+		c.logDecision(sh, decRefuse, reasonUnknownToken, int32(replicaID), h.ResumeToken, 0)
+		sh.mu.Unlock()
 		c.m.refused.Inc()
 		c.cfg.Events.RecordAt(now, EventRefuse, replicaNode(replicaID), "unknown resume token")
 		return wire.Welcome{}, fmt.Errorf("%w: %#x", ErrUnknownToken, h.ResumeToken)
+	}
+
+	c.lockGlobal()
+	if err, reason := c.validateReplicaLocked(now, replicaID); err != nil {
+		c.mu.Unlock()
+		c.logDecision(sh, decRefuse, reason, int32(replicaID), h.ResumeToken, rec.Epoch)
+		sh.mu.Unlock()
+		return wire.Welcome{}, err
 	}
 	// resume-burst limiter: slide the window, refuse past the budget so
 	// a dead replica's population trickles back instead of stampeding.
@@ -362,6 +584,9 @@ func (c *Coordinator) AdmitOn(now float64, replicaID int, sessionID uint64, h wi
 	}
 	c.window = keep
 	if len(c.window) >= c.cfg.ResumeBurst {
+		c.logDecision(sh, decRefuse, reasonResumeBurst, int32(replicaID), h.ResumeToken, rec.Epoch)
+		c.mu.Unlock()
+		sh.mu.Unlock()
 		c.m.refused.Inc()
 		c.cfg.Events.RecordAt(now, EventRefuse, replicaNode(replicaID), "resume burst")
 		return wire.Welcome{}, &session.AdmissionError{Reason: "resume burst", RetryAfter: c.cfg.RetryAfter}
@@ -373,19 +598,50 @@ func (c *Coordinator) AdmitOn(now float64, replicaID int, sessionID uint64, h wi
 		old.count--
 	}
 	if rec.Replica != replicaID {
-		r.count++
+		c.replicas[replicaID].count++
 	}
+	c.mu.Unlock()
+
 	rec.Replica = replicaID
 	rec.Epoch++
-	c.m.resumed.Inc()
-	c.cfg.Events.RecordAt(now, EventResume, replicaNode(replicaID), fmt.Sprintf("epoch %d", rec.Epoch))
-	return wire.Welcome{
+	c.logDecision(sh, decResume, 0, int32(replicaID), rec.Token, rec.Epoch)
+	welcome := wire.Welcome{
 		Session:     sessionID,
 		ResumeToken: rec.Token,
 		Resumed:     true,
 		LastAckSeq:  rec.LastAckSeq,
 		PoseEpoch:   rec.Epoch,
-	}, nil
+	}
+	epoch := rec.Epoch
+	sh.mu.Unlock()
+
+	c.m.resumed.Inc()
+	c.cfg.Events.RecordAt(now, EventResume, replicaNode(replicaID), fmt.Sprintf("epoch %d", epoch))
+	return welcome, nil
+}
+
+// validateReplicaLocked checks the target replica is Up with headroom.
+// Caller holds the global lock. A non-nil error is the refusal to
+// return; the caller logs the decision (with the returned reason code)
+// once its own locks allow — never under the global lock, which would
+// invert the shard → global order.
+func (c *Coordinator) validateReplicaLocked(now float64, replicaID int) (error, uint8) {
+	r, ok := c.replicas[replicaID]
+	if !ok || r.status != Up {
+		name := c.statusNameLocked(replicaID)
+		c.m.refused.Inc()
+		c.cfg.Events.RecordAt(now, EventRefuse, replicaNode(replicaID), "replica "+name)
+		return &session.AdmissionError{
+			Reason: fmt.Sprintf("replica %d %s", replicaID, name), RetryAfter: c.cfg.RetryAfter}, reasonReplicaGone
+	}
+	sessions, _ := r.load()
+	if sessions >= c.cfg.ReplicaCapacity {
+		c.m.refused.Inc()
+		c.cfg.Events.RecordAt(now, EventRefuse, replicaNode(replicaID), "replica full")
+		return &session.AdmissionError{
+			Reason: fmt.Sprintf("replica %d full", replicaID), RetryAfter: c.cfg.RetryAfter}, reasonReplicaFull
+	}
+	return nil, 0
 }
 
 func (c *Coordinator) statusNameLocked(id int) string {
@@ -396,11 +652,13 @@ func (c *Coordinator) statusNameLocked(id int) string {
 }
 
 // Ack records uplink progress for a session so a later resume can tell
-// the client how much of its stream survived.
+// the client how much of its stream survived. Shard-local: a thousand
+// relays acking every 64 frames never touch the placement lock.
 func (c *Coordinator) Ack(token, seq uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if rec, ok := c.records[token]; ok && seq > rec.LastAckSeq {
+	sh := c.shard(token)
+	c.lockShard(sh)
+	defer sh.mu.Unlock()
+	if rec, ok := sh.records[token]; ok && seq > rec.LastAckSeq {
 		rec.LastAckSeq = seq
 	}
 }
@@ -409,24 +667,31 @@ func (c *Coordinator) Ack(token, seq uint64) {
 // forgotten and the placement count released. Server-side deaths do NOT
 // End — the record is exactly what lets the session come back.
 func (c *Coordinator) End(token uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	rec, ok := c.records[token]
+	sh := c.shard(token)
+	c.lockShard(sh)
+	rec, ok := sh.records[token]
 	if !ok {
+		sh.mu.Unlock()
 		return
 	}
+	delete(sh.records, token)
+	c.logDecision(sh, decEnd, 0, int32(rec.Replica), token, rec.Epoch)
+	sh.mu.Unlock()
+
+	c.lockGlobal()
 	if r, live := c.replicas[rec.Replica]; live && r.count > 0 {
 		r.count--
 	}
-	delete(c.records, token)
+	c.mu.Unlock()
 	c.cfg.Events.Record(EventEnd, replicaNode(rec.Replica), "")
 }
 
 // Lookup returns a copy of a token's record.
 func (c *Coordinator) Lookup(token uint64) (Record, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if rec, ok := c.records[token]; ok {
+	sh := c.shard(token)
+	c.lockShard(sh)
+	defer sh.mu.Unlock()
+	if rec, ok := sh.records[token]; ok {
 		return *rec, true
 	}
 	return Record{}, false
@@ -446,13 +711,16 @@ func (c *Coordinator) Sessions(replicaID int) int {
 // Placed returns copies of every record currently placed on a replica —
 // the displaced population when that replica dies or drains.
 func (c *Coordinator) Placed(replicaID int) []Record {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var out []Record
-	for _, rec := range c.records {
-		if rec.Replica == replicaID {
-			out = append(out, *rec)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		c.lockShard(sh)
+		for _, rec := range sh.records {
+			if rec.Replica == replicaID {
+				out = append(out, *rec)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Token < out[j].Token })
 	return out

@@ -12,12 +12,19 @@ import (
 	"illixr/internal/netxr/binlog"
 	"illixr/internal/netxr/session"
 	"illixr/internal/netxr/wire"
+	"illixr/internal/recycle"
 	"illixr/internal/telemetry"
 )
 
 // ackEvery is how many uplink frames the gateway relays between Ack
-// checkpoints into the coordinator's resume registry.
+// checkpoints into the coordinator's resume registry. Acks count only
+// FLUSHED frames: a frame sitting in an unflushed batch has not reached
+// the replica, and acking it would let a resume skip it.
 const ackEvery = 64
+
+// defaultGatewayFlush is the relay's flush window (frames per buffered
+// write); see Gateway.FlushFrames.
+const defaultGatewayFlush = 16
 
 // Gateway trace-stitching constants: the gateway's span collector
 // allocates ids from GatewayIDBase — disjoint from the client's low
@@ -63,6 +70,13 @@ type Gateway struct {
 	// to dial — each failure marks that replica Down and re-Picks
 	// (0 = 3).
 	DialAttempts int
+	// FlushFrames bounds the relay's flush window: up to this many
+	// queued frames per direction go to the wire in one buffered write.
+	// The flush tick is buffer exhaustion (FrameBuffered), not a timer —
+	// a lone frame flushes immediately, so coalescing adds no latency
+	// and stays virtual-time safe. 1 disables coalescing; 0 = default
+	// (16). See DESIGN.md §15.
+	FlushFrames int
 	// Metrics receives illixr_fleet_* gateway instruments; nil = off.
 	Metrics *telemetry.Registry
 	// Spans, when installed, records one hop span per relayed traced
@@ -84,9 +98,10 @@ type Gateway struct {
 	startNow sync.Once
 	nowFn    func() float64
 
-	initOnce sync.Once
-	relayed  *telemetry.Counter
-	dialFail *telemetry.Counter
+	initOnce  sync.Once
+	relayed   *telemetry.Counter
+	dialFail  *telemetry.Counter
+	protoErrs *telemetry.Counter
 
 	mu     sync.Mutex
 	closed bool
@@ -99,12 +114,19 @@ func (g *Gateway) init() {
 	g.initOnce.Do(func() {
 		g.relayed = g.Metrics.Counter(telemetry.MetricName("fleet", "gateway_frames_relayed_total"))
 		g.dialFail = g.Metrics.Counter(telemetry.MetricName("fleet", "gateway_dial_failures_total"))
+		g.protoErrs = g.Metrics.Counter(telemetry.MetricName("fleet", "gateway_protocol_errors_total"))
 		g.Spans.SetIDBase(GatewayIDBase) // nil-safe
 		if g.HandshakeTimeout == 0 {
 			g.HandshakeTimeout = 5 * time.Second
 		}
 		if g.DialAttempts == 0 {
 			g.DialAttempts = 3
+		}
+		if g.FlushFrames == 0 {
+			g.FlushFrames = defaultGatewayFlush
+		}
+		if g.FlushFrames < 1 {
+			g.FlushFrames = 1
 		}
 	})
 }
@@ -202,15 +224,31 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	}
 }
 
-// refuse sends a terminal Bye to the client, best-effort.
+// refuse sends a terminal Bye to the client, best-effort. The payload
+// builds onto a recycled buffer: refusal storms (a full fleet refusing
+// thousands of redials) must not allocate per connection.
 func (g *Gateway) refuse(conn net.Conn, w *wire.Writer, reason string, retry time.Duration) {
 	_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+	buf := recycle.Bytes.Get(64)[:0]
 	bye := wire.Frame{Type: wire.TypeBye,
-		Payload: wire.AppendBye(nil, wire.Bye{Reason: reason, RetryAfterMs: uint32(retry.Milliseconds())})}
+		Payload: wire.AppendBye(buf, wire.Bye{Reason: reason, RetryAfterMs: uint32(retry.Milliseconds())})}
 	if err := w.WriteFrame(bye); err == nil && g.Record != nil {
 		_ = g.Record.Record(binlog.DirDown, bye)
 	}
+	recycle.Bytes.Put(bye.Payload)
 	_ = conn.Close()
+}
+
+// protocolError refuses a client whose very first frame was not a valid
+// Hello (malformed, wrong type, or handshake timeout): instead of the
+// silent close a misbehaving client used to get, it receives a terminal
+// Bye naming the violation — no Retry-After hint, because redialing
+// with the same bytes cannot help — and the flight recorder and the
+// gateway_protocol_errors_total counter keep the evidence.
+func (g *Gateway) protocolError(conn net.Conn, w *wire.Writer, detail string) {
+	g.protoErrs.Inc()
+	g.Coord.cfg.Events.RecordAt(g.now(), EventRefuse, "gateway", "protocol error: "+detail)
+	g.refuse(conn, w, "protocol error", 0)
 }
 
 // place picks a replica and dials it, marking dial failures Down and
@@ -244,11 +282,17 @@ func (g *Gateway) relay(client net.Conn) {
 	// 1. client Hello
 	_ = client.SetReadDeadline(time.Now().Add(g.HandshakeTimeout))
 	f, err := cr.ReadFrame()
-	if err != nil || f.Type != wire.TypeHello {
+	if err != nil {
+		g.protocolError(client, cw, "hello read: "+err.Error())
+		return
+	}
+	if f.Type != wire.TypeHello {
+		g.protocolError(client, cw, "first frame is "+f.Type.String())
 		return
 	}
 	hello, err := wire.DecodeHello(f.Payload)
 	if err != nil {
+		g.protocolError(client, cw, "hello decode: "+err.Error())
 		return
 	}
 	if g.Record != nil {
@@ -276,8 +320,10 @@ func (g *Gateway) relay(client net.Conn) {
 	// admits it as a brand-new session; resume is a fleet-level fiction.
 	backendHello := hello
 	backendHello.ResumeToken, backendHello.LastSeq = 0, 0
-	if err := bw.WriteFrame(wire.Frame{Type: wire.TypeHello, Trace: helloTrace,
-		Payload: wire.AppendHello(nil, backendHello)}); err != nil {
+	hbuf := wire.AppendHello(recycle.Bytes.Get(128)[:0], backendHello)
+	err = bw.WriteFrame(wire.Frame{Type: wire.TypeHello, Trace: helloTrace, Payload: hbuf})
+	recycle.Bytes.Put(hbuf)
+	if err != nil {
 		g.refuse(client, cw, "fleet unavailable", g.Coord.cfg.RetryAfter)
 		return
 	}
@@ -322,86 +368,136 @@ func (g *Gateway) relay(client net.Conn) {
 	}
 	welcome.Proto = wire.Version
 	wf := wire.Frame{Type: wire.TypeWelcome, Trace: bf.Trace,
-		Payload: wire.AppendWelcome(nil, welcome)}
-	if err := cw.WriteFrame(wf); err != nil {
-		return
-	}
-	if g.Record != nil {
+		Payload: wire.AppendWelcome(recycle.Bytes.Get(128)[:0], welcome)}
+	err = cw.WriteFrame(wf)
+	if err == nil && g.Record != nil {
 		_ = g.Record.Record(binlog.DirDown, wf)
+	}
+	recycle.Bytes.Put(wf.Payload)
+	if err != nil {
+		return
 	}
 	token := welcome.ResumeToken
 	baseSeq := welcome.LastAckSeq
 
-	// 5. relay. Uplink (client→replica) counts frames for the ack
-	// checkpoint; a client Bye retires the token — that departure is
-	// intentional, not a failure to survive. Downlink (replica→client)
-	// relays until the replica closes or says Bye.
+	// 5. relay, zero-copy (DESIGN.md §15): after the handshake the
+	// gateway never decodes a payload again. ReadRaw peeks type and
+	// trace from the fixed header and hands over the whole encoded
+	// frame; the only rewrite is the hop-span trace (SetTrace patches
+	// the header and CRC in place); QueueRaw passes the bytes through
+	// the writer's buffer, and up to FlushFrames frames ride one
+	// buffered write. The binlog tap (RecordRaw) records exactly the
+	// bytes being forwarded. Handshake frames (Hello/Welcome/Bye above)
+	// stay on the decoded slow path — they are the frames the gateway
+	// must understand and rewrite.
 	var once sync.Once
 	var severed atomic.Bool
 	closeBoth := func() { severed.Store(true); _ = client.Close(); _ = backend.Close() }
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() { // uplink
+	go func() { // uplink: client → replica
 		defer wg.Done()
 		defer once.Do(closeBoth)
-		n := uint64(0)
+		var queued, flushed, lastAcked uint64
+		// flush returns false on a backend write error. Acks checkpoint
+		// only flushed frames: a resume retransmits from the last ack,
+		// so a frame that died in an unflushed batch must stay unacked.
+		flush := func() bool {
+			if err := bw.Flush(); err != nil {
+				return false
+			}
+			g.relayed.Add(int(queued - flushed))
+			flushed = queued
+			if flushed-lastAcked >= ackEvery {
+				g.Coord.Ack(token, baseSeq+flushed)
+				lastAcked = flushed
+			}
+			return true
+		}
 		for {
-			uf, err := cr.ReadFrame()
+			raw, err := cr.ReadRaw()
 			if err != nil {
-				g.Coord.Ack(token, baseSeq+n)
+				if bw.Queued() > 0 && bw.Flush() == nil {
+					g.relayed.Add(int(queued - flushed))
+					flushed = queued
+				}
+				g.Coord.Ack(token, baseSeq+flushed)
 				return
 			}
 			if g.Record != nil {
-				_ = g.Record.Record(binlog.DirUp, uf)
+				// tap before the span rewrite: capture what the client sent
+				_ = g.Record.RecordRaw(binlog.DirUp, raw)
 			}
-			if uf.Type == wire.TypeBye {
-				_ = bw.WriteFrame(uf)
+			if raw.Type == wire.TypeBye {
+				bw.QueueRaw(raw)
+				if bw.Flush() == nil {
+					g.relayed.Add(int(queued - flushed))
+				}
+				// clean departure: the replica will tear the session down as
+				// soon as it reads the Bye, possibly before this goroutine's
+				// deferred close runs — mark the relay severed first so the
+				// downlink's read error is not mistaken for a replica death.
+				severed.Store(true)
 				g.Coord.End(token)
 				return
 			}
-			if g.Spans != nil && uf.Trace.Valid() {
+			if g.Spans != nil && raw.Trace.Valid() {
 				// hop span: parent the client's span, pass the gateway's
 				// on — the stitched trace then shows the relay hop.
 				t := g.now()
-				uf.Trace = g.Spans.Emit(CompGatewayUp, uf.Trace.Trace, t, t, uf.Trace.Span)
+				raw.SetTrace(g.Spans.Emit(CompGatewayUp, raw.Trace.Trace, t, t, raw.Trace.Span))
 			}
-			if err := bw.WriteFrame(uf); err != nil {
-				g.Coord.Ack(token, baseSeq+n)
-				return
-			}
-			n++
-			g.relayed.Inc()
-			if n%ackEvery == 0 {
-				g.Coord.Ack(token, baseSeq+n)
+			bw.QueueRaw(raw)
+			queued++
+			// flush on window exhaustion or an empty read buffer: never
+			// hold a frame while the client has nothing more in flight
+			if bw.Queued() >= g.FlushFrames || !cr.FrameBuffered() {
+				if !flush() {
+					g.Coord.Ack(token, baseSeq+flushed)
+					return
+				}
 			}
 		}
 	}()
-	// downlink, on this goroutine
+	// downlink, on this goroutine: replica → client
+	var dnQueued, dnFlushed uint64
 	for {
-		df, err := br.ReadFrame()
+		raw, err := br.ReadRaw()
 		if err != nil {
 			// the clean path ends with a relayed Bye, so an error here
 			// without one means the replica went away under a session the
 			// client still wanted: mark it Down (unless this end of the
 			// relay was torn down first by the client side) and sever the
 			// client so it redials with its token.
+			if cw.Queued() > 0 && cw.Flush() == nil {
+				g.relayed.Add(int(dnQueued - dnFlushed))
+			}
 			if !severed.Load() {
 				g.Coord.SetStatus(replicaID, Down)
 			}
 			break
 		}
-		if g.Spans != nil && df.Trace.Valid() && df.Type != wire.TypeBye {
+		isBye := raw.Type == wire.TypeBye
+		if g.Spans != nil && raw.Trace.Valid() && !isBye {
 			t := g.now()
-			df.Trace = g.Spans.Emit(CompGatewayDown, df.Trace.Trace, t, t, df.Trace.Span)
+			raw.SetTrace(g.Spans.Emit(CompGatewayDown, raw.Trace.Trace, t, t, raw.Trace.Span))
 		}
-		if err := cw.WriteFrame(df); err != nil {
-			break
-		}
+		cw.QueueRaw(raw)
+		dnQueued++
 		if g.Record != nil {
-			_ = g.Record.Record(binlog.DirDown, df)
+			// tap at queue time, after the rewrite: the capture holds the
+			// bytes as delivered (QueueRaw copied them, so the alias into
+			// the reader's scratch is safe)
+			_ = g.Record.RecordRaw(binlog.DirDown, raw)
 		}
-		g.relayed.Inc()
-		if df.Type == wire.TypeBye {
+		if isBye || cw.Queued() >= g.FlushFrames || !br.FrameBuffered() {
+			if err := cw.Flush(); err != nil {
+				break
+			}
+			g.relayed.Add(int(dnQueued - dnFlushed))
+			dnFlushed = dnQueued
+		}
+		if isBye {
 			break
 		}
 	}

@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+
+	"illixr/internal/netxr/wire"
+)
+
+// driveAdmissionScript replays one canonical admission sequence —
+// fresh admits, acks, resumes across a replica kill, refusals of every
+// flavor, and terminal ends — against a coordinator and returns its
+// decision fingerprint.
+func driveAdmissionScript(t *testing.T, shards int) uint64 {
+	t.Helper()
+	c := NewCoordinator(Config{
+		Shards:          shards,
+		ReplicaCapacity: 8,
+		ResumeBurst:     4,
+		TokenSeed:       42,
+	})
+	for id := 0; id < 3; id++ {
+		c.AddReplica(id, nil)
+	}
+
+	var tokens []uint64
+	now := 0.0
+	// fresh admissions up to the fleet's full capacity (3×8)
+	for i := 0; i < 24; i++ {
+		rid, err := c.Pick(now, wire.Hello{App: "scale"})
+		if err != nil {
+			t.Fatalf("pick %d: %v", i, err)
+		}
+		w, err := c.AdmitOn(now, rid, uint64(i+1), wire.Hello{App: "scale"})
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		tokens = append(tokens, w.ResumeToken)
+		now += 0.01
+	}
+	// a replica-full refusal: every replica is at capacity now
+	if _, err := c.AdmitOn(now, 0, 99, wire.Hello{App: "scale"}); err == nil {
+		t.Fatal("want full refusal")
+	}
+	// acks advance
+	for i, tok := range tokens {
+		c.Ack(tok, uint64(100+i))
+	}
+	// terminal ends for half the population — frees the headroom the
+	// displaced sessions below resume into
+	for i := 0; i < len(tokens); i += 2 {
+		c.End(tokens[i])
+	}
+	// kill a replica, resume its population elsewhere
+	displaced := c.KillReplica(1)
+	resumed := 0
+	for _, rec := range displaced {
+		rid, err := c.Pick(now, wire.Hello{App: "scale", ResumeToken: rec.Token})
+		if err != nil {
+			continue
+		}
+		if _, err := c.AdmitOn(now, rid, 1000+rec.Token, wire.Hello{App: "scale", ResumeToken: rec.Token}); err == nil {
+			resumed++
+		}
+		now += 0.001
+	}
+	if resumed == 0 {
+		t.Fatal("no session resumed")
+	}
+	// unknown token and down-replica refusals
+	if _, err := c.AdmitOn(now, 0, 7, wire.Hello{ResumeToken: 0xdead}); err == nil {
+		t.Fatal("want unknown-token refusal")
+	}
+	if _, err := c.AdmitOn(now, 1, 8, wire.Hello{App: "scale"}); err == nil {
+		t.Fatal("want down-replica refusal")
+	}
+	return c.DecisionFingerprint()
+}
+
+// TestDecisionFingerprintShardInvariant: the same admission script must
+// fingerprint identically at every shard count — the proof that
+// sharding the registry did not change a single decision.
+func TestDecisionFingerprintShardInvariant(t *testing.T) {
+	base := driveAdmissionScript(t, 1)
+	if base == 0 {
+		t.Fatal("empty fingerprint")
+	}
+	for _, shards := range []int{4, 16} {
+		if fp := driveAdmissionScript(t, shards); fp != base {
+			t.Fatalf("fingerprint at %d shards = %#x, want %#x (1 shard)", shards, fp, base)
+		}
+	}
+}
+
+// TestTokenSequenceMatchesSplitmix: the atomic token draw must issue
+// the exact sequence the single-lock splitmix64 state did.
+func TestTokenSequenceMatchesSplitmix(t *testing.T) {
+	c := NewCoordinator(Config{TokenSeed: 7})
+	seed := uint64(7)
+	state := seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for i := 0; i < 64; i++ {
+		want := splitmix64(&state)
+		if got := c.nextToken(); got != want {
+			t.Fatalf("token %d = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+// TestShardedAckEndStorm hammers ack/end/lookup from many goroutines
+// (run under -race by make check) while fresh admissions continue: the
+// shard locks must keep the registry consistent and the placement
+// counts must balance out.
+func TestShardedAckEndStorm(t *testing.T) {
+	const replicas = 4
+	const sessions = 64
+	const ackers = 8
+
+	c := NewCoordinator(Config{Shards: 8, ReplicaCapacity: sessions, TokenSeed: 3})
+	for id := 0; id < replicas; id++ {
+		c.AddReplica(id, nil)
+	}
+	tokens := make([]uint64, sessions)
+	for i := range tokens {
+		w, err := c.AdmitOn(0, i%replicas, uint64(i+1), wire.Hello{App: "storm"})
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		tokens[i] = w.ResumeToken
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < ackers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := uint64(1); seq <= 500; seq++ {
+				for _, tok := range tokens {
+					c.Ack(tok, seq*uint64(g+1))
+					if seq%64 == 0 {
+						c.Lookup(tok)
+					}
+				}
+			}
+		}()
+	}
+	// enders race the ackers
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, tok := range tokens[:sessions/2] {
+			c.End(tok)
+		}
+	}()
+	wg.Wait()
+
+	// surviving half: acked to the max any acker reached
+	for _, tok := range tokens[sessions/2:] {
+		rec, ok := c.Lookup(tok)
+		if !ok {
+			t.Fatalf("token %#x vanished", tok)
+		}
+		if rec.LastAckSeq != 500*uint64(ackers) {
+			t.Fatalf("token %#x LastAckSeq = %d, want %d", tok, rec.LastAckSeq, 500*ackers)
+		}
+	}
+	// ended half gone; placement counts balance
+	for _, tok := range tokens[:sessions/2] {
+		if _, ok := c.Lookup(tok); ok {
+			t.Fatalf("ended token %#x still present", tok)
+		}
+	}
+	total := 0
+	for id := 0; id < replicas; id++ {
+		total += c.Sessions(id)
+	}
+	if total != sessions/2 {
+		t.Fatalf("placement counts sum to %d, want %d", total, sessions/2)
+	}
+}

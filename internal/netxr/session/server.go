@@ -7,6 +7,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"illixr/internal/config"
@@ -49,6 +50,19 @@ type Config struct {
 	Capture *binlog.Writer
 	// Metrics receives illixr_netxr_* instruments; nil = uninstrumented.
 	Metrics *telemetry.Registry
+	// Shards splits the session table into this many independently locked
+	// shards keyed by session id, so session teardown, idle reaping and
+	// debug snapshots stop serializing on one mutex at kilo-session scale
+	// (DESIGN.md §15). Rounded up to a power of two; 0 = default (16).
+	Shards int
+	// FlushFrames bounds the writer's flush window: the session writer
+	// pops up to this many queued frames per wakeup and puts them on the
+	// wire in ONE buffered write (writev-style). 1 disables coalescing
+	// (every frame is its own write); 0 = default (16). The flush "tick"
+	// is queue exhaustion, not a timer — no frame ever waits for a
+	// wall-clock window, which keeps the path virtual-time safe and adds
+	// zero latency on a quiet session (DESIGN.md §15).
+	FlushFrames int
 }
 
 // Admission decides handshake outcomes; the fleet coordinator implements
@@ -98,7 +112,43 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter == 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.Shards == 0 {
+		c.Shards = defaultShards
+	}
+	c.Shards = ceilPow2(c.Shards)
+	if c.FlushFrames == 0 {
+		c.FlushFrames = defaultFlushFrames
+	}
+	if c.FlushFrames < 1 {
+		c.FlushFrames = 1
+	}
 	return c
+}
+
+const (
+	// defaultShards is the session-table shard count: small enough to be
+	// free at 8 sessions, wide enough that a kilo-session churn storm
+	// spreads teardown and janitor sweeps across 16 locks.
+	defaultShards = 16
+	// defaultFlushFrames is the writer's flush window.
+	defaultFlushFrames = 16
+	// maxShards bounds a hostile config.
+	maxShards = 1 << 10
+)
+
+// ceilPow2 rounds n up to the next power of two in [1, maxShards].
+func ceilPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > maxShards {
+		return maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // Handler reacts to session lifecycle events. SessionFrame runs on the
@@ -114,17 +164,35 @@ type Handler interface {
 	SessionEnd(s *Session, err error)
 }
 
-// Server accepts connections and runs one Session per client.
+// sessionShard is one lock's worth of the session table.
+type sessionShard struct {
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+}
+
+// Server accepts connections and runs one Session per client. The
+// session table is sharded (Config.Shards) so teardown, idle reaping
+// and snapshots contend per shard, not fleet-wide; admission serializes
+// only on the short lifecycle lock that orders registration against
+// Shutdown/Abort.
 type Server struct {
 	cfg     Config
 	handler Handler
 	m       *metrics
 
-	mu       sync.Mutex
-	sessions map[uint64]*Session
-	nextID   uint64
-	closed   bool
-	ln       net.Listener
+	// lifeMu orders the closed flag, wg.Add, and shard registration
+	// against Shutdown/Abort: a session is either swept by the teardown
+	// snapshot or refused by the closed check, never neither. Held only
+	// for those few statements.
+	lifeMu sync.Mutex
+	closed bool
+	ln     net.Listener
+
+	shards     []sessionShard
+	shardMask  uint64
+	nextID     atomic.Uint64
+	active     atomic.Int64
+	contention atomic.Uint64
 
 	wg          sync.WaitGroup
 	janitorC    chan struct{}
@@ -137,28 +205,51 @@ func NewServer(cfg Config, h Handler) *Server {
 	s := &Server{
 		cfg:      cfg.withDefaults(),
 		handler:  h,
-		sessions: map[uint64]*Session{},
 		janitorC: make(chan struct{}),
 	}
+	s.shards = make([]sessionShard, s.cfg.Shards)
+	for i := range s.shards {
+		s.shards[i].sessions = map[uint64]*Session{}
+	}
+	s.shardMask = uint64(s.cfg.Shards - 1)
 	s.m = newMetrics(s.cfg.Metrics)
 	return s
 }
 
+// shard returns the shard owning a session id.
+func (s *Server) shard(id uint64) *sessionShard { return &s.shards[id&s.shardMask] }
+
+// lockShard takes a shard's lock, counting the contended acquisitions —
+// the observable the scale bench uses to show sharding actually spread
+// the load (illixr_netxr_shard_contention_total).
+func (s *Server) lockShard(sh *sessionShard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	s.contention.Add(1)
+	s.m.shardContention.Inc()
+	sh.mu.Lock()
+}
+
+// ShardContention returns the cumulative count of contended shard-lock
+// acquisitions.
+func (s *Server) ShardContention() uint64 { return s.contention.Load() }
+
 // Serve accepts on ln until Shutdown (or a listener error). It blocks.
 func (s *Server) Serve(ln net.Listener) error {
-	s.mu.Lock()
+	s.lifeMu.Lock()
 	if s.closed {
-		s.mu.Unlock()
+		s.lifeMu.Unlock()
 		return ErrClosed
 	}
 	s.ln = ln
-	s.mu.Unlock()
+	s.lifeMu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			s.mu.Lock()
+			s.lifeMu.Lock()
 			closed := s.closed
-			s.mu.Unlock()
+			s.lifeMu.Unlock()
 			if closed {
 				return nil
 			}
@@ -173,10 +264,10 @@ func (s *Server) Serve(ln net.Listener) error {
 // the conn is then refused and closed.
 func (s *Server) HandleConn(conn net.Conn) *Session {
 	s.startJanitor()
-	s.mu.Lock()
-	if s.closed || len(s.sessions) >= s.cfg.MaxSessions {
+	s.lifeMu.Lock()
+	if s.closed || int(s.active.Load()) >= s.cfg.MaxSessions {
 		full := !s.closed
-		s.mu.Unlock()
+		s.lifeMu.Unlock()
 		if full {
 			// best-effort refusal so the client sees why; the Retry-After
 			// hint makes it an admission-control push-back rather than a
@@ -197,17 +288,23 @@ func (s *Server) HandleConn(conn net.Conn) *Session {
 		}
 		return nil
 	}
-	s.nextID++
-	sess := &Session{id: s.nextID, conn: conn, srv: s, created: time.Now()}
+	id := s.nextID.Add(1)
+	sess := &Session{id: id, conn: conn, srv: s, created: time.Now()}
 	sess.cond = sync.NewCond(&sess.mu)
 	sess.slots = map[wire.Type]wire.Frame{}
-	s.sessions[sess.id] = sess
-	active := len(s.sessions)
-	// Add under the lock: it must be ordered against the closed check,
-	// or a racing Abort/Shutdown could be inside wg.Wait when the
-	// counter goes 0→1 (undefined per sync.WaitGroup).
+	// Register under lifeMu: admission must be ordered against the closed
+	// check so a racing Abort/Shutdown either sees this session in its
+	// sweep or refused it — and wg.Add must not race a wg.Wait going 0→1
+	// (undefined per sync.WaitGroup). MaxSessions stays exact because
+	// every admission serializes here; only the per-session hot paths
+	// (teardown, acks, reaping) moved to the shard locks.
+	sh := s.shard(id)
+	s.lockShard(sh)
+	sh.sessions[id] = sess
+	sh.mu.Unlock()
+	active := s.active.Add(1)
 	s.wg.Add(1)
-	s.mu.Unlock()
+	s.lifeMu.Unlock()
 
 	s.m.sessionsTotal.Inc()
 	s.m.sessionsActive.Set(float64(active))
@@ -242,10 +339,11 @@ func (s *Server) run(sess *Session) {
 	<-writerDone
 	sess.Close(err) // no-op if the writer already closed it
 
-	s.mu.Lock()
-	delete(s.sessions, sess.id)
-	active := len(s.sessions)
-	s.mu.Unlock()
+	sh := s.shard(sess.id)
+	s.lockShard(sh)
+	delete(sh.sessions, sess.id)
+	sh.mu.Unlock()
+	active := s.active.Add(-1)
 	s.m.sessionsActive.Set(float64(active))
 
 	s.handler.SessionEnd(sess, err)
@@ -276,31 +374,43 @@ func (s *Server) startJanitor() {
 	})
 }
 
+// reapIdle sweeps shard by shard: each shard's lock is held only while
+// snapshotting that shard, so a kilo-session reap never stalls admission
+// or teardown on the other shards.
 func (s *Server) reapIdle() {
 	cutoff := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
-	for _, sess := range s.snapshotSessions() {
-		if last := sess.lastRecv.Load(); last > 0 && last < cutoff {
-			sess.Close(fmt.Errorf("%w after %s", ErrIdleTimeout, s.cfg.IdleTimeout))
+	var scratch []*Session
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.lockShard(sh)
+		scratch = scratch[:0]
+		for _, sess := range sh.sessions {
+			scratch = append(scratch, sess)
+		}
+		sh.mu.Unlock()
+		for _, sess := range scratch {
+			if last := sess.lastRecv.Load(); last > 0 && last < cutoff {
+				sess.Close(fmt.Errorf("%w after %s", ErrIdleTimeout, s.cfg.IdleTimeout))
+			}
 		}
 	}
 }
 
 func (s *Server) snapshotSessions() []*Session {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*Session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		out = append(out, sess)
+	out := make([]*Session, 0, s.active.Load())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.lockShard(sh)
+		for _, sess := range sh.sessions {
+			out = append(out, sess)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // Len returns the number of live sessions.
-func (s *Server) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
-}
+func (s *Server) Len() int { return int(s.active.Load()) }
 
 // Sessions implements Lister: a sorted snapshot of live sessions.
 func (s *Server) Sessions() []Info {
@@ -328,14 +438,14 @@ func (s *Server) Sessions() []Info {
 // and sending Bye), and waits for session goroutines up to the context
 // deadline; stragglers are then force-closed.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
+	s.lifeMu.Lock()
 	if s.closed {
-		s.mu.Unlock()
+		s.lifeMu.Unlock()
 		return nil
 	}
 	s.closed = true
 	ln := s.ln
-	s.mu.Unlock()
+	s.lifeMu.Unlock()
 	s.janitorStop.Do(func() { close(s.janitorC) })
 	if ln != nil {
 		_ = ln.Close()
@@ -372,14 +482,14 @@ func (s *Server) Abort(cause error) {
 	if cause == nil {
 		cause = ErrAborted
 	}
-	s.mu.Lock()
+	s.lifeMu.Lock()
 	if s.closed {
-		s.mu.Unlock()
+		s.lifeMu.Unlock()
 		return
 	}
 	s.closed = true
 	ln := s.ln
-	s.mu.Unlock()
+	s.lifeMu.Unlock()
 	s.janitorStop.Do(func() { close(s.janitorC) })
 	if ln != nil {
 		_ = ln.Close()

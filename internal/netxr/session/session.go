@@ -78,35 +78,37 @@ func IsRetryable(err error) bool {
 // metrics bundles the per-server instruments (nil-safe when no registry
 // is installed).
 type metrics struct {
-	sessionsActive *telemetry.Gauge
-	sessionsTotal  *telemetry.Counter
-	recvFrames     *telemetry.Counter
-	sentFrames     *telemetry.Counter
-	sendDropped    *telemetry.Counter
-	backpressure   *telemetry.Counter
-	resumed        *telemetry.Counter
-	refused        *telemetry.Counter
-	decodeErrors   *telemetry.Counter
-	bytesIn        *telemetry.Counter
-	bytesOut       *telemetry.Counter
-	queueDepth     *telemetry.Gauge
+	sessionsActive  *telemetry.Gauge
+	sessionsTotal   *telemetry.Counter
+	recvFrames      *telemetry.Counter
+	sentFrames      *telemetry.Counter
+	sendDropped     *telemetry.Counter
+	backpressure    *telemetry.Counter
+	resumed         *telemetry.Counter
+	refused         *telemetry.Counter
+	decodeErrors    *telemetry.Counter
+	bytesIn         *telemetry.Counter
+	bytesOut        *telemetry.Counter
+	queueDepth      *telemetry.Gauge
+	shardContention *telemetry.Counter
 }
 
 func newMetrics(reg *telemetry.Registry) *metrics {
 	n := func(name string) string { return telemetry.MetricName("netxr", name) }
 	return &metrics{
-		sessionsActive: reg.Gauge(n("sessions_active")),
-		sessionsTotal:  reg.Counter(n("sessions_total")),
-		recvFrames:     reg.Counter(n("recv_frames_total")),
-		sentFrames:     reg.Counter(n("sent_frames_total")),
-		sendDropped:    reg.Counter(n("send_dropped_total")),
-		backpressure:   reg.Counter(n("backpressure_total")),
-		resumed:        reg.Counter(n("sessions_resumed_total")),
-		refused:        reg.Counter(n("admission_refused_total")),
-		decodeErrors:   reg.Counter(n("decode_errors_total")),
-		bytesIn:        reg.Counter(n("bytes_in_total")),
-		bytesOut:       reg.Counter(n("bytes_out_total")),
-		queueDepth:     reg.Gauge(n("queue_depth")),
+		sessionsActive:  reg.Gauge(n("sessions_active")),
+		sessionsTotal:   reg.Counter(n("sessions_total")),
+		recvFrames:      reg.Counter(n("recv_frames_total")),
+		sentFrames:      reg.Counter(n("sent_frames_total")),
+		sendDropped:     reg.Counter(n("send_dropped_total")),
+		backpressure:    reg.Counter(n("backpressure_total")),
+		resumed:         reg.Counter(n("sessions_resumed_total")),
+		refused:         reg.Counter(n("admission_refused_total")),
+		decodeErrors:    reg.Counter(n("decode_errors_total")),
+		bytesIn:         reg.Counter(n("bytes_in_total")),
+		bytesOut:        reg.Counter(n("bytes_out_total")),
+		queueDepth:      reg.Gauge(n("queue_depth")),
+		shardContention: reg.Counter(n("shard_contention_total")),
 	}
 }
 
@@ -274,49 +276,64 @@ func (s *Session) Err() error {
 // WriteTimeout.
 const drainByeTimeout = time.Second
 
-// nextOut blocks until a frame is available, the queues drain to empty
-// under a drain request, or the session closes. ok=false means exit;
-// terminal marks the final drain Bye.
-func (s *Session) nextOut() (f wire.Frame, ok, terminal bool) {
+// nextBatch blocks until at least one frame is queued, then pops up to
+// max frames in send order — the whole FIFO first, then latest-wins
+// slots in arrival order, exactly the discipline the per-frame path
+// used. If a drain is pending and the batch has room, the terminal Bye
+// rides the same batch (terminal=true). ok=false means exit. The flush
+// "tick" is queue exhaustion: a lone frame on a quiet session flushes
+// immediately, so coalescing adds zero latency and no wall-clock timer
+// (virtual-time safe; DESIGN.md §15).
+func (s *Session) nextBatch(batch []wire.Frame, max int) (out []wire.Frame, ok, terminal bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		if s.closed {
-			return wire.Frame{}, false, false
+			return batch, false, false
 		}
-		if len(s.fifo) > 0 {
-			f = s.fifo[0]
+		for len(batch) < max && len(s.fifo) > 0 {
+			batch = append(batch, s.fifo[0])
 			copy(s.fifo, s.fifo[1:])
+			s.fifo[len(s.fifo)-1] = wire.Frame{}
 			s.fifo = s.fifo[:len(s.fifo)-1]
-			return f, true, false
 		}
-		if len(s.slotSeq) > 0 {
+		for len(batch) < max && len(s.slotSeq) > 0 {
 			t := s.slotSeq[0]
 			copy(s.slotSeq, s.slotSeq[1:])
 			s.slotSeq = s.slotSeq[:len(s.slotSeq)-1]
-			f = s.slots[t]
+			batch = append(batch, s.slots[t])
 			delete(s.slots, t)
-			return f, true, false
 		}
-		if s.drainReq {
-			if !s.byeSent {
+		if s.drainReq && !s.byeSent && len(batch) < max {
+			// the queues are empty (or the batch is full — then the Bye
+			// waits for the next batch): append the terminal Bye
+			if len(s.fifo) == 0 && len(s.slotSeq) == 0 {
 				s.byeSent = true
-				bye := wire.Frame{Type: wire.TypeBye,
-					Payload: wire.AppendBye(nil, wire.Bye{Reason: s.byeWhy, RetryAfterMs: s.byeRetry})}
-				return bye, true, true
+				batch = append(batch, wire.Frame{Type: wire.TypeBye,
+					Payload: wire.AppendBye(nil, wire.Bye{Reason: s.byeWhy, RetryAfterMs: s.byeRetry})})
+				return batch, true, true
 			}
-			return wire.Frame{}, false, false // flushed everything, incl. the Bye
+		}
+		if len(batch) > 0 {
+			return batch, true, false
+		}
+		if s.drainReq && s.byeSent {
+			return batch, false, false // flushed everything, incl. the Bye
 		}
 		s.cond.Wait()
 	}
 }
 
-// writeLoop drains the queues onto the wire.
+// writeLoop drains the queues onto the wire, up to FlushFrames frames
+// per wakeup coalesced into one buffered write.
 func (s *Session) writeLoop(done chan<- struct{}) {
 	defer close(done)
 	w := wire.NewWriter(s.conn)
+	max := s.srv.cfg.FlushFrames
+	batch := make([]wire.Frame, 0, max)
 	for {
-		f, ok, terminal := s.nextOut()
+		var ok, terminal bool
+		batch, ok, terminal = s.nextBatch(batch[:0], max)
 		if !ok {
 			if s.drained() {
 				s.Close(nil)
@@ -331,21 +348,30 @@ func (s *Session) writeLoop(done chan<- struct{}) {
 			_ = s.conn.SetWriteDeadline(time.Now().Add(timeout))
 		}
 		before := w.Bytes()
-		err := w.WriteFrame(f)
-		if err == nil && s.srv.cfg.Capture != nil {
-			// downlink tap: after the frame hit the wire, before the payload
-			// returns to the pool. The Writer's lock is the single append
-			// path shared with the reader goroutine's uplink tap, so frames
-			// land in the binlog in wall-receipt order (DESIGN.md §13).
-			_ = s.srv.cfg.Capture.Record(binlog.DirDown, f)
+		for _, f := range batch {
+			w.Queue(f)
 		}
-		recycle.Bytes.Put(f.Payload) // wire.Writer copied it into its own buffer
+		err := w.Flush()
+		if err == nil && s.srv.cfg.Capture != nil {
+			// downlink tap: after the batch hit the wire, before the
+			// payloads return to the pool — in batch order, so the binlog
+			// sees exactly the wire order. The Writer's lock is the single
+			// append path shared with the reader goroutine's uplink tap
+			// (DESIGN.md §13).
+			for _, f := range batch {
+				_ = s.srv.cfg.Capture.Record(binlog.DirDown, f)
+			}
+		}
+		for i := range batch {
+			recycle.Bytes.Put(batch[i].Payload) // wire.Writer copied it
+			batch[i] = wire.Frame{}
+		}
 		if err != nil {
 			s.Close(fmt.Errorf("session %d: write: %w", s.id, err))
 			return
 		}
-		s.sent.Add(1)
-		s.srv.m.sentFrames.Inc()
+		s.sent.Add(uint64(len(batch)))
+		s.srv.m.sentFrames.Add(len(batch))
 		s.srv.m.bytesOut.Add(int(w.Bytes() - before))
 	}
 }

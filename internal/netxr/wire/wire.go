@@ -197,23 +197,35 @@ func (r *Reader) Bytes() uint64 { return r.bytes }
 // valid until the next ReadFrame call. io.EOF is returned only on a
 // clean frame boundary; a partial frame yields io.ErrUnexpectedEOF.
 func (r *Reader) ReadFrame() (Frame, error) {
-	var f Frame
+	typ, trace, full, payStart, err := r.readRaw()
+	if err != nil {
+		return Frame{}, err
+	}
+	return Frame{Type: typ, Trace: trace, Payload: full[payStart : len(full)-4]}, nil
+}
+
+// readRaw reads one verified frame into the reader's scratch, returning
+// the header peeks, the full encoded frame, and the payload offset. The
+// shared body of ReadFrame and ReadRaw.
+func (r *Reader) readRaw() (Type, telemetry.SpanRef, []byte, int, error) {
+	var typ Type
+	var trace telemetry.SpanRef
 	hdr := r.grow(headerLen)
 	if _, err := io.ReadFull(r.br, hdr); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return f, io.ErrUnexpectedEOF
+			return typ, trace, nil, 0, io.ErrUnexpectedEOF
 		}
-		return f, err
+		return typ, trace, nil, 0, err
 	}
 	if hdr[0] != Magic0 || hdr[1] != Magic1 {
-		return f, ErrMagic
+		return typ, trace, nil, 0, ErrMagic
 	}
 	if hdr[2] != Version {
-		return f, fmt.Errorf("%w: got %d want %d", ErrVersion, hdr[2], Version)
+		return typ, trace, nil, 0, fmt.Errorf("%w: got %d want %d", ErrVersion, hdr[2], Version)
 	}
-	f.Type = Type(hdr[3])
-	f.Trace.Trace = telemetry.TraceID(binary.LittleEndian.Uint64(hdr[4:12]))
-	f.Trace.Span = telemetry.SpanID(binary.LittleEndian.Uint64(hdr[12:20]))
+	typ = Type(hdr[3])
+	trace.Trace = telemetry.TraceID(binary.LittleEndian.Uint64(hdr[4:12]))
+	trace.Span = telemetry.SpanID(binary.LittleEndian.Uint64(hdr[12:20]))
 
 	// varint payload length, byte at a time so we never over-read
 	var vbuf [binary.MaxVarintLen64]byte
@@ -222,7 +234,7 @@ func (r *Reader) ReadFrame() (Frame, error) {
 	for {
 		c, err := r.br.ReadByte()
 		if err != nil {
-			return f, eofToUnexpected(err)
+			return typ, trace, nil, 0, eofToUnexpected(err)
 		}
 		vbuf[vlen] = c
 		vlen++
@@ -230,30 +242,29 @@ func (r *Reader) ReadFrame() (Frame, error) {
 			break
 		}
 		if vlen == len(vbuf) {
-			return f, ErrTooLarge
+			return typ, trace, nil, 0, ErrTooLarge
 		}
 	}
 	var consumed int
 	n, consumed = binary.Uvarint(vbuf[:vlen])
 	if consumed <= 0 || n > MaxPayload {
-		return f, ErrTooLarge
+		return typ, trace, nil, 0, ErrTooLarge
 	}
 
 	rest := r.grow(headerLen + vlen + int(n) + 4)
 	copy(rest, hdr[:headerLen])
 	copy(rest[headerLen:], vbuf[:vlen])
 	if _, err := io.ReadFull(r.br, rest[headerLen+vlen:]); err != nil {
-		return f, eofToUnexpected(err)
+		return typ, trace, nil, 0, eofToUnexpected(err)
 	}
 	body := rest[:len(rest)-4]
 	want := binary.LittleEndian.Uint32(rest[len(rest)-4:])
 	if crc32.ChecksumIEEE(body) != want {
-		return f, ErrCRC
+		return typ, trace, nil, 0, ErrCRC
 	}
-	f.Payload = rest[headerLen+vlen : len(rest)-4]
 	r.frames++
 	r.bytes += uint64(len(rest))
-	return f, nil
+	return typ, trace, rest, headerLen + vlen, nil
 }
 
 // grow returns the reader's scratch buffer resized to n bytes.
@@ -274,9 +285,15 @@ func eofToUnexpected(err error) error {
 
 // Writer encodes frames onto a byte stream with a reused buffer. Not
 // safe for concurrent use; the session layer serializes writers.
+//
+// Two write disciplines share one buffer: WriteFrame/WriteRaw put one
+// frame on the wire immediately, while Queue/QueueRaw + Flush coalesce
+// a batch into a single Write (raw.go) — the flush-window path of the
+// session writer and the gateway relay.
 type Writer struct {
-	w   io.Writer
-	buf []byte
+	w      io.Writer
+	buf    []byte
+	queued int
 
 	frames uint64
 	bytes  uint64
@@ -291,14 +308,8 @@ func (w *Writer) Frames() uint64 { return w.frames }
 // Bytes returns the number of stream bytes written.
 func (w *Writer) Bytes() uint64 { return w.bytes }
 
-// WriteFrame encodes and writes one frame.
+// WriteFrame encodes and writes one frame (Queue + Flush).
 func (w *Writer) WriteFrame(f Frame) error {
-	w.buf = AppendFrame(w.buf[:0], f)
-	n, err := w.w.Write(w.buf)
-	w.bytes += uint64(n)
-	if err != nil {
-		return err
-	}
-	w.frames++
-	return nil
+	w.Queue(f)
+	return w.Flush()
 }

@@ -87,12 +87,21 @@ go run ./cmd/illixr-bench -exp qos \
 	-qos-out "$TMP/qos.json" >/dev/null
 go run ./scripts/qoscheck "$TMP/qos.json"
 
+echo "== kilo-session scale bench smoke"
+# the 1024-session sweep must hold MTP p99 within 2x the 120-session
+# baseline, the raw relay must stay under 0.05 allocs/frame, and the
+# sharded coordinator's decision fingerprints must match the
+# single-lock ones (see scripts/scalecheck)
+go run ./cmd/illixr-bench -exp scale \
+	-scale-out "$TMP/scale.json" >/dev/null
+go run ./scripts/scalecheck "$TMP/scale.json"
+
 echo "== zero-allocation regression tests"
 # AllocsPerRun needs real allocation counts, so this pass runs without
 # -race (the tests skip themselves when the detector is compiled in)
 go test -run 'TestZeroAlloc' ./internal/runtime ./internal/netxr/session \
-	./internal/reprojection ./internal/quality ./internal/hologram \
-	./internal/audio ./internal/imgproc ./internal/dsp >/dev/null
+	./internal/netxr/fleet ./internal/reprojection ./internal/quality \
+	./internal/hologram ./internal/audio ./internal/imgproc ./internal/dsp >/dev/null
 
 echo "== memory bench + alloccheck gate"
 # the steady-state hot paths must stay allocation-free and must not
